@@ -1,0 +1,54 @@
+// Ablation: the DIMM interleaving granularity. The paper's platform
+// stripes PMEM at 4 KB across 6 DIMMs; this bench varies the stripe size
+// to show why the grouped-access sweet spot follows the interleave and
+// how a different platform would shift the curves.
+#include <memory>
+
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+int main() {
+  PrintHeader(
+      "Ablation — DIMM interleave granularity",
+      "pmemolap DESIGN.md §5 (mechanism behind paper Fig. 2 / insight #1)",
+      "the grouped-read peak tracks the stripe size: larger stripes need "
+      "larger accesses (or more threads) to spread across all DIMMs");
+
+  std::vector<uint64_t> stripes = {kKiB, 4 * kKiB, 16 * kKiB, 64 * kKiB};
+  std::vector<uint64_t> sizes = FigureAccessSizes(64, 64 * kKiB);
+
+  std::printf("\nGrouped read bandwidth [GB/s], 18 threads, by stripe size\n");
+  std::vector<std::string> headers = {"Access"};
+  for (uint64_t stripe : stripes) {
+    headers.push_back("stripe " + FormatBytes(stripe));
+  }
+  TablePrinter table(std::move(headers));
+  std::vector<std::unique_ptr<MemSystemModel>> models;
+  for (uint64_t stripe : stripes) {
+    MemSystemConfig config;
+    SystemTopology::Config topo_config;
+    topo_config.interleave_bytes = stripe;
+    config.topology = *SystemTopology::Make(topo_config);
+    models.push_back(std::make_unique<MemSystemModel>(config));
+  }
+  for (uint64_t size : sizes) {
+    std::vector<std::string> row = {FormatBytes(size)};
+    for (auto& model : models) {
+      WorkloadRunner runner(model.get());
+      double bw = runner
+                      .Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                                 Media::kPmem, size, 18, RunOptions())
+                      .value_or(0.0);
+      row.push_back(TablePrinter::Cell(bw));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nWith the real 4 KB stripe, 4 KB grouped accesses already occupy "
+      "all six DIMMs; a 64 KB stripe would push the knee out by 16x -- the "
+      "4 KB recommendation (insight #1) is platform-derived, not magic.\n");
+  return 0;
+}

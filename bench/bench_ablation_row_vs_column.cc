@@ -1,0 +1,74 @@
+// Extension bench (§2.2): row layout (the paper's handcrafted 128 B rows)
+// vs a column-store fact layout, which scans only the queried columns.
+// Also reports the wear-rate diagnostics for the write side of each query.
+#include "bench_util.h"
+#include "device/optane_dimm.h"
+#include "engine/engine.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+int main() {
+  PrintHeader(
+      "Extension — row vs columnar fact layout (SSB, PMEM, sf 100)",
+      "Daase et al., SIGMOD'21, §2.2 (column-store motivation)",
+      "QF1 scans 16 of 128 bytes per tuple in columnar layout: the "
+      "scan-bound flight speeds up ~8x on the scan component; join-bound "
+      "flights gain less (probes dominate)");
+
+  auto db = ssb::Generate({.scale_factor = 0.02, .seed = 42});
+  if (!db.ok()) return 1;
+  MemSystemModel model;
+
+  EngineConfig row_config;
+  row_config.mode = EngineMode::kPmemAware;
+  row_config.media = Media::kPmem;
+  row_config.threads = 36;
+  row_config.project_to_sf = 100.0;
+  EngineConfig col_config = row_config;
+  col_config.columnar = true;
+
+  SsbEngine row_engine(&db.value(), &model, row_config);
+  SsbEngine col_engine(&db.value(), &model, col_config);
+  if (!row_engine.Prepare().ok() || !col_engine.Prepare().ok()) return 1;
+
+  TablePrinter table({"Query", "Row [s]", "Columnar [s]", "Speedup",
+                      "Scan bytes/tuple", "Wear [GB/s]"});
+  double row_total = 0.0;
+  double col_total = 0.0;
+  for (ssb::QueryId query : ssb::AllQueries()) {
+    auto row_run = row_engine.Execute(query);
+    auto col_run = col_engine.Execute(query);
+    if (!row_run.ok() || !col_run.ok()) return 1;
+    // Wear diagnostic: useful write bytes (projected to sf 100) over the
+    // query runtime — the aware engine's intermediates are tiny, which is
+    // itself a PMEM-friendly property.
+    double wear = static_cast<double>(
+                      col_run->profile.TotalBytes(OpType::kWrite)) /
+                  1e9 * (100.0 / 0.02) /
+                  std::max(col_run->seconds, 1e-9);
+    table.AddRow({ssb::QueryName(query),
+                  TablePrinter::Cell(row_run->seconds, 2),
+                  TablePrinter::Cell(col_run->seconds, 2),
+                  TablePrinter::Cell(row_run->seconds / col_run->seconds,
+                                     2) + "x",
+                  "16-24 vs 128", TablePrinter::Cell(wear, 2)});
+    row_total += row_run->seconds;
+    col_total += col_run->seconds;
+  }
+  table.AddRow({"AVG", TablePrinter::Cell(row_total / 13, 2),
+                TablePrinter::Cell(col_total / 13, 2),
+                TablePrinter::Cell(row_total / col_total, 2) + "x", "", ""});
+  std::printf("\n");
+  table.Print();
+
+  // Endurance context for the write rates above.
+  OptaneDimm dimm;
+  std::printf(
+      "\nWear context: at the peak sequential write rate (12.6 GB/s "
+      "socket = 2.1 GB/s/DIMM media), one 128 GB DIMM lasts %.1f years "
+      "(%.0f PB endurance) — ingest-heavy pipelines outlive the hardware "
+      "refresh cycle.\n",
+      dimm.LifetimeYears(2.1), dimm.spec().endurance_petabytes);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: Read NUMA effects — near PMEM vs the first (cold) and second
+// (warmed) run on far PMEM, individual 4 KB access.
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 5 — Read NUMA effects (near / far / 2nd far)",
+      "Daase et al., SIGMOD'21, Fig. 5 (insight #4)",
+      "near ~40 GB/s; first far run ~8 GB/s (optimal at only 4 threads, "
+      "coherence-directory remapping); second far run ~33 GB/s (UPI-bound)");
+
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  TablePrinter table({"Threads", "Far (1st run)", "2nd Far", "Near"});
+  for (int threads : {1, 4, 8, 18, 24, 36}) {
+    RunOptions near;
+    RunOptions far;
+    far.thread_socket = 0;
+    far.data_socket = 1;
+    far.run_index = 1;
+    RunOptions far2 = far;
+    far2.run_index = 2;
+    auto bw = [&](const RunOptions& options) {
+      return runner
+          .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                     Media::kPmem, 4 * kKiB, threads, options)
+          .value_or(0.0);
+    };
+    table.AddRow({std::to_string(threads), TablePrinter::Cell(bw(far)),
+                  TablePrinter::Cell(bw(far2)), TablePrinter::Cell(bw(near))});
+  }
+  std::printf("\nRead bandwidth [GB/s], individual 4 KB access\n");
+  table.Print();
+  std::printf(
+      "\nInsight #4: threads should only read data on their near socket "
+      "PMEM; change address-space-to-NUMA assignments as rarely as "
+      "possible.\n");
+  return 0;
+}

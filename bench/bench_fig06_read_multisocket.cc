@@ -1,0 +1,60 @@
+// Figure 6: Reading from multiple sockets on PMEM and DRAM — the five
+// cross-socket configurations, accumulated bandwidth vs threads/socket.
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+namespace {
+
+void PrintMedia(const WorkloadRunner& runner, Media media) {
+  const std::vector<MultiSocketConfig> configs = {
+      MultiSocketConfig::kOneNear, MultiSocketConfig::kTwoNear,
+      MultiSocketConfig::kOneFar, MultiSocketConfig::kTwoFar,
+      MultiSocketConfig::kNearFarShared};
+  std::vector<std::string> headers = {"Thr/Sock"};
+  for (MultiSocketConfig config : configs) {
+    headers.push_back(MultiSocketConfigName(config));
+  }
+  headers.push_back("UPI util");
+  TablePrinter table(std::move(headers));
+  for (int threads : {1, 4, 8, 18, 24, 36}) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    double worst_upi = 0.0;
+    for (MultiSocketConfig config : configs) {
+      auto result = runner.MultiSocket(OpType::kRead, media, config, threads,
+                                       4 * kKiB);
+      row.push_back(result.ok() ? TablePrinter::Cell(result->total_gbps)
+                                : "err");
+      if (result.ok()) {
+        worst_upi = std::max(worst_upi, result->upi_utilization);
+      }
+    }
+    row.push_back(TablePrinter::Cell(worst_upi, 2));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 6 — Reading from multiple sockets (PMEM / DRAM)",
+      "Daase et al., SIGMOD'21, Fig. 6 (insight #5)",
+      "PMEM: 1N~40, 2N~80 (linear), 1F~33, 2F~50 (UPI), shared very low. "
+      "DRAM: 1N~100, 2N~185, 1F~33, 2F~60, shared ~2F level");
+
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  std::printf("\n(a) PMEM accumulated read bandwidth [GB/s]\n");
+  PrintMedia(runner, Media::kPmem);
+  std::printf("\n(b) DRAM accumulated read bandwidth [GB/s]\n");
+  PrintMedia(runner, Media::kDram);
+
+  std::printf(
+      "\nInsight #5: stripe data into independent, evenly distributed sets "
+      "across all sockets' PMEM and read only near PMEM.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 8: Write bandwidth heatmap over the (access size x thread count)
+// grid — the "boomerang" of high-bandwidth configurations.
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+namespace {
+
+void PrintHeatmap(const WorkloadRunner& runner, Pattern pattern) {
+  std::vector<uint64_t> sizes = FigureAccessSizes();
+  std::vector<int> threads = {1, 2, 4, 6, 8, 12, 18, 24, 30, 36};
+  std::vector<std::string> headers = {"Thr\\Acc"};
+  for (uint64_t size : sizes) headers.push_back(FormatBytes(size));
+  TablePrinter table(std::move(headers));
+  // Threads on the y-axis as in the paper (top = more threads).
+  for (auto it = threads.rbegin(); it != threads.rend(); ++it) {
+    std::vector<std::string> row = {std::to_string(*it)};
+    for (uint64_t size : sizes) {
+      double bw = runner
+                      .Bandwidth(OpType::kWrite, pattern, Media::kPmem, size,
+                                 *it, RunOptions())
+                      .value_or(0.0);
+      // Mark the >10 GB/s "boomerang" zone like the paper's color scale.
+      std::string cell = TablePrinter::Cell(bw);
+      row.push_back(bw > 10.0 ? cell + "*" : cell);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("(* = inside the >10 GB/s peak-bandwidth zone)\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Figure 8 — Write bandwidth heatmap (access size x threads)",
+      "Daase et al., SIGMOD'21, Fig. 8",
+      "boomerang-shaped >10 GB/s zone: high threads only with <= 1 KB "
+      "accesses, large accesses only with <= 6-8 threads; scaling both "
+      "collapses bandwidth");
+
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  std::printf("\n(a) Grouped access [GB/s]\n");
+  PrintHeatmap(runner, Pattern::kSequentialGrouped);
+  std::printf("\n(b) Individual access [GB/s]\n");
+  PrintHeatmap(runner, Pattern::kSequentialIndividual);
+  return 0;
+}

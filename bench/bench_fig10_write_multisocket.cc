@@ -1,0 +1,43 @@
+// Figure 10: Writing to multiple sockets — the five cross-socket
+// configurations on PMEM.
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 10 — Writing to multiple sockets (PMEM)",
+      "Daase et al., SIGMOD'21, Fig. 10 (insights #9/#10)",
+      "1N ~12.5 GB/s (4 threads), 2N ~25 (2x), 1F ~7 (>= 6 threads "
+      "needed), 2F ~13, near+far on the same PMEM ~8 (avoid)");
+
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  const std::vector<MultiSocketConfig> configs = {
+      MultiSocketConfig::kOneNear, MultiSocketConfig::kTwoNear,
+      MultiSocketConfig::kOneFar, MultiSocketConfig::kTwoFar,
+      MultiSocketConfig::kNearFarShared};
+  std::vector<std::string> headers = {"Thr/Sock"};
+  for (MultiSocketConfig config : configs) {
+    headers.push_back(MultiSocketConfigName(config));
+  }
+  TablePrinter table(std::move(headers));
+  for (int threads : {1, 4, 8, 18, 24, 32, 36}) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (MultiSocketConfig config : configs) {
+      auto result = runner.MultiSocket(OpType::kWrite, Media::kPmem, config,
+                                       threads, 4 * kKiB);
+      row.push_back(result.ok() ? TablePrinter::Cell(result->total_gbps)
+                                : "err");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("\nAccumulated write bandwidth [GB/s], 4 KB access\n");
+  table.Print();
+  std::printf(
+      "\nInsight #9: threads should only write to near PMEM.\n"
+      "Insight #10: avoid contending cross-socket writes.\n");
+  return 0;
+}

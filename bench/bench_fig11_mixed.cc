@@ -1,0 +1,54 @@
+// Figure 11: Mixed workload performance — x write threads and y read
+// threads against disjoint data on the same PMEM DIMMs.
+#include "bench_util.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+int main() {
+  PrintHeader(
+      "Figure 11 — Mixed read/write workload",
+      "Daase et al., SIGMOD'21, Fig. 11 (insight #11)",
+      "uncontended: reads ~31 GB/s (30T), writes ~13 GB/s (6T). One writer "
+      "drops 30 readers to ~26; with 6 writers both sides fall to ~1/3 of "
+      "their peaks; combined bandwidth never beats the read-only peak");
+
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  // Uncontended baselines, as the paper quotes them.
+  double read_solo = runner
+                         .Bandwidth(OpType::kRead,
+                                    Pattern::kSequentialIndividual,
+                                    Media::kPmem, 4 * kKiB, 30, RunOptions())
+                         .value_or(0.0);
+  double write_solo = runner
+                          .Bandwidth(OpType::kWrite,
+                                     Pattern::kSequentialIndividual,
+                                     Media::kPmem, 4 * kKiB, 6, RunOptions())
+                          .value_or(0.0);
+  std::printf("\nUncontended baselines: read(30T) %.1f GB/s, write(6T) %.1f "
+              "GB/s\n",
+              read_solo, write_solo);
+
+  TablePrinter table({"W/R threads", "Write GB/s", "Read GB/s",
+                      "Combined", "Write %peak", "Read %peak"});
+  for (int writers : {1, 4, 6}) {
+    for (int readers : {1, 8, 18, 30}) {
+      auto result = runner.Mixed(writers, readers);
+      if (!result.ok()) continue;
+      double write_bw = result->per_class[0].gbps;
+      double read_bw = result->per_class[1].gbps;
+      table.AddRow({std::to_string(writers) + "/" + std::to_string(readers),
+                    TablePrinter::Cell(write_bw),
+                    TablePrinter::Cell(read_bw),
+                    TablePrinter::Cell(write_bw + read_bw),
+                    TablePrinter::Cell(100.0 * write_bw / write_solo, 0),
+                    TablePrinter::Cell(100.0 * read_bw / read_solo, 0)});
+    }
+  }
+  std::printf("\nMixed bandwidth, individual 4 KB access, one socket\n");
+  table.Print();
+  std::printf("\nInsight #11: serialize PMEM access when possible.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Extension bench (paper §9 future work): hybrid PMEM-DRAM placement.
+//
+// Compares four SSB deployments at sf 100:
+//   PMEM-only            — the paper's evaluated design point
+//   hybrid (planner)     — HybridPlacer: indexes + intermediates in DRAM,
+//                          striped fact table in PMEM
+//   hybrid (table too)   — everything DRAM except nothing (upper bound)
+//   DRAM-only            — the expensive baseline
+// plus the DRAM footprint each needs.
+#include "bench_util.h"
+#include "core/hybrid.h"
+#include "engine/engine.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+
+namespace {
+
+double AvgSeconds(const ssb::Database& db, const MemSystemModel& model,
+                  const EngineConfig& config) {
+  SsbEngine engine(&db, &model, config);
+  if (!engine.Prepare().ok()) return -1.0;
+  double total = 0.0;
+  for (ssb::QueryId query : ssb::AllQueries()) {
+    total += engine.Execute(query)->seconds;
+  }
+  return total / 13.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "Extension — hybrid PMEM-DRAM placement (SSB, sf 100)",
+      "Daase et al., SIGMOD'21, §9 future work; cf. Shanbhag et al. "
+      "DaMoN'20",
+      "placing only the randomly probed indexes and write-heavy "
+      "intermediates in DRAM should recover most of the DRAM-only "
+      "performance at a fraction of the DRAM footprint");
+
+  auto db = ssb::Generate({.scale_factor = 0.02, .seed = 42});
+  if (!db.ok()) return 1;
+  MemSystemModel model;
+
+  // What the planner decides for the sf 100 SSB.
+  ssb::Cardinalities cards = ssb::CardinalitiesFor(100.0);
+  StructureSizes sizes;
+  sizes.table_bytes = cards.lineorder * 128 / 2;  // striped: per socket
+  sizes.index_bytes =
+      (cards.customer + cards.supplier + cards.part + cards.date) * 300;
+  sizes.intermediate_bytes = 4ULL * kGiB;
+  // A deployment-realistic budget: most of the 96 GB/socket DRAM is
+  // reserved for the OS, buffers, and other tenants — the PMEM value
+  // proposition is precisely that DRAM is scarce.
+  const uint64_t kDramBudget = 8 * kGiB;
+  HybridPlacer placer(model.config().topology);
+  HybridPlacement plan = placer.Place(sizes, kDramBudget);
+  std::printf("\nHybridPlacer decision for SSB sf 100 (per socket: table "
+              "%s, indexes %s, intermediates %s; DRAM budget %s):\n",
+              FormatBytes(sizes.table_bytes).c_str(),
+              FormatBytes(sizes.index_bytes).c_str(),
+              FormatBytes(sizes.intermediate_bytes).c_str(),
+              FormatBytes(kDramBudget).c_str());
+  for (const std::string& line : plan.rationale) {
+    std::printf("  - %s\n", line.c_str());
+  }
+
+  EngineConfig base;
+  base.mode = EngineMode::kPmemAware;
+  base.threads = 36;
+  base.project_to_sf = 100.0;
+
+  EngineConfig pmem_only = base;
+  pmem_only.media = Media::kPmem;
+
+  EngineConfig hybrid = base;
+  hybrid.media = plan.table_media;
+  hybrid.index_media = plan.index_media;
+  hybrid.intermediate_media = plan.intermediate_media;
+
+  EngineConfig dram_only = base;
+  dram_only.media = Media::kDram;
+
+  double pmem_s = AvgSeconds(db.value(), model, pmem_only);
+  double hybrid_s = AvgSeconds(db.value(), model, hybrid);
+  double dram_s = AvgSeconds(db.value(), model, dram_only);
+
+  uint64_t fact_bytes = cards.lineorder * 128;
+  uint64_t dram_only_bytes =
+      fact_bytes + 2 * (sizes.index_bytes + sizes.intermediate_bytes);
+  TablePrinter table({"Deployment", "Avg SSB [s]", "vs DRAM", "DRAM needed"});
+  table.AddRow({"PMEM-only (paper)", TablePrinter::Cell(pmem_s, 2),
+                TablePrinter::Cell(pmem_s / dram_s, 2) + "x", "0"});
+  table.AddRow({"Hybrid (planner)", TablePrinter::Cell(hybrid_s, 2),
+                TablePrinter::Cell(hybrid_s / dram_s, 2) + "x",
+                FormatBytes(2 * plan.dram_used_bytes)});
+  table.AddRow({"DRAM-only", TablePrinter::Cell(dram_s, 2), "1.00x",
+                FormatBytes(dram_only_bytes)});
+  std::printf("\n");
+  table.Print();
+  double recovered = (pmem_s - hybrid_s) / (pmem_s - dram_s);
+  std::printf(
+      "\nThe hybrid plan recovers %.0f%% of the PMEM->DRAM gap while "
+      "keeping the %s fact table on cheap PMEM.\n",
+      100.0 * recovered, FormatBytes(fact_bytes).c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// §6.2 "traditional OLAP" comparison: Q2.1 with the table scan on an NVMe
+// SSD (hash indexes and intermediates in DRAM) vs the PMEM-only setup.
+#include "bench_util.h"
+#include "engine/engine.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+using ssb::QueryId;
+
+int main() {
+  PrintHeader(
+      "§6.2 — Q2.1 on NVMe SSD vs PMEM (sf 100)",
+      "Daase et al., SIGMOD'21, Section 6.2 (P4610 footnote)",
+      "SSD setup completes in 22.8 s (scan-bandwidth-bound); PMEM-only is "
+      "8.6 s => 2.6x faster without using any DRAM");
+
+  auto db = ssb::Generate({.scale_factor = 0.02, .seed = 42});
+  if (!db.ok()) return 1;
+  MemSystemModel model;
+
+  EngineConfig pmem_config;
+  pmem_config.mode = EngineMode::kPmemAware;
+  pmem_config.media = Media::kPmem;
+  pmem_config.threads = 36;
+  pmem_config.project_to_sf = 100.0;
+  SsbEngine pmem(&db.value(), &model, pmem_config);
+  if (!pmem.Prepare().ok()) return 1;
+  double pmem_s = pmem.Execute(QueryId::kQ2_1)->seconds;
+
+  // SSD setup: run with DRAM indexes/intermediates, then redirect the
+  // table-scan traffic to the SSD device model.
+  EngineConfig ssd_config = pmem_config;
+  ssd_config.media = Media::kDram;
+  SsbEngine dram(&db.value(), &model, ssd_config);
+  if (!dram.Prepare().ok()) return 1;
+  auto run = dram.Execute(QueryId::kQ2_1);
+  if (!run.ok()) return 1;
+  double dram_s = run->seconds;
+
+  ExecutionProfile ssd_profile;
+  for (TrafficRecord record : run->profile.records()) {
+    if (record.label == "scan") record.media = Media::kSsd;
+    ssd_profile.Record(record);
+  }
+  double factor = 100.0 / 0.02;
+  QueryTimer timer(&model);
+  double ssd_s =
+      timer.EstimateSeconds(ssd_profile.Scaled(factor),
+                            run->cpu.Scaled(factor), 36,
+                            PinningPolicy::kCores);
+
+  TablePrinter table({"Setup", "Q2.1 [s]", "paper", "Bottleneck"});
+  table.AddRow({"NVMe SSD scan + DRAM indexes", TablePrinter::Cell(ssd_s),
+                "22.8", "table scan (3.2 GB/s seq read)"});
+  table.AddRow({"PMEM-only", TablePrinter::Cell(pmem_s), "8.6",
+                "memory-bound hash lookups"});
+  table.AddRow({"DRAM-only", TablePrinter::Cell(dram_s), "5.2",
+                "memory-bound hash lookups"});
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPMEM outperforms the traditional SSD setup by %.1fx while using "
+      "no DRAM: PMEM shifts the bottleneck from scan I/O to memory-bound "
+      "operator processing (paper: 2.6x).\n",
+      ssd_s / pmem_s);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 1: Optimization ladder for query Q2.1 (sf 100) — the cumulative
+// effect of threads, the second socket, NUMA-aware placement, and explicit
+// core pinning, on PMEM and DRAM.
+#include "bench_util.h"
+#include "engine/engine.h"
+
+using namespace pmemolap;
+using namespace pmemolap::bench;
+using ssb::QueryId;
+
+int main() {
+  PrintHeader(
+      "Table 1 — Optimization of Q2.1 (seconds per query, sf 100)",
+      "Daase et al., SIGMOD'21, Table 1",
+      "PMEM: 306.7 -> 25.1 -> 12.3 -> 9.4 -> 8.6 s; "
+      "DRAM: 221.2 -> 15.2 -> 9.2 -> 5.2 -> 5.2 s");
+
+  auto db = ssb::Generate({.scale_factor = 0.02, .seed = 42});
+  if (!db.ok()) return 1;
+  MemSystemModel model;
+
+  struct Step {
+    const char* name;
+    EngineConfig config;
+    double paper_pmem;
+    double paper_dram;
+  };
+  EngineConfig base;
+  base.mode = EngineMode::kPmemAware;
+  base.threads = 36;
+  base.project_to_sf = 100.0;
+
+  std::vector<Step> steps;
+  {
+    EngineConfig c = base;
+    c.threads = 1;
+    c.use_both_sockets = false;
+    c.pinning = PinningPolicy::kCores;
+    steps.push_back({"1 Thr.", c, 306.7, 221.2});
+  }
+  {
+    EngineConfig c = base;
+    c.threads = 18;
+    c.use_both_sockets = false;
+    c.pinning = PinningPolicy::kCores;
+    steps.push_back({"18 Thr.", c, 25.1, 15.2});
+  }
+  {
+    EngineConfig c = base;
+    c.numa_aware_placement = false;
+    c.pinning = PinningPolicy::kNumaRegion;
+    steps.push_back({"2-Socket", c, 12.3, 9.2});
+  }
+  {
+    EngineConfig c = base;
+    c.pinning = PinningPolicy::kNumaRegion;
+    steps.push_back({"NUMA", c, 9.4, 5.2});
+  }
+  {
+    EngineConfig c = base;
+    c.pinning = PinningPolicy::kCores;
+    steps.push_back({"Pinning", c, 8.6, 5.2});
+  }
+
+  TablePrinter table({"Step", "PMEM [s]", "paper", "DRAM [s]", "paper"});
+  for (const Step& step : steps) {
+    EngineConfig pmem_config = step.config;
+    pmem_config.media = Media::kPmem;
+    EngineConfig dram_config = step.config;
+    dram_config.media = Media::kDram;
+    SsbEngine pmem(&db.value(), &model, pmem_config);
+    SsbEngine dram(&db.value(), &model, dram_config);
+    if (!pmem.Prepare().ok() || !dram.Prepare().ok()) return 1;
+    double pmem_s = pmem.Execute(QueryId::kQ2_1)->seconds;
+    double dram_s = dram.Execute(QueryId::kQ2_1)->seconds;
+    table.AddRow({step.name, TablePrinter::Cell(pmem_s),
+                  TablePrinter::Cell(step.paper_pmem),
+                  TablePrinter::Cell(dram_s),
+                  TablePrinter::Cell(step.paper_dram)});
+  }
+  std::printf("\n");
+  table.Print();
+
+  // Where the fully-optimized run spends its time ("the benchmark is
+  // memory bound over 70% of the time", §6.2).
+  EngineConfig final_config = steps.back().config;
+  final_config.media = Media::kPmem;
+  SsbEngine final_engine(&db.value(), &model, final_config);
+  if (final_engine.Prepare().ok()) {
+    auto run = final_engine.Execute(QueryId::kQ2_1);
+    if (run.ok()) {
+      std::printf("\nFinal-rung time breakdown (PMEM):\n");
+      for (const auto& [phase, seconds] : run->phase_seconds) {
+        if (seconds < 0.005) continue;
+        std::printf("  %-16s %6.2f s (%4.1f%%)\n", phase.c_str(), seconds,
+                    100.0 * seconds / run->seconds);
+      }
+    }
+  }
+  std::printf(
+      "\nEach rung adds one optimization; the PMEM/DRAM gap narrows in the "
+      "join-dominated flights because hash lookups bound the query, not "
+      "raw scan bandwidth (§6.2).\n");
+  return 0;
+}

@@ -1,0 +1,196 @@
+// bandwidth_explorer — a small CLI over the memory-system model: query any
+// point of the paper's design space from the command line.
+//
+// Usage:
+//   bandwidth_explorer [op] [pattern] [media] [size] [threads] [options...]
+//
+//   op       read | write                       (default read)
+//   pattern  grouped | individual | random      (default individual)
+//   media    pmem | dram | ssd                  (default pmem)
+//   size     access size, e.g. 64, 256, 4K, 64K (default 4K)
+//   threads  1..72                              (default 18)
+//
+//   options:
+//     --pin=none|numa|cores     pinning policy   (default numa)
+//     --far                     data on the other socket
+//     --cold                    first far run (cold coherence directory)
+//     --region=SIZE             region size, e.g. 2G (default 70G)
+//     --no-prefetch             disable the L2 prefetcher
+//     --fsdax                   fsdax instead of devdax
+//
+// With no arguments, prints a short tour of the headline numbers.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exec/runner.h"
+#include "memsys/mem_system.h"
+
+using namespace pmemolap;
+
+namespace {
+
+void PrintTour(const WorkloadRunner& runner) {
+  struct Point {
+    const char* label;
+    OpType op;
+    Pattern pattern;
+    Media media;
+    uint64_t size;
+    int threads;
+  };
+  const Point points[] = {
+      {"sequential read peak (18T, 4K)", OpType::kRead,
+       Pattern::kSequentialIndividual, Media::kPmem, 4096, 18},
+      {"sequential write peak (4T, 4K)", OpType::kWrite,
+       Pattern::kSequentialGrouped, Media::kPmem, 4096, 4},
+      {"random read 256B (36T)", OpType::kRead, Pattern::kRandom,
+       Media::kPmem, 256, 36},
+      {"DRAM sequential read (18T)", OpType::kRead,
+       Pattern::kSequentialIndividual, Media::kDram, 4096, 18},
+  };
+  std::printf("pmemolap bandwidth explorer — headline numbers:\n");
+  for (const Point& point : points) {
+    RunOptions options;
+    if (point.pattern == Pattern::kRandom) options.region_bytes = 2 * kGiB;
+    double bw = runner.Bandwidth(point.op, point.pattern, point.media,
+                                 point.size, point.threads, options)
+                    .value_or(0.0);
+    std::printf("  %-34s %6.1f GB/s\n", point.label, bw);
+  }
+  std::printf("\nRun with --help for the full option set.\n");
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: bandwidth_explorer [read|write] [grouped|individual|random]\n"
+      "                          [pmem|dram|ssd] [size] [threads]\n"
+      "                          [--pin=none|numa|cores] [--far] [--cold]\n"
+      "                          [--region=SIZE] [--no-prefetch] "
+      "[--fsdax]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+
+  if (argc == 1) {
+    PrintTour(runner);
+    return 0;
+  }
+
+  OpType op = OpType::kRead;
+  Pattern pattern = Pattern::kSequentialIndividual;
+  Media media = Media::kPmem;
+  uint64_t size = 4 * kKiB;
+  int threads = 18;
+  RunOptions options;
+  int positional = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--far") {
+      options.thread_socket = 0;
+      options.data_socket = 1;
+      options.run_index = 2;
+    } else if (arg == "--cold") {
+      options.run_index = 1;
+    } else if (arg == "--no-prefetch") {
+      options.l2_prefetcher_enabled = false;
+    } else if (arg == "--fsdax") {
+      options.devdax = false;
+    } else if (arg.rfind("--pin=", 0) == 0) {
+      std::string policy = arg.substr(6);
+      if (policy == "none") {
+        options.pinning = PinningPolicy::kNone;
+      } else if (policy == "numa") {
+        options.pinning = PinningPolicy::kNumaRegion;
+      } else if (policy == "cores") {
+        options.pinning = PinningPolicy::kCores;
+      } else {
+        std::printf("unknown pinning '%s'\n", policy.c_str());
+        return 1;
+      }
+    } else if (arg.rfind("--region=", 0) == 0) {
+      options.region_bytes = ParseBytes(arg.substr(9));
+      if (options.region_bytes == 0) {
+        std::printf("bad region size '%s'\n", arg.c_str());
+        return 1;
+      }
+    } else if (arg == "read" || arg == "write") {
+      op = arg == "read" ? OpType::kRead : OpType::kWrite;
+      ++positional;
+    } else if (arg == "grouped" || arg == "individual" || arg == "random") {
+      pattern = arg == "grouped"      ? Pattern::kSequentialGrouped
+                : arg == "individual" ? Pattern::kSequentialIndividual
+                                      : Pattern::kRandom;
+      ++positional;
+    } else if (arg == "pmem" || arg == "dram" || arg == "ssd") {
+      media = arg == "pmem"   ? Media::kPmem
+              : arg == "dram" ? Media::kDram
+                              : Media::kSsd;
+      ++positional;
+    } else if (positional >= 3 || ParseBytes(arg) > 0) {
+      // size, then threads
+      uint64_t value = ParseBytes(arg);
+      if (value == 0) {
+        std::printf("unrecognized argument '%s'\n", arg.c_str());
+        PrintUsage();
+        return 1;
+      }
+      if (positional <= 3) {
+        size = value;
+        positional = 4;
+      } else {
+        threads = static_cast<int>(value);
+        positional = 5;
+      }
+    } else {
+      std::printf("unrecognized argument '%s'\n", arg.c_str());
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  auto result = runner.Run(op, pattern, media, size, threads, options);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const ClassBandwidth& diag = result->per_class[0];
+  std::printf("%s %s %s, %s x %d threads (%s pinning%s%s):\n",
+              OpTypeName(op), PatternName(pattern), MediaName(media),
+              FormatBytes(size).c_str(), threads,
+              PinningPolicyName(options.pinning),
+              options.thread_socket >= 0 ? ", far" : "",
+              options.l2_prefetcher_enabled ? "" : ", prefetcher off");
+  std::printf("  bandwidth:        %s\n",
+              FormatBandwidth(result->total_gbps).c_str());
+  std::printf("  issue bound:      %s\n",
+              FormatBandwidth(diag.issue_bound_gbps).c_str());
+  std::printf("  device bound:     %s\n",
+              FormatBandwidth(diag.device_bound_gbps).c_str());
+  if (diag.concurrent_dimms > 0) {
+    std::printf("  active DIMMs:     %.1f / 6\n", diag.concurrent_dimms);
+  }
+  if (op == OpType::kWrite && media == Media::kPmem) {
+    std::printf("  combine fraction: %.2f\n", diag.combine_fraction);
+    std::printf("  write amp:        %.2fx (media writes %s)\n",
+                diag.write_amplification,
+                FormatBandwidth(diag.media_write_gbps).c_str());
+  }
+  if (diag.prefetcher_factor < 1.0) {
+    std::printf("  prefetcher factor: %.2f\n", diag.prefetcher_factor);
+  }
+  if (diag.upi_data_gbps > 0) {
+    std::printf("  UPI payload:      %s (utilization %.0f%%)\n",
+                FormatBandwidth(diag.upi_data_gbps).c_str(),
+                100.0 * result->upi_utilization);
+  }
+  return 0;
+}

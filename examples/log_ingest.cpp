@@ -1,0 +1,96 @@
+// Scenario: high-throughput data ingestion with durable logging — the
+// write-side best practices.
+//
+// A stream of small records must be persisted durably. The paper's insight
+// #6 says many small writes belong in *individual* memory regions ("one
+// log per worker") with 256 B entries; this example uses PerWorkerLog and
+// compares the modeled ingest bandwidth of the naive shared-log design
+// against the per-worker design, plus bulk ingest at the 4 KB chunk size.
+#include <cstdio>
+#include <cstring>
+
+#include "core/advisor.h"
+#include "core/per_worker_log.h"
+#include "core/pmem_space.h"
+#include "exec/runner.h"
+#include "memsys/mem_system.h"
+
+using namespace pmemolap;
+
+int main() {
+  MemSystemModel model;
+  PmemSpace space(model.config().topology);
+  WorkloadRunner runner(&model);
+
+  // --- Functional: durable per-worker logs -----------------------------------
+  const int kWorkers = 6;  // best practice: 4-6 writers per socket... x2
+  auto log = PerWorkerLog::Create(&space, kWorkers,
+                                  /*capacity_entries=*/1000);
+  if (!log.ok()) {
+    std::printf("log creation failed: %s\n",
+                log.status().ToString().c_str());
+    return 1;
+  }
+  ExecutionProfile profile;
+  char record[64];
+  for (int i = 0; i < 600; ++i) {
+    std::snprintf(record, sizeof(record), "txn %06d committed", i);
+    int worker = i % kWorkers;
+    if (!log->Append(worker, reinterpret_cast<const std::byte*>(record),
+                     std::strlen(record), &profile)
+             .ok()) {
+      return 1;
+    }
+  }
+  std::printf("Appended 600 records across %d per-worker logs "
+              "(256 B entries, one Optane line each):\n",
+              log->workers());
+  for (int worker = 0; worker < log->workers(); ++worker) {
+    std::printf("  worker %d: %llu entries on socket %d\n", worker,
+                static_cast<unsigned long long>(log->entries(worker)),
+                log->SocketOf(worker));
+  }
+
+  // --- Modeled: why this layout? ---------------------------------------------
+  // Shared log (grouped 64 B appends from many threads) vs per-worker logs
+  // (individual 256 B appends from 4-6 threads).
+  double shared = runner
+                      .Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                                 Media::kPmem, 64, 36, RunOptions())
+                      .value_or(0.0);
+  double per_worker_small =
+      runner
+          .Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
+                     Media::kPmem, 256, 6, RunOptions())
+          .value_or(0.0);
+  double bulk = runner
+                    .Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                               Media::kPmem, 4 * kKiB, 4, RunOptions())
+                    .value_or(0.0);
+  std::printf("\nModeled ingest bandwidth on one socket's PMEM:\n");
+  std::printf("  naive shared log, 36 writers x 64 B appends:   %5.1f GB/s "
+              "(write-combining interference + RMW)\n",
+              shared);
+  std::printf("  per-worker logs,   6 writers x 256 B appends:  %5.1f GB/s "
+              "(insight #6)\n",
+              per_worker_small);
+  std::printf("  bulk ingest,       4 writers x 4 KB chunks:    %5.1f GB/s "
+              "(insights #6/#7)\n",
+              bulk);
+  std::printf("=> per-worker 256 B logging is %.1fx faster than the naive "
+              "shared log.\n",
+              per_worker_small / shared);
+
+  // --- The advisor reaches the same plan --------------------------------------
+  WorkloadIntent intent;
+  intent.read_fraction = 0.0;  // pure ingest
+  BestPracticesAdvisor advisor(model.config().topology);
+  AccessPlan plan = advisor.Plan(intent);
+  std::printf("\nAdvisor plan for pure ingestion: %d writers/socket, %s "
+              "chunks for bulk, %s entries for small appends, pinning %s.\n",
+              plan.write_threads_per_socket,
+              FormatBytes(plan.sequential_chunk_bytes).c_str(),
+              FormatBytes(plan.small_write_chunk_bytes).c_str(),
+              PinningPolicyName(plan.pinning));
+  return 0;
+}

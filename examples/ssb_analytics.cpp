@@ -1,0 +1,83 @@
+// Scenario: running the Star Schema Benchmark through the PMEM-aware query
+// engine — the paper's §6.2 workflow end to end:
+//
+//   dbgen  ->  engine Prepare (Dash indexes, striping, replication)
+//          ->  execute all 13 queries (functionally, results verified)
+//          ->  project runtimes to the paper's sf 100 on PMEM and DRAM.
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "ssb/reference.h"
+
+using namespace pmemolap;
+
+int main() {
+  // Generate a small but real SSB instance.
+  auto db = ssb::Generate({.scale_factor = 0.05, .seed = 2024});
+  if (!db.ok()) {
+    std::printf("dbgen failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Generated SSB sf 0.05: %zu lineorder, %zu customer, %zu "
+              "supplier, %zu part, %zu date rows (%s fact data)\n\n",
+              db->lineorder.size(), db->customer.size(),
+              db->supplier.size(), db->part.size(), db->date.size(),
+              FormatBytes(db->FactBytes()).c_str());
+
+  MemSystemModel model;
+  ssb::ReferenceExecutor reference(&db.value());
+
+  EngineConfig config;
+  config.mode = EngineMode::kPmemAware;
+  config.media = Media::kPmem;
+  config.threads = 36;
+  config.project_to_sf = 100.0;
+  SsbEngine engine(&db.value(), &model, config);
+  if (Status status = engine.Prepare(); !status.ok()) {
+    std::printf("prepare failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig dram_config = config;
+  dram_config.media = Media::kDram;
+  SsbEngine dram_engine(&db.value(), &model, dram_config);
+  if (!dram_engine.Prepare().ok()) return 1;
+
+  std::printf("%-6s %10s %10s %9s %8s  %s\n", "Query", "PMEM[s]", "DRAM[s]",
+              "slowdown", "rows", "result check");
+  double pmem_total = 0.0;
+  double dram_total = 0.0;
+  for (ssb::QueryId query : ssb::AllQueries()) {
+    auto run = engine.Execute(query);
+    auto dram_run = dram_engine.Execute(query);
+    if (!run.ok() || !dram_run.ok()) return 1;
+    bool correct = run->output == reference.Execute(query);
+    std::printf("%-6s %10.2f %10.2f %8.2fx %8zu  %s\n",
+                ssb::QueryName(query).c_str(), run->seconds,
+                dram_run->seconds, run->seconds / dram_run->seconds,
+                run->output.rows(), correct ? "verified" : "MISMATCH");
+    pmem_total += run->seconds;
+    dram_total += dram_run->seconds;
+  }
+  std::printf("%-6s %10.2f %10.2f %8.2fx\n", "AVG", pmem_total / 13,
+              dram_total / 13, pmem_total / dram_total);
+  std::printf(
+      "\nProjected to sf 100 (600M tuples, 70+ GB): PMEM runs the "
+      "read-heavy SSB only %.2fx slower than DRAM while offering 8x the "
+      "capacity per socket (paper: 1.66x).\n",
+      pmem_total / dram_total);
+
+  // Peek into one query's traffic profile — where do the bytes go?
+  auto q21 = engine.Execute(ssb::QueryId::kQ2_1);
+  if (q21.ok()) {
+    std::printf("\nQ2.1 traffic profile (at sf 0.05, per socket):\n");
+    for (const TrafficRecord& record : q21->profile.records()) {
+      std::printf("  %-16s %-6s %-10s socket %d: %s in %s ops\n",
+                  record.label.c_str(), OpTypeName(record.op),
+                  PatternName(record.pattern), record.data_socket,
+                  FormatBytes(record.bytes).c_str(),
+                  FormatBytes(record.access_size).c_str());
+    }
+  }
+  return 0;
+}

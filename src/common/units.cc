@@ -1,0 +1,68 @@
+#include "common/units.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pmemolap {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  auto emit = [&](double v, const char* suffix) {
+    if (v == static_cast<uint64_t>(v)) {
+      std::snprintf(buf, sizeof(buf), "%llu%s",
+                    static_cast<unsigned long long>(v), suffix);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f%s", v, suffix);
+    }
+  };
+  if (bytes >= kTiB) {
+    emit(static_cast<double>(bytes) / kTiB, "TB");
+  } else if (bytes >= kGiB) {
+    emit(static_cast<double>(bytes) / kGiB, "GB");
+  } else if (bytes >= kMiB) {
+    emit(static_cast<double>(bytes) / kMiB, "MB");
+  } else if (bytes >= kKiB) {
+    emit(static_cast<double>(bytes) / kKiB, "KB");
+  } else {
+    emit(static_cast<double>(bytes), "B");
+  }
+  return buf;
+}
+
+std::string FormatBandwidth(GigabytesPerSecond gbps) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f GB/s", gbps);
+  return buf;
+}
+
+uint64_t ParseBytes(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || value < 0) return 0;
+  uint64_t multiplier = 1;
+  if (*end != '\0') {
+    switch (std::toupper(static_cast<unsigned char>(*end))) {
+      case 'K':
+        multiplier = kKiB;
+        break;
+      case 'M':
+        multiplier = kMiB;
+        break;
+      case 'G':
+        multiplier = kGiB;
+        break;
+      case 'T':
+        multiplier = kTiB;
+        break;
+      case 'B':
+        multiplier = 1;
+        break;
+      default:
+        return 0;
+    }
+  }
+  return static_cast<uint64_t>(value * static_cast<double>(multiplier));
+}
+
+}  // namespace pmemolap

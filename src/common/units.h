@@ -1,0 +1,39 @@
+// Byte-size and bandwidth units used throughout the library and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmemolap {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+/// CPU cache line size on the modeled Xeon platform.
+inline constexpr uint64_t kCacheLineBytes = 64;
+
+/// Intel Optane internal access granularity ("XPLine").
+inline constexpr uint64_t kOptaneLineBytes = 256;
+
+/// DIMM interleaving stripe size across the 6 PMEM DIMMs of one socket.
+inline constexpr uint64_t kInterleaveBytes = 4 * kKiB;
+
+/// Bandwidths are carried as double GB/s (decimal gigabytes, as in the
+/// paper's figures).
+using GigabytesPerSecond = double;
+
+/// Formats a byte count compactly, e.g. "64B", "4KB", "2.5GB".
+/// Uses binary units but the conventional K/M/G/T suffixes, matching the
+/// paper's axis labels.
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a bandwidth as e.g. "40.1 GB/s".
+std::string FormatBandwidth(GigabytesPerSecond gbps);
+
+/// Parses sizes like "64", "4K", "2M", "1G" into bytes. Returns 0 on parse
+/// failure.
+uint64_t ParseBytes(const std::string& text);
+
+}  // namespace pmemolap

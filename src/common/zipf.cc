@@ -1,0 +1,33 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pmemolap {
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) : exponent_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::MassOf(uint64_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace pmemolap

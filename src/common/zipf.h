@@ -1,0 +1,37 @@
+// Zipf-distributed sampling for skewed workload generation.
+//
+// Used by the SSB data generator's skew option and the skew-aware
+// partitioning benches: real OLAP key distributions are rarely uniform
+// (the paper: "storing data in such a manner and creating optimal
+// partitions is not always possible ... e.g., due to skewed data").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pmemolap {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^s via a
+/// precomputed CDF and binary search. s = 0 degenerates to uniform.
+class ZipfSampler {
+ public:
+  /// n must be >= 1; s must be >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+  double exponent() const { return exponent_; }
+
+  /// Draws one rank in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double MassOf(uint64_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+}  // namespace pmemolap

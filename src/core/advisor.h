@@ -1,0 +1,77 @@
+// BestPracticesAdvisor — the paper's 7 best practices (Section 7) codified
+// as an API: given a description of a workload, produce the access plan the
+// paper recommends, with the rationale attached.
+//
+//  (1) Read and write to PMEM in distinct memory regions.
+//  (2) Scale up threads for reads; limit writers to 4-6 per socket.
+//  (3) Pin threads (explicitly) within their NUMA regions.
+//  (4) Place data on all sockets, access only from near NUMA regions.
+//  (5) Avoid large mixed read-write workloads when possible.
+//  (6) Access PMEM sequentially; use the largest possible access for
+//      random workloads (>= 256 B).
+//  (7) Use PMEM in devdax mode.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "topo/pinning.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+/// What the caller intends to run.
+struct WorkloadIntent {
+  /// Fraction of the workload's bytes that are reads, in [0,1].
+  double read_fraction = 1.0;
+  /// True if accesses are point lookups / hash probes rather than scans.
+  bool random_access = false;
+  /// The caller has exclusive control of thread placement.
+  bool full_system_control = true;
+  /// Reads and writes must run concurrently (e.g. queries during load).
+  bool requires_concurrent_read_write = false;
+  /// Latency sensitivity: latency-insensitive phases can be serialized.
+  bool latency_sensitive = false;
+  /// Total bytes of the primary data set.
+  uint64_t working_set_bytes = 0;
+  /// Size of the small, frequently random-probed side tables (0 = none).
+  uint64_t small_table_bytes = 0;
+};
+
+/// The recommended plan. Fields map 1:1 to the best practices.
+struct AccessPlan {
+  int read_threads_per_socket = 0;   ///< BP2: all physical cores
+  int write_threads_per_socket = 0;  ///< BP2: 4-6
+  bool use_hyperthreads_for_reads = false;  ///< avoid HT for seq. reads
+  PinningPolicy pinning = PinningPolicy::kCores;  ///< BP3
+  uint64_t sequential_chunk_bytes = 4 * kKiB;     ///< BP6/insight #1/#6
+  uint64_t small_write_chunk_bytes = 256;         ///< insight #6
+  uint64_t min_random_access_bytes = 256;         ///< BP6
+  bool stripe_across_sockets = true;      ///< BP4
+  bool near_socket_access_only = true;    ///< BP4
+  bool replicate_small_tables = true;     ///< §6.2 dimension replication
+  bool distinct_read_write_regions = true;  ///< BP1
+  bool serialize_read_write_phases = false;  ///< BP5
+  bool use_devdax = true;                    ///< BP7
+  std::vector<std::string> rationale;        ///< one line per decision
+};
+
+/// Produces AccessPlans for a given platform.
+class BestPracticesAdvisor {
+ public:
+  explicit BestPracticesAdvisor(const SystemTopology& topology)
+      : topology_(topology) {}
+
+  AccessPlan Plan(const WorkloadIntent& intent) const;
+
+  /// The paper's write-thread sweet spot.
+  static constexpr int kMinWriteThreads = 4;
+  static constexpr int kMaxWriteThreads = 6;
+
+ private:
+  SystemTopology topology_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,74 @@
+#include "core/chunked_io.h"
+
+#include <algorithm>
+
+namespace pmemolap {
+
+Result<uint64_t> ChunkedReader::ReadAll(int threads,
+                                        ExecutionProfile* profile,
+                                        const std::string& label) const {
+  if (source_ == nullptr || source_->empty()) {
+    return Status::InvalidArgument("nothing to read");
+  }
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (chunk_bytes_ == 0) {
+    return Status::InvalidArgument("chunk size must be > 0");
+  }
+  // FNV-1a over the whole region, walked chunk-wise per worker share.
+  uint64_t hash = 1469598103934665603ULL;
+  const std::byte* data = source_->data();
+  const uint64_t size = source_->size();
+  uint64_t per_worker = size / static_cast<uint64_t>(threads);
+  for (int worker = 0; worker < threads; ++worker) {
+    uint64_t begin = per_worker * static_cast<uint64_t>(worker);
+    uint64_t end = worker + 1 == threads ? size : begin + per_worker;
+    for (uint64_t chunk = begin; chunk < end; chunk += chunk_bytes_) {
+      uint64_t chunk_end = std::min(end, chunk + chunk_bytes_);
+      for (uint64_t i = chunk; i < chunk_end; ++i) {
+        hash ^= static_cast<uint64_t>(data[i]);
+        hash *= 1099511628211ULL;
+      }
+    }
+  }
+  if (profile != nullptr) {
+    profile->RecordSequential(OpType::kRead, source_->placement().media,
+                              source_->placement().socket, size,
+                              chunk_bytes_, threads, label);
+  }
+  return hash;
+}
+
+Status ChunkedWriter::WriteAll(int threads, uint64_t seed,
+                               ExecutionProfile* profile,
+                               const std::string& label) const {
+  if (target_ == nullptr || target_->empty()) {
+    return Status::InvalidArgument("nothing to write");
+  }
+  if (threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (chunk_bytes_ == 0) {
+    return Status::InvalidArgument("chunk size must be > 0");
+  }
+  std::byte* data = target_->data();
+  const uint64_t size = target_->size();
+  uint64_t per_worker = size / static_cast<uint64_t>(threads);
+  for (int worker = 0; worker < threads; ++worker) {
+    uint64_t begin = per_worker * static_cast<uint64_t>(worker);
+    uint64_t end = worker + 1 == threads ? size : begin + per_worker;
+    for (uint64_t i = begin; i < end; ++i) {
+      data[i] = static_cast<std::byte>((seed + i) * 0x9E3779B97F4A7C15ULL >>
+                                       56);
+    }
+  }
+  if (profile != nullptr) {
+    profile->RecordSequential(OpType::kWrite, target_->placement().media,
+                              target_->placement().socket, size,
+                              chunk_bytes_, threads, label);
+  }
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,118 @@
+// PmemSpace — placement-aware memory management over the modeled platform.
+//
+// On real hardware this role is played by devdax mappings per socket plus
+// libnuma for DRAM; here allocations are backed by the process heap and
+// tagged with their modeled placement (media + socket), which the profiling
+// and timing layers use. Capacity accounting follows the modeled topology
+// (e.g. 768 GB PMEM / 96 GB DRAM per socket on the paper machine).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+/// Where a region of memory lives.
+struct MemPlacement {
+  Media media = Media::kPmem;
+  int socket = 0;
+
+  bool operator==(const MemPlacement& other) const {
+    return media == other.media && socket == other.socket;
+  }
+};
+
+/// An owned, placement-tagged memory region. `offset` supports aligned
+/// allocations (the usable region starts past the raw buffer's base).
+class Allocation {
+ public:
+  Allocation() = default;
+  Allocation(std::unique_ptr<std::byte[]> data, uint64_t size,
+             MemPlacement placement, uint64_t offset = 0,
+             uint64_t charged_bytes = 0)
+      : data_(std::move(data)),
+        size_(size),
+        offset_(offset),
+        charged_bytes_(charged_bytes == 0 ? size : charged_bytes),
+        placement_(placement) {}
+
+  std::byte* data() { return data_.get() + offset_; }
+  const std::byte* data() const { return data_.get() + offset_; }
+  uint64_t size() const { return size_; }
+  /// Bytes charged against the capacity accounting (>= size for aligned
+  /// allocations, which pay for their padding).
+  uint64_t charged_bytes() const { return charged_bytes_; }
+  const MemPlacement& placement() const { return placement_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  std::unique_ptr<std::byte[]> data_;
+  uint64_t size_ = 0;
+  uint64_t offset_ = 0;
+  uint64_t charged_bytes_ = 0;
+  MemPlacement placement_;
+};
+
+/// A logical region striped across the PMEM (or DRAM) of every socket —
+/// best practice #4: "place data on all sockets but access it only from
+/// near NUMA regions".
+class StripedAllocation {
+ public:
+  StripedAllocation() = default;
+  explicit StripedAllocation(std::vector<Allocation> stripes)
+      : stripes_(std::move(stripes)) {}
+
+  int num_stripes() const { return static_cast<int>(stripes_.size()); }
+  Allocation& stripe(int socket) { return stripes_[socket]; }
+  const Allocation& stripe(int socket) const { return stripes_[socket]; }
+  uint64_t total_size() const;
+
+ private:
+  std::vector<Allocation> stripes_;
+};
+
+/// Allocator with per-socket capacity accounting against the modeled
+/// platform.
+class PmemSpace {
+ public:
+  explicit PmemSpace(const SystemTopology& topology);
+
+  /// Allocates `size` bytes on one socket's media. Fails with
+  /// ResourceExhausted when the modeled capacity is exceeded.
+  Result<Allocation> Allocate(uint64_t size, MemPlacement placement);
+
+  /// Allocates with the start aligned to `alignment` (a power of two):
+  /// 4 KB aligns chunks to the DIMM interleave (insight #1), 256 B to
+  /// Optane's internal lines (insight #6).
+  Result<Allocation> AllocateAligned(uint64_t size, uint64_t alignment,
+                                     MemPlacement placement);
+
+  /// Splits `size` bytes evenly across the sockets' media (socket i gets
+  /// the i-th chunk; remainder goes to the last socket).
+  Result<StripedAllocation> AllocateStriped(uint64_t size, Media media);
+
+  /// Returns the remaining modeled capacity for a placement.
+  uint64_t AvailableBytes(MemPlacement placement) const;
+
+  /// Releases accounting for an allocation (the memory itself is freed by
+  /// the Allocation destructor).
+  void Release(const Allocation& allocation);
+
+  const SystemTopology& topology() const { return topology_; }
+
+ private:
+  uint64_t CapacityOf(MemPlacement placement) const;
+  uint64_t& UsedOf(MemPlacement placement);
+  uint64_t UsedOf(MemPlacement placement) const;
+
+  SystemTopology topology_;
+  std::vector<uint64_t> pmem_used_;  // per socket
+  std::vector<uint64_t> dram_used_;  // per socket
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,68 @@
+// ExecutionProfile — records the memory traffic of a (functionally
+// executed) operation so the timing layer can replay it through the
+// MemSystemModel. This is the bridge between real query execution at small
+// scale and the paper-scale runtime projections of Fig. 14 / Table 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "memsys/workload.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+/// One homogeneous block of recorded traffic.
+struct TrafficRecord {
+  OpType op = OpType::kRead;
+  Pattern pattern = Pattern::kSequentialIndividual;
+  Media media = Media::kPmem;
+  int data_socket = 0;
+  /// Total useful bytes moved.
+  uint64_t bytes = 0;
+  /// Bytes per individual operation (chunk or probe size).
+  uint64_t access_size = 4 * kKiB;
+  /// Size of the region the accesses hit (drives DRAM channel spread).
+  uint64_t region_bytes = 0;
+  /// Threads that performed this traffic concurrently.
+  int threads = 1;
+  /// Socket the issuing threads run on; -1 means the data socket (near
+  /// access). Far traffic sets this to the other socket.
+  int worker_socket = -1;
+  std::string label;
+};
+
+/// Accumulates traffic records; mergeable across operators.
+class ExecutionProfile {
+ public:
+  void Record(TrafficRecord record) { records_.push_back(std::move(record)); }
+
+  /// Convenience: sequential near-socket traffic.
+  void RecordSequential(OpType op, Media media, int socket, uint64_t bytes,
+                        uint64_t access_size, int threads,
+                        const std::string& label);
+
+  /// Convenience: random probes into a region.
+  void RecordRandom(OpType op, Media media, int socket, uint64_t count,
+                    uint64_t access_size, uint64_t region_bytes, int threads,
+                    const std::string& label);
+
+  void Merge(const ExecutionProfile& other);
+  void Clear() { records_.clear(); }
+
+  const std::vector<TrafficRecord>& records() const { return records_; }
+
+  uint64_t TotalBytes(OpType op) const;
+
+  /// Scales every record's byte and region counts by `factor` — used to
+  /// project a profile captured at a small scale factor to the paper's
+  /// sf 50 / sf 100.
+  ExecutionProfile Scaled(double factor) const;
+
+ private:
+  std::vector<TrafficRecord> records_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,27 @@
+#include "core/replicator.h"
+
+namespace pmemolap {
+
+Result<ReplicatedTable> DimensionReplicator::Replicate(const std::byte* data,
+                                                       uint64_t bytes,
+                                                       Media media) {
+  if (data == nullptr || bytes == 0) {
+    return Status::InvalidArgument("nothing to replicate");
+  }
+  std::vector<Allocation> copies;
+  const int sockets = space_->topology().sockets();
+  copies.reserve(static_cast<size_t>(sockets));
+  for (int socket = 0; socket < sockets; ++socket) {
+    Result<Allocation> copy =
+        space_->Allocate(bytes, MemPlacement{media, socket});
+    if (!copy.ok()) {
+      for (const Allocation& done : copies) space_->Release(done);
+      return copy.status();
+    }
+    std::memcpy(copy->data(), data, bytes);
+    copies.push_back(std::move(copy.value()));
+  }
+  return ReplicatedTable(std::move(copies));
+}
+
+}  // namespace pmemolap

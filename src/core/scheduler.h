@@ -1,0 +1,58 @@
+// MixedWorkloadScheduler — insight #11 as a decision procedure.
+//
+// The paper: "As the bandwidth is impacted notably, for latency
+// insensitive workloads it might be beneficial to execute them
+// sequentially instead of parallel. However, this is highly
+// workload-dependent and cannot be generalized." This class makes the
+// workload-dependent call with the model instead of a rule of thumb:
+// given a read job and a write job on the same socket's PMEM, it compares
+// the serial makespan (each phase at its solo bandwidth) against the mixed
+// makespan (joint evaluation; when the shorter job drains, the survivor
+// finishes at its solo bandwidth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "exec/runner.h"
+#include "memsys/mem_system.h"
+
+namespace pmemolap {
+
+/// A pair of jobs contending for one socket's PMEM.
+struct MixedJobs {
+  uint64_t read_bytes = 0;
+  uint64_t write_bytes = 0;
+  int read_threads = 18;
+  int write_threads = 6;
+  uint64_t access_size = 4 * kKiB;
+};
+
+/// The scheduler's verdict with the modeled evidence.
+struct ScheduleDecision {
+  bool serialize = false;
+  double serial_seconds = 0.0;
+  double mixed_seconds = 0.0;
+  /// Solo and contended bandwidths backing the decision.
+  GigabytesPerSecond read_solo_gbps = 0.0;
+  GigabytesPerSecond write_solo_gbps = 0.0;
+  GigabytesPerSecond read_mixed_gbps = 0.0;
+  GigabytesPerSecond write_mixed_gbps = 0.0;
+  std::string rationale;
+};
+
+class MixedWorkloadScheduler {
+ public:
+  explicit MixedWorkloadScheduler(const MemSystemModel* model)
+      : runner_(model) {}
+
+  /// Decides whether to serialize the two jobs. Fails on empty jobs or
+  /// invalid thread counts.
+  Result<ScheduleDecision> Decide(const MixedJobs& jobs) const;
+
+ private:
+  WorkloadRunner runner_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,35 @@
+#include "device/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmemolap {
+
+double DramSocket::ActiveChannels(uint64_t region_bytes) const {
+  if (region_bytes != 0 && region_bytes < spec_.single_node_region_bytes) {
+    return static_cast<double>(channels_) / 2.0;
+  }
+  return static_cast<double>(channels_);
+}
+
+GigabytesPerSecond DramSocket::SequentialRate(bool is_read) const {
+  GigabytesPerSecond per_channel =
+      is_read ? spec_.channel_seq_read_gbps : spec_.channel_seq_write_gbps;
+  return per_channel * static_cast<double>(channels_);
+}
+
+GigabytesPerSecond DramSocket::RandomRate(bool is_read, uint64_t access_size,
+                                          uint64_t region_bytes) const {
+  GigabytesPerSecond per_channel =
+      is_read ? spec_.channel_seq_read_gbps : spec_.channel_seq_write_gbps;
+  // Efficiency ramps log-linearly from the 64 B floor to the 4 KB peak.
+  double lo = spec_.random_small_fraction;
+  double hi = spec_.random_peak_fraction;
+  double size = static_cast<double>(std::max<uint64_t>(access_size, 64));
+  double t = (std::log2(size) - 6.0) / (12.0 - 6.0);  // 64 B..4 KB
+  t = std::clamp(t, 0.0, 1.0);
+  double efficiency = lo + (hi - lo) * t;
+  return per_channel * ActiveChannels(region_bytes) * efficiency;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,65 @@
+// Model of the DDR4 DRAM subsystem of one socket (paper baseline).
+//
+// Six channels per socket (16 GB DIMM each). Key behaviours from the paper:
+//  - Sequential read peaks ~100 GB/s per socket, ~185 GB/s for two sockets
+//    (Fig. 6b); far access is capped by the UPI at ~33 GB/s.
+//  - Small allocations (e.g. the 2 GB random-access region of Fig. 12b)
+//    land on ONE NUMA node, so only 3 of 6 channels serve requests; large
+//    (~90 GB) regions use all channels and nearly reach sequential
+//    bandwidth even for random access (§5.2).
+//  - Random access below ~4 KB does not reach peak bandwidth (Figs. 12b/13b).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pmemolap {
+
+/// Tunable DRAM parameters; defaults calibrated to the paper's DRAM curves.
+struct DramSpec {
+  /// Sequential read service rate per channel: 6 x 16.8 ~= 101 GB/s socket.
+  GigabytesPerSecond channel_seq_read_gbps = 16.8;
+  /// Sequential write service rate per channel: 6 x 14.8 ~= 89 GB/s socket
+  /// (calibrated so the 2 GB-region random writes of Fig. 13b reach
+  /// ~40 GB/s on 3 channels).
+  GigabytesPerSecond channel_seq_write_gbps = 14.8;
+  /// Random service ceiling per channel at >= 4 KB accesses (~90% of
+  /// sequential, §5.2 "this scaling reaches 90% of DRAM's sequential
+  /// performance" on large regions).
+  double random_peak_fraction = 0.95;
+  /// Random efficiency floor for 64 B accesses (~50% of sequential peak).
+  double random_small_fraction = 0.5;
+  /// Region size below which an allocation stays on a single NUMA node
+  /// (half the channels). The paper's 2 GB hash-index region shows this.
+  uint64_t single_node_region_bytes = 4 * kGiB;
+};
+
+/// Channel-level DRAM service model for one socket.
+class DramSocket {
+ public:
+  DramSocket(const DramSpec& spec, int channels)
+      : spec_(spec), channels_(channels) {}
+
+  const DramSpec& spec() const { return spec_; }
+  int channels() const { return channels_; }
+
+  /// Channels actually serving a region of `region_bytes` (half for small
+  /// single-NUMA-node allocations).
+  double ActiveChannels(uint64_t region_bytes) const;
+
+  /// Socket-level sequential service rate.
+  GigabytesPerSecond SequentialRate(bool is_read) const;
+
+  /// Socket-level random-access service rate for the given access size and
+  /// region size. Interpolates the per-size efficiency between the 64 B
+  /// floor and the >= 4 KB peak.
+  GigabytesPerSecond RandomRate(bool is_read, uint64_t access_size,
+                                uint64_t region_bytes) const;
+
+ private:
+  DramSpec spec_;
+  int channels_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,19 @@
+#include "device/ssd.h"
+
+#include <algorithm>
+
+namespace pmemolap {
+
+GigabytesPerSecond SsdDevice::RandomRate(bool is_read,
+                                         uint64_t access_size) const {
+  if (access_size == 0) return 0.0;
+  double iops =
+      is_read ? spec_.random_read_iops_4k : spec_.random_write_iops_4k;
+  // IOPS-bound below ~4 KB (sub-page reads pay for the whole page, so the
+  // useful throughput scales with access_size), bandwidth-bound above.
+  double iops_bound_gbps = iops * static_cast<double>(access_size) / 1e9;
+  GigabytesPerSecond seq = SequentialRate(is_read);
+  return std::min(iops_bound_gbps, seq);
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,43 @@
+// NVMe SSD model for the "traditional OLAP system" comparison (paper §6.2).
+//
+// Matches the Intel SSD DC P4610: 3.20 GB/s sequential read, 2.08 GB/s
+// sequential write. Only the table-scan path uses it (hash indexes and
+// intermediates stay in DRAM in that setup).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace pmemolap {
+
+struct SsdSpec {
+  GigabytesPerSecond seq_read_gbps = 3.20;
+  GigabytesPerSecond seq_write_gbps = 2.08;
+  /// 4 KB random read IOPS (device datasheet ballpark).
+  double random_read_iops_4k = 640000.0;
+  /// 4 KB random write IOPS.
+  double random_write_iops_4k = 220000.0;
+};
+
+/// Service-rate model of one NVMe SSD.
+class SsdDevice {
+ public:
+  explicit SsdDevice(const SsdSpec& spec = SsdSpec()) : spec_(spec) {}
+
+  const SsdSpec& spec() const { return spec_; }
+
+  /// Sequential throughput in GB/s.
+  GigabytesPerSecond SequentialRate(bool is_read) const {
+    return is_read ? spec_.seq_read_gbps : spec_.seq_write_gbps;
+  }
+
+  /// Random throughput in GB/s for the given access size: IOPS-bound for
+  /// small accesses, bandwidth-bound for large ones.
+  GigabytesPerSecond RandomRate(bool is_read, uint64_t access_size) const;
+
+ private:
+  SsdSpec spec_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,52 @@
+#include "device/write_combining.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmemolap {
+
+WriteCombineResult WriteCombiningModel::Evaluate(int threads,
+                                                 uint64_t access_size,
+                                                 bool grouped,
+                                                 double concurrent_dimms,
+                                                 uint64_t buffer_bytes) const {
+  WriteCombineResult result;
+  if (threads < 1 || access_size == 0) return result;
+  concurrent_dimms = std::max(concurrent_dimms, 1.0);
+
+  // --- Sub-line combine success -------------------------------------------
+  if (grouped) {
+    // Interleaved stores from other threads interrupt line fills; success
+    // decays with the number of contending threads.
+    result.combine_fraction =
+        spec_.individual_combine /
+        (1.0 + spec_.grouped_interference_rate *
+                   static_cast<double>(threads - 1));
+  } else {
+    result.combine_fraction = spec_.individual_combine;
+  }
+
+  // --- Stream interleaving --------------------------------------------------
+  // Accesses of one internal line or less are atomic; larger accesses from
+  // more streams than DIMMs interleave partial streams in the buffer.
+  double streams_per_dimm =
+      static_cast<double>(threads) / concurrent_dimms;
+  double excess = std::max(0.0, streams_per_dimm - 1.0);
+  double z = 0.0;
+  if (access_size > 256) {
+    z = std::clamp(std::log2(static_cast<double>(access_size) / 256.0) / 8.0,
+                   0.0, 1.0);
+  }
+  result.buffer_efficiency = std::max(
+      spec_.min_efficiency,
+      1.0 / (1.0 + spec_.stream_alpha * std::sqrt(excess) * z));
+
+  double in_flight_per_thread = static_cast<double>(
+      std::min<uint64_t>(access_size, spec_.per_thread_window_bytes));
+  result.buffered_bytes_per_dimm =
+      static_cast<double>(threads) * in_flight_per_thread / concurrent_dimms;
+  (void)buffer_bytes;
+  return result;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,67 @@
+// DimensionIndex — the hash index used for SSB joins, in two flavors:
+//
+//  - kDash: the PMEM-optimized index of the handcrafted SSB (§6.2). One
+//    probe touches one 256 B bucket (= one Optane internal line); the
+//    index is replicated per socket so probes are always near.
+//  - kChained: a PMEM-unaware chained hash table standing in for Hyrise's
+//    index (§6.1): a probe chases bucket-head and node pointers, i.e.
+//    several dependent sub-256 B random reads that amplify on PMEM.
+//
+// Both store uint64 payloads encoding the dimension attributes the queries
+// need, and count their probe traffic for the timing layer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "dash/dash_table.h"
+
+namespace pmemolap {
+
+enum class IndexKind {
+  kDash,     ///< 256 B bucket probes, PMEM-aware
+  kChained,  ///< pointer-chasing probes, PMEM-unaware
+};
+
+/// Probe traffic characteristics of one index flavor.
+struct ProbeCost {
+  /// Random reads issued per probe (bucket loads / pointer hops).
+  double accesses_per_probe = 1.0;
+  /// Bytes touched per access.
+  uint64_t access_bytes = 256;
+};
+
+class DimensionIndex {
+ public:
+  explicit DimensionIndex(IndexKind kind);
+
+  Status Insert(uint64_t key, uint64_t payload);
+  std::optional<uint64_t> Get(uint64_t key) const;
+
+  uint64_t size() const;
+  /// Bytes of index storage (the random-probe region size).
+  uint64_t StorageBytes() const;
+  ProbeCost probe_cost() const;
+  IndexKind kind() const { return kind_; }
+
+  /// Probes since the last ResetStats (every Get counts one probe).
+  uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() const {
+    probes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  IndexKind kind_;
+  std::unique_ptr<DashTable> dash_;
+  std::unordered_map<uint64_t, uint64_t> chained_;
+  /// Relaxed atomic: probes are counted from concurrent worker threads.
+  mutable std::atomic<uint64_t> probes_{0};
+};
+
+}  // namespace pmemolap

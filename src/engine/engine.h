@@ -1,0 +1,148 @@
+// SsbEngine — the SSB query engine, in the paper's two configurations:
+//
+//  kPmemAware  (§6.2, "Handcrafted C++"): the fact table is striped across
+//    the PMEM of both sockets, dimension indexes (Dash) are replicated per
+//    socket, workers are pinned and touch only near data, rows are 128 B
+//    aligned, intermediates are written sequentially per worker.
+//
+//  kUnaware    (§6.1, "Hyrise"): everything lives on one socket, joins use
+//    a chained (pointer-chasing) hash table, no replication, no explicit
+//    data placement — PMEM treated as drop-in DRAM.
+//
+// Queries execute functionally on the real generated data (results are
+// validated against ssb::ReferenceExecutor) while an ExecutionProfile
+// records the traffic; QueryTimer projects the runtime — optionally scaled
+// to the paper's sf 50 / sf 100 — through the MemSystemModel.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/partitioner.h"
+#include "core/profile.h"
+#include "engine/dimension_index.h"
+#include "engine/timer.h"
+#include "memsys/mem_system.h"
+#include "ssb/dbgen.h"
+#include "ssb/queries.h"
+
+namespace pmemolap {
+
+enum class EngineMode {
+  kPmemAware,
+  kUnaware,
+};
+
+const char* EngineModeName(EngineMode mode);
+
+struct EngineConfig {
+  EngineMode mode = EngineMode::kPmemAware;
+  /// Where tables, indexes, and intermediates live.
+  Media media = Media::kPmem;
+  /// Hybrid placements (paper §9 future work): override the media of the
+  /// randomly probed indexes and/or the write-heavy intermediates while
+  /// the base table stays on `media`. -1 = follow `media`.
+  std::optional<Media> index_media;
+  std::optional<Media> intermediate_media;
+  /// Column-store fact layout: scans touch only the queried columns
+  /// instead of the full 128 B row (§2.2's column-store motivation).
+  bool columnar = false;
+  /// Total worker threads.
+  int threads = 36;
+  /// Use the cores and memory of both sockets (aware mode; the unaware
+  /// engine always runs on one socket, like the paper's Hyrise setup).
+  bool use_both_sockets = true;
+  /// When false (the Table 1 "2-Socket" rung), data is striped but workers
+  /// are not matched to their near partitions: half the scan traffic and
+  /// all remote probes cross the UPI.
+  bool numa_aware_placement = true;
+  PinningPolicy pinning = PinningPolicy::kCores;
+  /// Project runtimes to this scale factor (0 = report at the actual sf).
+  double project_to_sf = 0.0;
+  /// The handcrafted SSB runs on fsdax (Dash needs a filesystem, §6.2).
+  bool devdax = false;
+  /// Execute worker ranges on real std::threads (one per worker range).
+  /// The modeled runtime is unaffected; this exercises the engine's
+  /// concurrency (thread-safe probes, disjoint ranges, result merging).
+  bool parallel_execution = true;
+  TimerConfig timer;
+};
+
+class SsbEngine {
+ public:
+  /// `db` and `model` must outlive the engine.
+  SsbEngine(const ssb::Database* db, const MemSystemModel* model,
+            EngineConfig config);
+
+  /// Builds dimension indexes and the fact partitioning.
+  Status Prepare();
+
+  struct QueryRun {
+    ssb::QueryOutput output;
+    double seconds = 0.0;   ///< projected runtime (at project_to_sf if set)
+    ExecutionProfile profile;  ///< traffic at the actual scale factor
+    CpuWork cpu;               ///< CPU work at the actual scale factor
+    /// Projected seconds per phase ("scan", "probe-part", ..., "cpu") —
+    /// where the query's time goes at the projected scale.
+    std::map<std::string, double> phase_seconds;
+  };
+
+  /// Executes one query functionally and projects its runtime.
+  Result<QueryRun> Execute(ssb::QueryId query) const;
+
+  const EngineConfig& config() const { return config_; }
+  /// Scale factor of the loaded database (lineorder rows / 6M).
+  double ActualScaleFactor() const;
+
+ private:
+  struct ProbeCounters {
+    uint64_t date = 0;
+    uint64_t customer = 0;
+    uint64_t supplier = 0;
+    uint64_t part = 0;
+    uint64_t total() const { return date + customer + supplier + part; }
+  };
+
+  /// Runs the query over one contiguous tuple range (probing `socket`'s
+  /// index replicas), accumulating results and probe counts.
+  void ExecuteRange(ssb::QueryId query, int socket, const TupleRange& range,
+                    ssb::QueryOutput* out, ProbeCounters* probes,
+                    uint64_t* qualifying) const;
+
+  /// Emits the traffic records for one socket's share of the work.
+  void RecordSocketTraffic(ssb::QueryId query, int socket, uint64_t tuples,
+                           const ProbeCounters& probes, uint64_t qualifying,
+                           int threads_per_socket,
+                           ExecutionProfile* profile) const;
+
+  /// Bytes of fact data one tuple contributes to the scan: the padded row
+  /// (128 B) in row layout, or the width of the query's accessed columns
+  /// in columnar layout.
+  uint64_t ScanBytesPerTuple(ssb::QueryId query) const;
+
+  /// One replica per socket in aware multi-socket mode (the paper
+  /// replicates the dimensions so probes stay near, §6.2), one shared
+  /// copy otherwise.
+  struct ReplicatedIndex {
+    std::vector<std::unique_ptr<DimensionIndex>> copies;
+    const DimensionIndex& Near(int socket) const {
+      return *copies[static_cast<size_t>(socket) % copies.size()];
+    }
+  };
+
+  const ssb::Database* db_;
+  const MemSystemModel* model_;
+  EngineConfig config_;
+  ReplicatedIndex date_index_;
+  ReplicatedIndex customer_index_;
+  ReplicatedIndex supplier_index_;
+  ReplicatedIndex part_index_;
+  std::vector<SocketPartition> partitions_;
+  bool prepared_ = false;
+};
+
+}  // namespace pmemolap

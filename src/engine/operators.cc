@@ -1,0 +1,116 @@
+#include "engine/operators.h"
+
+namespace pmemolap {
+
+const char* DimensionName(Dimension dim) {
+  switch (dim) {
+    case Dimension::kDate:
+      return "date";
+    case Dimension::kCustomer:
+      return "customer";
+    case Dimension::kSupplier:
+      return "supplier";
+    case Dimension::kPart:
+      return "part";
+  }
+  return "unknown";
+}
+
+bool ScanOperator::Next(std::vector<Row>* batch) {
+  batch->clear();
+  while (pos_ < end_ && batch->size() < kBatchSize) {
+    const ssb::LineorderRow& lo = db_->lineorder[pos_++];
+    ++tuples_scanned_;
+    if (predicate_ != nullptr && !predicate_(lo)) continue;
+    Row row;
+    row.lineorder = &lo;
+    batch->push_back(row);
+  }
+  return !batch->empty() || pos_ < end_;
+}
+
+bool JoinOperator::Next(std::vector<Row>* batch) {
+  std::vector<Row> input;
+  input.reserve(kBatchSize);
+  batch->clear();
+  bool more = child_->Next(&input);
+  for (Row& row : input) {
+    uint64_t key = 0;
+    switch (dimension_) {
+      case Dimension::kDate:
+        key = static_cast<uint64_t>(row.lineorder->orderdate);
+        break;
+      case Dimension::kCustomer:
+        key = static_cast<uint64_t>(row.lineorder->custkey);
+        break;
+      case Dimension::kSupplier:
+        key = static_cast<uint64_t>(row.lineorder->suppkey);
+        break;
+      case Dimension::kPart:
+        key = static_cast<uint64_t>(row.lineorder->partkey);
+        break;
+    }
+    ++probes_;
+    std::optional<uint64_t> payload = index_->Get(key);
+    if (!payload.has_value()) continue;  // referential miss: drop the row
+    // Decode the payload with the engine's encodings (see engine.cc).
+    switch (dimension_) {
+      case Dimension::kDate:
+        row.year = static_cast<int16_t>(*payload >> 40);
+        row.yearmonthnum = static_cast<int32_t>((*payload >> 16) & 0xFFFFFF);
+        row.weeknuminyear = static_cast<int8_t>((*payload >> 8) & 0xFF);
+        break;
+      case Dimension::kCustomer: {
+        row.c_nation = static_cast<uint8_t>(*payload >> 16);
+        row.c_region = static_cast<uint8_t>((*payload >> 8) & 0xFF);
+        row.c_city = ssb::CityId(row.c_nation,
+                                 static_cast<int>(*payload & 0xFF));
+        break;
+      }
+      case Dimension::kSupplier: {
+        row.s_nation = static_cast<uint8_t>(*payload >> 16);
+        row.s_region = static_cast<uint8_t>((*payload >> 8) & 0xFF);
+        row.s_city = ssb::CityId(row.s_nation,
+                                 static_cast<int>(*payload & 0xFF));
+        break;
+      }
+      case Dimension::kPart: {
+        row.p_mfgr = static_cast<uint8_t>(*payload >> 16);
+        int category = static_cast<int>((*payload >> 8) & 0xFF);
+        int brand = static_cast<int>(*payload & 0xFF);
+        row.p_category = ssb::CategoryId(row.p_mfgr, category);
+        row.p_brand = ssb::BrandId(row.p_mfgr, category, brand);
+        break;
+      }
+    }
+    if (predicate_ != nullptr && !predicate_(row)) continue;
+    batch->push_back(row);
+  }
+  return more;
+}
+
+Result<ssb::QueryOutput> AggregateOperator::Execute() {
+  if (value_ == nullptr) {
+    return Status::InvalidArgument("aggregate needs a value extractor");
+  }
+  ssb::QueryOutput output;
+  output.scalar = key_ == nullptr;
+  std::vector<Row> batch;
+  batch.reserve(Operator::kBatchSize);
+  bool more = true;
+  while (more) {
+    more = child_->Next(&batch);
+    for (const Row& row : batch) {
+      ++rows_aggregated_;
+      int64_t value = value_(row);
+      if (output.scalar) {
+        output.value += value;
+      } else {
+        output.groups[key_(row)] += value;
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace pmemolap

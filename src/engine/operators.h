@@ -1,0 +1,130 @@
+// A small physical-operator framework over the SSB database — the
+// composable counterpart to SsbEngine's hand-optimized query switch.
+//
+// Pipelines are pull-based (Volcano with batches): Scan -> Join* ->
+// Aggregate. Joins probe the same DimensionIndex structures the engine
+// uses (Dash or chained), so probe statistics remain comparable, and the
+// 13 built-in plans (plans.h) are cross-validated against both the
+// reference executor and the engine. Downstream users compose ad-hoc
+// star-join queries from the same pieces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/dimension_index.h"
+#include "ssb/dbgen.h"
+#include "ssb/queries.h"
+
+namespace pmemolap {
+
+/// Which dimension a join step probes.
+enum class Dimension { kDate, kCustomer, kSupplier, kPart };
+
+const char* DimensionName(Dimension dim);
+
+/// Decoded attributes of one in-flight tuple. Join operators fill the
+/// dimension slots they probe; downstream predicates/extractors read them.
+struct Row {
+  const ssb::LineorderRow* lineorder = nullptr;
+  // Date attributes.
+  int16_t year = 0;
+  int32_t yearmonthnum = 0;
+  int8_t weeknuminyear = 0;
+  // Geo attributes (customer / supplier).
+  uint8_t c_nation = 0, c_region = 0;
+  int32_t c_city = 0;
+  uint8_t s_nation = 0, s_region = 0;
+  int32_t s_city = 0;
+  // Part attributes.
+  uint8_t p_mfgr = 0;
+  int32_t p_category = 0, p_brand = 0;
+};
+
+/// Pull-based operator; Next fills a batch and returns false at end.
+class Operator {
+ public:
+  static constexpr size_t kBatchSize = 1024;
+
+  virtual ~Operator() = default;
+  /// Refills `batch` (cleared first). Returns false once exhausted.
+  virtual bool Next(std::vector<Row>* batch) = 0;
+};
+
+/// Leaf: scans a contiguous lineorder range with an optional pushed-down
+/// predicate on the fact columns.
+class ScanOperator : public Operator {
+ public:
+  using Predicate = std::function<bool(const ssb::LineorderRow&)>;
+
+  ScanOperator(const ssb::Database* db, uint64_t begin, uint64_t end,
+               Predicate predicate = nullptr)
+      : db_(db), pos_(begin), end_(end), predicate_(std::move(predicate)) {}
+
+  bool Next(std::vector<Row>* batch) override;
+
+  uint64_t tuples_scanned() const { return tuples_scanned_; }
+
+ private:
+  const ssb::Database* db_;
+  uint64_t pos_;
+  uint64_t end_;
+  Predicate predicate_;
+  uint64_t tuples_scanned_ = 0;
+};
+
+/// Probes one dimension index per input row, decodes the payload into the
+/// Row, and keeps rows passing the (optional) post-join predicate.
+class JoinOperator : public Operator {
+ public:
+  using Predicate = std::function<bool(const Row&)>;
+
+  JoinOperator(std::unique_ptr<Operator> child, Dimension dimension,
+               const DimensionIndex* index, Predicate predicate = nullptr)
+      : child_(std::move(child)),
+        dimension_(dimension),
+        index_(index),
+        predicate_(std::move(predicate)) {}
+
+  bool Next(std::vector<Row>* batch) override;
+
+  uint64_t probes() const { return probes_; }
+  Dimension dimension() const { return dimension_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Dimension dimension_;
+  const DimensionIndex* index_;
+  Predicate predicate_;
+  uint64_t probes_ = 0;
+};
+
+/// Sink: drains its child and produces a scalar sum or grouped sums.
+class AggregateOperator {
+ public:
+  using KeyExtractor = std::function<ssb::GroupKey(const Row&)>;
+  using ValueExtractor = std::function<int64_t(const Row&)>;
+
+  /// Scalar aggregate (flight 1): key extractor is null.
+  AggregateOperator(std::unique_ptr<Operator> child, KeyExtractor key,
+                    ValueExtractor value)
+      : child_(std::move(child)),
+        key_(std::move(key)),
+        value_(std::move(value)) {}
+
+  /// Runs the whole pipeline to completion.
+  Result<ssb::QueryOutput> Execute();
+
+  uint64_t rows_aggregated() const { return rows_aggregated_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  KeyExtractor key_;
+  ValueExtractor value_;
+  uint64_t rows_aggregated_ = 0;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,295 @@
+#include "engine/plans.h"
+
+#include <thread>
+
+namespace pmemolap {
+
+namespace {
+
+using ssb::QueryId;
+
+constexpr int kUnitedStates = 9;
+constexpr int kUnitedKingdom = 19;
+constexpr int kRegionAmerica = 1;
+constexpr int kRegionAsia = 2;
+constexpr int kRegionEurope = 3;
+
+int64_t DiscountedRevenue(const Row& row) {
+  return static_cast<int64_t>(row.lineorder->extendedprice) *
+         row.lineorder->discount;
+}
+
+int64_t Revenue(const Row& row) { return row.lineorder->revenue; }
+
+int64_t Profit(const Row& row) {
+  return static_cast<int64_t>(row.lineorder->revenue) -
+         row.lineorder->supplycost;
+}
+
+bool IsUkCity(int32_t city) {
+  return city == ssb::CityId(kUnitedKingdom, 1) ||
+         city == ssb::CityId(kUnitedKingdom, 5);
+}
+
+}  // namespace
+
+QuerySpec SsbQuerySpec(ssb::QueryId query) {
+  QuerySpec spec;
+  switch (query) {
+    // --- Flight 1 -----------------------------------------------------------
+    case QueryId::kQ1_1:
+      spec.lineorder_filter = [](const ssb::LineorderRow& lo) {
+        return lo.discount >= 1 && lo.discount <= 3 && lo.quantity < 25;
+      };
+      spec.joins = {{Dimension::kDate,
+                     [](const Row& row) { return row.year == 1993; }}};
+      spec.value = DiscountedRevenue;
+      return spec;
+    case QueryId::kQ1_2:
+      spec.lineorder_filter = [](const ssb::LineorderRow& lo) {
+        return lo.discount >= 4 && lo.discount <= 6 && lo.quantity >= 26 &&
+               lo.quantity <= 35;
+      };
+      spec.joins = {{Dimension::kDate, [](const Row& row) {
+                       return row.yearmonthnum == 199401;
+                     }}};
+      spec.value = DiscountedRevenue;
+      return spec;
+    case QueryId::kQ1_3:
+      spec.lineorder_filter = [](const ssb::LineorderRow& lo) {
+        return lo.discount >= 5 && lo.discount <= 7 && lo.quantity >= 26 &&
+               lo.quantity <= 35;
+      };
+      spec.joins = {{Dimension::kDate, [](const Row& row) {
+                       return row.weeknuminyear == 6 && row.year == 1994;
+                     }}};
+      spec.value = DiscountedRevenue;
+      return spec;
+
+    // --- Flight 2 -----------------------------------------------------------
+    case QueryId::kQ2_1:
+    case QueryId::kQ2_2:
+    case QueryId::kQ2_3: {
+      JoinOperator::Predicate part_filter;
+      int supplier_region;
+      if (query == QueryId::kQ2_1) {
+        part_filter = [](const Row& row) { return row.p_category == 12; };
+        supplier_region = kRegionAmerica;
+      } else if (query == QueryId::kQ2_2) {
+        part_filter = [](const Row& row) {
+          return row.p_brand >= 2221 && row.p_brand <= 2228;
+        };
+        supplier_region = kRegionAsia;
+      } else {
+        part_filter = [](const Row& row) { return row.p_brand == 2239; };
+        supplier_region = kRegionEurope;
+      }
+      spec.joins = {{Dimension::kPart, std::move(part_filter)},
+                    {Dimension::kSupplier,
+                     [supplier_region](const Row& row) {
+                       return row.s_region == supplier_region;
+                     }},
+                    {Dimension::kDate, nullptr}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.year, row.p_brand, 0};
+      };
+      spec.value = Revenue;
+      return spec;
+    }
+
+    // --- Flight 3 -----------------------------------------------------------
+    case QueryId::kQ3_1:
+      spec.joins = {
+          {Dimension::kCustomer,
+           [](const Row& row) { return row.c_region == kRegionAsia; }},
+          {Dimension::kSupplier,
+           [](const Row& row) { return row.s_region == kRegionAsia; }},
+          {Dimension::kDate,
+           [](const Row& row) {
+             return row.year >= 1992 && row.year <= 1997;
+           }}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.c_nation, row.s_nation, row.year};
+      };
+      spec.value = Revenue;
+      return spec;
+    case QueryId::kQ3_2:
+      spec.joins = {
+          {Dimension::kCustomer,
+           [](const Row& row) { return row.c_nation == kUnitedStates; }},
+          {Dimension::kSupplier,
+           [](const Row& row) { return row.s_nation == kUnitedStates; }},
+          {Dimension::kDate,
+           [](const Row& row) {
+             return row.year >= 1992 && row.year <= 1997;
+           }}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.c_city, row.s_city, row.year};
+      };
+      spec.value = Revenue;
+      return spec;
+    case QueryId::kQ3_3:
+    case QueryId::kQ3_4: {
+      JoinOperator::Predicate date_filter;
+      if (query == QueryId::kQ3_3) {
+        date_filter = [](const Row& row) {
+          return row.year >= 1992 && row.year <= 1997;
+        };
+      } else {
+        date_filter = [](const Row& row) {
+          return row.yearmonthnum == 199712;
+        };
+      }
+      spec.joins = {
+          {Dimension::kCustomer,
+           [](const Row& row) { return IsUkCity(row.c_city); }},
+          {Dimension::kSupplier,
+           [](const Row& row) { return IsUkCity(row.s_city); }},
+          {Dimension::kDate, std::move(date_filter)}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.c_city, row.s_city, row.year};
+      };
+      spec.value = Revenue;
+      return spec;
+    }
+
+    // --- Flight 4 -----------------------------------------------------------
+    case QueryId::kQ4_1:
+      spec.joins = {
+          {Dimension::kCustomer,
+           [](const Row& row) { return row.c_region == kRegionAmerica; }},
+          {Dimension::kSupplier,
+           [](const Row& row) { return row.s_region == kRegionAmerica; }},
+          {Dimension::kPart,
+           [](const Row& row) {
+             return row.p_mfgr == 1 || row.p_mfgr == 2;
+           }},
+          {Dimension::kDate, nullptr}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.year, row.c_nation, 0};
+      };
+      spec.value = Profit;
+      return spec;
+    case QueryId::kQ4_2:
+      spec.joins = {
+          {Dimension::kCustomer,
+           [](const Row& row) { return row.c_region == kRegionAmerica; }},
+          {Dimension::kSupplier,
+           [](const Row& row) { return row.s_region == kRegionAmerica; }},
+          {Dimension::kPart,
+           [](const Row& row) {
+             return row.p_mfgr == 1 || row.p_mfgr == 2;
+           }},
+          {Dimension::kDate,
+           [](const Row& row) {
+             return row.year == 1997 || row.year == 1998;
+           }}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.year, row.s_nation, row.p_category};
+      };
+      spec.value = Profit;
+      return spec;
+    case QueryId::kQ4_3:
+      spec.joins = {
+          {Dimension::kSupplier,
+           [](const Row& row) { return row.s_nation == kUnitedStates; }},
+          {Dimension::kPart,
+           [](const Row& row) { return row.p_category == 14; }},
+          {Dimension::kDate,
+           [](const Row& row) {
+             return row.year == 1997 || row.year == 1998;
+           }}};
+      spec.group_key = [](const Row& row) {
+        return ssb::GroupKey{row.year, row.s_city, row.p_brand};
+      };
+      spec.value = Profit;
+      return spec;
+  }
+  return spec;
+}
+
+Result<std::unique_ptr<AggregateOperator>> BuildPipeline(
+    const QuerySpec& spec, const ssb::Database* db, const IndexSet& indexes,
+    uint64_t begin, uint64_t end) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  if (begin > end || end > db->lineorder.size()) {
+    return Status::OutOfRange("tuple range out of bounds");
+  }
+  if (spec.value == nullptr) {
+    return Status::InvalidArgument("spec needs a value extractor");
+  }
+  std::unique_ptr<Operator> pipeline = std::make_unique<ScanOperator>(
+      db, begin, end, spec.lineorder_filter);
+  for (const QuerySpec::JoinStep& step : spec.joins) {
+    const DimensionIndex* index = indexes.For(step.dimension);
+    if (index == nullptr) {
+      return Status::FailedPrecondition(
+          std::string("missing index for dimension ") +
+          DimensionName(step.dimension));
+    }
+    pipeline = std::make_unique<JoinOperator>(std::move(pipeline),
+                                              step.dimension, index,
+                                              step.filter);
+  }
+  return std::make_unique<AggregateOperator>(std::move(pipeline),
+                                             spec.group_key, spec.value);
+}
+
+Result<ssb::QueryOutput> ExecutePlan(const QuerySpec& spec,
+                                     const ssb::Database* db,
+                                     const IndexSet& indexes) {
+  Result<std::unique_ptr<AggregateOperator>> pipeline =
+      BuildPipeline(spec, db, indexes, 0, db->lineorder.size());
+  if (!pipeline.ok()) return pipeline.status();
+  return (*pipeline)->Execute();
+}
+
+Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
+                                             const ssb::Database* db,
+                                             const IndexSet& indexes,
+                                             int workers) {
+  if (workers < 1) {
+    return Status::InvalidArgument("workers must be >= 1");
+  }
+  const uint64_t total = db->lineorder.size();
+  uint64_t per_worker = total / static_cast<uint64_t>(workers);
+
+  // Build all pipelines up front so setup errors surface before spawning.
+  std::vector<std::unique_ptr<AggregateOperator>> pipelines;
+  for (int w = 0; w < workers; ++w) {
+    uint64_t begin = per_worker * static_cast<uint64_t>(w);
+    uint64_t end = w + 1 == workers ? total : begin + per_worker;
+    Result<std::unique_ptr<AggregateOperator>> pipeline =
+        BuildPipeline(spec, db, indexes, begin, end);
+    if (!pipeline.ok()) return pipeline.status();
+    pipelines.push_back(std::move(pipeline.value()));
+  }
+
+  std::vector<Result<ssb::QueryOutput>> outputs(
+      static_cast<size_t>(workers), Status::Internal("not executed"));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] { outputs[static_cast<size_t>(w)] =
+                                      pipelines[static_cast<size_t>(w)]
+                                          ->Execute(); });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  ssb::QueryOutput merged;
+  for (Result<ssb::QueryOutput>& output : outputs) {
+    if (!output.ok()) return output.status();
+    if (output->scalar) {
+      merged.scalar = true;
+      merged.value += output->value;
+    }
+    for (const auto& [key, value] : output->groups) {
+      merged.groups[key] += value;
+    }
+  }
+  return merged;
+}
+
+}  // namespace pmemolap

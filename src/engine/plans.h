@@ -1,0 +1,79 @@
+// Declarative query plans over the operator framework: the 13 SSB queries
+// as QuerySpecs (probe order, predicates, grouping), plus a builder that
+// turns any QuerySpec into an executable pipeline.
+//
+// This is the third, independent implementation of the SSB semantics in
+// this repository (reference executor, engine switch, operator plans) —
+// the test suite cross-validates all three.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/operators.h"
+
+namespace pmemolap {
+
+/// All dimension indexes a plan may probe.
+struct IndexSet {
+  const DimensionIndex* date = nullptr;
+  const DimensionIndex* customer = nullptr;
+  const DimensionIndex* supplier = nullptr;
+  const DimensionIndex* part = nullptr;
+
+  const DimensionIndex* For(Dimension dim) const {
+    switch (dim) {
+      case Dimension::kDate:
+        return date;
+      case Dimension::kCustomer:
+        return customer;
+      case Dimension::kSupplier:
+        return supplier;
+      case Dimension::kPart:
+        return part;
+    }
+    return nullptr;
+  }
+};
+
+/// A declarative star-join query: pushdown filter, ordered join steps,
+/// aggregation.
+struct QuerySpec {
+  ScanOperator::Predicate lineorder_filter;  ///< may be null
+  struct JoinStep {
+    Dimension dimension;
+    JoinOperator::Predicate filter;  ///< may be null
+  };
+  /// Probe order matters: put the most selective dimension first.
+  std::vector<JoinStep> joins;
+  /// Null for scalar queries (flight 1).
+  AggregateOperator::KeyExtractor group_key;
+  AggregateOperator::ValueExtractor value;
+};
+
+/// The built-in spec of one SSB query.
+QuerySpec SsbQuerySpec(ssb::QueryId query);
+
+/// Builds an executable pipeline for a spec over a tuple range.
+/// Every join step needs its index present in `indexes`.
+Result<std::unique_ptr<AggregateOperator>> BuildPipeline(
+    const QuerySpec& spec, const ssb::Database* db, const IndexSet& indexes,
+    uint64_t begin, uint64_t end);
+
+/// Convenience: builds and executes a spec over the whole fact table.
+Result<ssb::QueryOutput> ExecutePlan(const QuerySpec& spec,
+                                     const ssb::Database* db,
+                                     const IndexSet& indexes);
+
+/// Parallel execution: splits the fact table into `workers` contiguous
+/// ranges, runs one pipeline per range on its own thread, and merges the
+/// partial aggregates. Equivalent to ExecutePlan (aggregation is
+/// commutative); the indexes must be safe for concurrent reads (they are:
+/// probe counters are relaxed atomics).
+Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
+                                             const ssb::Database* db,
+                                             const IndexSet& indexes,
+                                             int workers);
+
+}  // namespace pmemolap

@@ -1,0 +1,187 @@
+#include "engine/timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+namespace pmemolap {
+
+CpuWork CpuWork::Scaled(double factor) const {
+  CpuWork scaled;
+  scaled.tuples_scanned = static_cast<uint64_t>(
+      std::llround(static_cast<double>(tuples_scanned) * factor));
+  scaled.probes = static_cast<uint64_t>(
+      std::llround(static_cast<double>(probes) * factor));
+  scaled.agg_updates = static_cast<uint64_t>(
+      std::llround(static_cast<double>(agg_updates) * factor));
+  return scaled;
+}
+
+double QueryTimer::EffectiveBytes(const TrafficRecord& record) const {
+  // Random access against a cache-resident region mostly hits the LLC;
+  // only misses reach the devices. (The 2 GB microbenchmark regions of
+  // Figs. 12/13 miss essentially always.)
+  double effective_bytes = static_cast<double>(record.bytes);
+  if (record.pattern == Pattern::kRandom && record.region_bytes > 0) {
+    double miss = 1.0 - static_cast<double>(config_.effective_llc_bytes) /
+                            static_cast<double>(record.region_bytes);
+    miss = std::max(miss, config_.min_miss_fraction);
+    effective_bytes *= miss;
+  }
+  return effective_bytes;
+}
+
+Result<AccessClass> QueryTimer::BuildClass(const TrafficRecord& record,
+                                           int threads,
+                                           PinningPolicy pinning) const {
+  int worker_socket =
+      record.worker_socket >= 0 ? record.worker_socket : record.data_socket;
+
+  ThreadPlacer placer(model_->config().topology);
+  Result<ThreadPlacement> placement =
+      placer.Place(std::max(threads, 1), pinning, worker_socket);
+  if (!placement.ok()) return placement.status();
+  if (pinning != PinningPolicy::kNone) {
+    for (ThreadSlot& slot : placement->slots) {
+      slot.near_data =
+          SystemTopology::IsNear(slot.socket, record.data_socket);
+    }
+  }
+
+  AccessClass klass;
+  klass.op = record.op;
+  klass.pattern = record.pattern;
+  klass.media = record.media;
+  klass.access_size = std::max<uint64_t>(record.access_size, 64);
+  klass.placement = std::move(placement.value());
+  klass.data_socket = record.data_socket;
+  klass.region_bytes = record.region_bytes;
+  klass.run_index = 2;  // steady state: the directory is warm
+  klass.label = record.label;
+  return klass;
+}
+
+double QueryTimer::RecordSeconds(const TrafficRecord& record,
+                                 PinningPolicy pinning) const {
+  if (record.bytes == 0) return 0.0;
+  Result<AccessClass> klass = BuildClass(record, record.threads, pinning);
+  if (!klass.ok()) return 0.0;
+  WorkloadSpec spec;
+  spec.classes.push_back(std::move(klass.value()));
+  BandwidthResult result = model_->EvaluateOnce(spec);
+  if (result.total_gbps <= 0.0) return 0.0;
+  return EffectiveBytes(record) / 1e9 / result.total_gbps;
+}
+
+double QueryTimer::EstimateSeconds(
+    const ExecutionProfile& profile, const CpuWork& work, int total_threads,
+    PinningPolicy pinning, std::map<std::string, double>* breakdown) const {
+  // Phase = label; within a phase, worker sockets proceed in parallel —
+  // except SSD traffic, which funnels through one shared device
+  // regardless of the issuing socket (bucket key -1).
+  std::map<std::string, std::map<int, double>> phase_socket_seconds;
+  for (const TrafficRecord& record : profile.records()) {
+    int bucket;
+    if (record.media == Media::kSsd) {
+      bucket = -1;
+    } else {
+      bucket = record.worker_socket >= 0 ? record.worker_socket
+                                         : record.data_socket;
+    }
+    phase_socket_seconds[record.label][bucket] +=
+        RecordSeconds(record, pinning);
+  }
+  double memory_seconds = 0.0;
+  for (const auto& [label, socket_seconds] : phase_socket_seconds) {
+    double phase = 0.0;
+    for (const auto& [socket, seconds] : socket_seconds) {
+      (void)socket;
+      phase = std::max(phase, seconds);
+    }
+    if (breakdown != nullptr) (*breakdown)[label] = phase;
+    memory_seconds += phase;
+  }
+
+  double cpu_ns = static_cast<double>(work.tuples_scanned) *
+                      config_.scan_ns_per_tuple +
+                  static_cast<double>(work.probes) * config_.probe_ns +
+                  static_cast<double>(work.agg_updates) * config_.agg_ns;
+  double cpu_seconds =
+      cpu_ns / 1e9 / static_cast<double>(std::max(total_threads, 1));
+  if (breakdown != nullptr) (*breakdown)["cpu"] = cpu_seconds;
+  return memory_seconds + cpu_seconds;
+}
+
+QueryTimer::ThroughputEstimate QueryTimer::EstimateConcurrentStreams(
+    const ExecutionProfile& profile, const CpuWork& work, int streams,
+    int total_threads, PinningPolicy pinning) const {
+  ThroughputEstimate estimate;
+  streams = std::max(streams, 1);
+  int threads_per_stream = std::max(1, total_threads / streams);
+
+  // Group records by phase; within a phase, evaluate ALL streams' classes
+  // jointly (shared device pools => cross-stream interference), then cost
+  // one stream's bytes against its own share.
+  std::map<std::string, std::vector<const TrafficRecord*>> phases;
+  for (const TrafficRecord& record : profile.records()) {
+    phases[record.label].push_back(&record);
+  }
+
+  double memory_seconds = 0.0;
+  for (const auto& [label, records] : phases) {
+    (void)label;
+    WorkloadSpec spec;
+    std::vector<double> bytes_per_class;
+    for (int stream = 0; stream < streams; ++stream) {
+      for (const TrafficRecord* record : records) {
+        // Each stream runs the record with its share of the workers.
+        int record_threads = std::max(1, record->threads / streams);
+        Result<AccessClass> klass =
+            BuildClass(*record, record_threads, pinning);
+        if (!klass.ok()) continue;
+        // Streams work on disjoint data sets on the same DIMMs.
+        klass->region_id = 1000 + stream;
+        spec.classes.push_back(std::move(klass.value()));
+        bytes_per_class.push_back(EffectiveBytes(*record));
+      }
+    }
+    if (spec.classes.empty()) continue;
+    BandwidthResult result = model_->EvaluateOnce(spec);
+    // One stream's phase time: the max over its sockets of summed record
+    // times (stream 0's classes are the first `records.size()` entries).
+    std::map<int, double> socket_seconds;
+    for (size_t i = 0; i < records.size(); ++i) {
+      double gbps = result.per_class[i].gbps;
+      if (gbps <= 0.0) continue;
+      int bucket = records[i]->media == Media::kSsd
+                       ? -1
+                       : (records[i]->worker_socket >= 0
+                              ? records[i]->worker_socket
+                              : records[i]->data_socket);
+      socket_seconds[bucket] += bytes_per_class[i] / 1e9 / gbps;
+    }
+    double phase = 0.0;
+    for (const auto& [socket, seconds] : socket_seconds) {
+      (void)socket;
+      phase = std::max(phase, seconds);
+    }
+    memory_seconds += phase;
+  }
+
+  double cpu_ns = static_cast<double>(work.tuples_scanned) *
+                      config_.scan_ns_per_tuple +
+                  static_cast<double>(work.probes) * config_.probe_ns +
+                  static_cast<double>(work.agg_updates) * config_.agg_ns;
+  double cpu_seconds =
+      cpu_ns / 1e9 / static_cast<double>(std::max(threads_per_stream, 1));
+
+  estimate.stream_seconds = memory_seconds + cpu_seconds;
+  if (estimate.stream_seconds > 0.0) {
+    estimate.queries_per_hour =
+        3600.0 * static_cast<double>(streams) / estimate.stream_seconds;
+  }
+  return estimate;
+}
+
+}  // namespace pmemolap

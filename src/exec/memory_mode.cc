@@ -1,0 +1,39 @@
+#include "exec/memory_mode.h"
+
+#include <algorithm>
+
+namespace pmemolap {
+
+double MemoryModeModel::HitRatio(Pattern pattern,
+                                 uint64_t region_bytes) const {
+  uint64_t cache = model_->config().topology.dram_capacity_per_socket();
+  if (region_bytes == 0 || region_bytes <= cache) return 1.0;
+  if (pattern == Pattern::kRandom) {
+    // Uniform random over the region: the resident fraction hits.
+    return static_cast<double>(cache) / static_cast<double>(region_bytes);
+  }
+  // A sequential stream over more than the cache evicts itself before any
+  // reuse; only prefetch overlap survives.
+  return spec_.streaming_hit_floor;
+}
+
+Result<GigabytesPerSecond> MemoryModeModel::Bandwidth(
+    OpType op, Pattern pattern, uint64_t access_size, int threads,
+    const RunOptions& options) const {
+  Result<GigabytesPerSecond> pmem_bw = runner_.Bandwidth(
+      op, pattern, Media::kPmem, access_size, threads, options);
+  if (!pmem_bw.ok()) return pmem_bw.status();
+  Result<GigabytesPerSecond> dram_bw = runner_.Bandwidth(
+      op, pattern, Media::kDram, access_size, threads, options);
+  if (!dram_bw.ok()) return dram_bw.status();
+
+  double hits = HitRatio(pattern, options.region_bytes);
+  double hit_rate = dram_bw.value() * spec_.dram_hit_efficiency;
+  double miss_rate = pmem_bw.value() * spec_.pmem_miss_efficiency;
+  // Time-weighted blend (harmonic): each access is a hit or a miss.
+  double blended =
+      1.0 / (hits / hit_rate + (1.0 - hits) / miss_rate);
+  return blended;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,59 @@
+// Memory Mode model (paper §2.1).
+//
+// In Memory Mode, PMEM becomes the visible main memory and DRAM turns into
+// an inaccessible, direct-mapped "L4" cache in front of it. Applications
+// need no changes, but:
+//  - persistence is NOT guaranteed (dirty DRAM lines are lost on power
+//    failure),
+//  - performance depends on whether the working set fits the DRAM cache:
+//    hits run near DRAM speed, misses pay a DRAM fill on top of the PMEM
+//    access, and streaming scans larger than DRAM thrash the cache.
+//
+// The paper describes the mode but evaluates App Direct only; this model
+// extends the characterization to the Memory Mode design point (cf.
+// Shanbhag et al., DaMoN'20), blending the App Direct PMEM path and the
+// DRAM path of the same MemSystemModel by a working-set hit ratio.
+#pragma once
+
+#include "common/status.h"
+#include "exec/runner.h"
+#include "memsys/mem_system.h"
+
+namespace pmemolap {
+
+struct MemoryModeSpec {
+  /// An L4 hit is slightly slower than native DRAM (tag checks in the iMC).
+  double dram_hit_efficiency = 0.95;
+  /// A miss pays the PMEM access plus the DRAM fill.
+  double pmem_miss_efficiency = 0.80;
+  /// Residual hit ratio of a sequential stream larger than the cache
+  /// (streaming thrashes the direct-mapped L4).
+  double streaming_hit_floor = 0.05;
+};
+
+/// Evaluates single-class workloads under Memory Mode by blending the
+/// App Direct PMEM and DRAM evaluations of the backing model.
+class MemoryModeModel {
+ public:
+  MemoryModeModel(const MemSystemModel* model,
+                  const MemoryModeSpec& spec = MemoryModeSpec())
+      : model_(model), runner_(model), spec_(spec) {}
+
+  const MemoryModeSpec& spec() const { return spec_; }
+
+  /// Expected DRAM-cache hit ratio for a working set of `region_bytes`
+  /// accessed with `pattern` from one socket.
+  double HitRatio(Pattern pattern, uint64_t region_bytes) const;
+
+  /// Steady-state bandwidth of one homogeneous class under Memory Mode.
+  Result<GigabytesPerSecond> Bandwidth(OpType op, Pattern pattern,
+                                       uint64_t access_size, int threads,
+                                       const RunOptions& options) const;
+
+ private:
+  const MemSystemModel* model_;
+  WorkloadRunner runner_;
+  MemoryModeSpec spec_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,186 @@
+#include "exec/runner.h"
+
+namespace pmemolap {
+
+const char* MultiSocketConfigName(MultiSocketConfig config) {
+  switch (config) {
+    case MultiSocketConfig::kOneNear:
+      return "1 Near";
+    case MultiSocketConfig::kOneFar:
+      return "1 Far";
+    case MultiSocketConfig::kTwoNear:
+      return "2 Near";
+    case MultiSocketConfig::kTwoFar:
+      return "2 Far";
+    case MultiSocketConfig::kNearFarShared:
+      return "1 Near 1 Far";
+  }
+  return "Unknown";
+}
+
+Result<AccessClass> WorkloadRunner::MakeClass(OpType op, Pattern pattern,
+                                              Media media,
+                                              uint64_t access_size,
+                                              int threads,
+                                              const RunOptions& options) const {
+  ThreadPlacer placer(model_->config().topology);
+  // For far experiments the threads are pinned to a different socket than
+  // the data: place them on their own socket, then classify near/far
+  // relative to the data socket.
+  int thread_socket =
+      options.thread_socket >= 0 ? options.thread_socket : options.data_socket;
+  Result<ThreadPlacement> placement =
+      placer.Place(threads, options.pinning, thread_socket);
+  if (!placement.ok()) return placement.status();
+  if (options.pinning != PinningPolicy::kNone) {
+    for (ThreadSlot& slot : placement->slots) {
+      slot.near_data =
+          SystemTopology::IsNear(slot.socket, options.data_socket);
+    }
+  }
+
+  AccessClass klass;
+  klass.op = op;
+  klass.pattern = pattern;
+  klass.media = media;
+  klass.access_size = access_size;
+  klass.placement = std::move(placement.value());
+  klass.data_socket = options.data_socket;
+  klass.region_bytes = options.region_bytes;
+  klass.run_index = options.run_index;
+  klass.instruction = options.instruction;
+  return klass;
+}
+
+Result<BandwidthResult> WorkloadRunner::Run(OpType op, Pattern pattern,
+                                            Media media, uint64_t access_size,
+                                            int threads,
+                                            const RunOptions& options) const {
+  Result<AccessClass> klass =
+      MakeClass(op, pattern, media, access_size, threads, options);
+  if (!klass.ok()) return klass.status();
+  WorkloadSpec spec;
+  spec.classes.push_back(std::move(klass.value()));
+  spec.l2_prefetcher_enabled = options.l2_prefetcher_enabled;
+  spec.devdax = options.devdax;
+  return model_->EvaluateOnce(spec);
+}
+
+Result<GigabytesPerSecond> WorkloadRunner::Bandwidth(
+    OpType op, Pattern pattern, Media media, uint64_t access_size,
+    int threads, const RunOptions& options) const {
+  Result<BandwidthResult> result =
+      Run(op, pattern, media, access_size, threads, options);
+  if (!result.ok()) return result.status();
+  return result->total_gbps;
+}
+
+namespace {
+
+/// Builds a class whose threads live on `thread_socket` and whose data
+/// lives on `data_socket`.
+Result<AccessClass> MakeCrossClass(const MemSystemModel& model, OpType op,
+                                   Media media, uint64_t access_size,
+                                   int threads, int thread_socket,
+                                   int data_socket, int region_id,
+                                   int run_index) {
+  ThreadPlacer placer(model.config().topology);
+  Result<ThreadPlacement> placement =
+      placer.Place(threads, PinningPolicy::kNumaRegion, thread_socket);
+  if (!placement.ok()) return placement.status();
+  // kNumaRegion pins to the thread socket; recompute near/far relative to
+  // where the data actually is.
+  for (ThreadSlot& slot : placement->slots) {
+    slot.near_data = SystemTopology::IsNear(slot.socket, data_socket);
+  }
+  AccessClass klass;
+  klass.op = op;
+  klass.pattern = Pattern::kSequentialIndividual;
+  klass.media = media;
+  klass.access_size = access_size;
+  klass.placement = std::move(placement.value());
+  klass.data_socket = data_socket;
+  klass.region_id = region_id;
+  klass.run_index = run_index;
+  return klass;
+}
+
+}  // namespace
+
+Result<BandwidthResult> WorkloadRunner::MultiSocket(OpType op, Media media,
+                                                    MultiSocketConfig config,
+                                                    int threads_per_socket,
+                                                    uint64_t access_size,
+                                                    int run_index) const {
+  WorkloadSpec spec;
+  auto add = [&](int thread_socket, int data_socket,
+                 int region_id) -> Status {
+    Result<AccessClass> klass =
+        MakeCrossClass(*model_, op, media, access_size, threads_per_socket,
+                       thread_socket, data_socket, region_id, run_index);
+    if (!klass.ok()) return klass.status();
+    spec.classes.push_back(std::move(klass.value()));
+    return Status::OK();
+  };
+
+  switch (config) {
+    case MultiSocketConfig::kOneNear:
+      PMEMOLAP_RETURN_NOT_OK(add(0, 0, 0));
+      break;
+    case MultiSocketConfig::kOneFar:
+      PMEMOLAP_RETURN_NOT_OK(add(0, 1, 1));
+      break;
+    case MultiSocketConfig::kTwoNear:
+      PMEMOLAP_RETURN_NOT_OK(add(0, 0, 0));
+      PMEMOLAP_RETURN_NOT_OK(add(1, 1, 1));
+      break;
+    case MultiSocketConfig::kTwoFar:
+      PMEMOLAP_RETURN_NOT_OK(add(0, 1, 1));
+      PMEMOLAP_RETURN_NOT_OK(add(1, 0, 0));
+      break;
+    case MultiSocketConfig::kNearFarShared:
+      // Both sockets access region 0 living on socket 0.
+      PMEMOLAP_RETURN_NOT_OK(add(0, 0, 0));
+      PMEMOLAP_RETURN_NOT_OK(add(1, 0, 0));
+      break;
+  }
+  return model_->EvaluateOnce(spec);
+}
+
+Result<BandwidthResult> WorkloadRunner::Mixed(int write_threads,
+                                              int read_threads, Media media,
+                                              uint64_t access_size) const {
+  WorkloadSpec spec;
+  ThreadPlacer placer(model_->config().topology);
+
+  Result<ThreadPlacement> write_placement =
+      placer.Place(write_threads, PinningPolicy::kNumaRegion, 0);
+  if (!write_placement.ok()) return write_placement.status();
+  Result<ThreadPlacement> read_placement =
+      placer.Place(read_threads, PinningPolicy::kNumaRegion, 0);
+  if (!read_placement.ok()) return read_placement.status();
+
+  AccessClass writer;
+  writer.op = OpType::kWrite;
+  writer.pattern = Pattern::kSequentialIndividual;
+  writer.media = media;
+  writer.access_size = access_size;
+  writer.placement = std::move(write_placement.value());
+  writer.data_socket = 0;
+  writer.region_bytes = 40ULL * kGiB;
+  writer.region_id = 0;
+  writer.label = "write";
+
+  AccessClass reader = writer;
+  reader.op = OpType::kRead;
+  reader.placement = std::move(read_placement.value());
+  reader.region_bytes = 40ULL * kGiB;
+  reader.region_id = 1;  // disjoint data on the same DIMMs
+  reader.label = "read";
+
+  spec.classes.push_back(std::move(writer));
+  spec.classes.push_back(std::move(reader));
+  return model_->EvaluateOnce(spec);
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,420 @@
+#include "memsys/mem_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace pmemolap {
+
+namespace {
+
+/// Majority accessing socket of a placement (the socket most slots run on).
+int MajoritySocket(const ThreadPlacement& placement) {
+  std::map<int, int> counts;
+  for (const ThreadSlot& slot : placement.slots) counts[slot.socket]++;
+  int best_socket = 0;
+  int best_count = -1;
+  for (const auto& [socket, count] : counts) {
+    if (count > best_count) {
+      best_socket = socket;
+      best_count = count;
+    }
+  }
+  return best_socket;
+}
+
+}  // namespace
+
+MemSystemModel::MemSystemModel(MemSystemConfig config)
+    : config_(std::move(config)),
+      optane_(config_.optane),
+      dram_(config_.dram, config_.topology.dimms_per_socket()),
+      ssd_(SsdSpec{}),
+      write_combining_(config_.write_combining),
+      prefetcher_(config_.prefetcher),
+      upi_(config_.upi),
+      queue_(config_.queue),
+      issue_(config_.issue),
+      interleave_(*InterleaveMap::Make(config_.topology.config().interleave_bytes,
+                                       config_.topology.dimms_per_socket())),
+      directory_(config_.coherence) {}
+
+GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
+                                               int threads, bool near,
+                                               bool warm,
+                                               ClassBandwidth* diag) const {
+  const uint64_t size = std::max<uint64_t>(klass.access_size, 64);
+  const bool read = klass.op == OpType::kRead;
+  const bool grouped = klass.pattern == Pattern::kSequentialGrouped;
+  const int dimms = config_.topology.dimms_per_socket();
+
+  if (klass.media == Media::kSsd) {
+    return klass.pattern == Pattern::kRandom ? ssd_.RandomRate(read, size)
+                                             : ssd_.SequentialRate(read);
+  }
+
+  if (klass.media == Media::kDram) {
+    // DRAM has no Optane-style pattern pathologies; channel spread and the
+    // per-size random efficiency live in DramSocket. Far access is capped
+    // by the UPI in the joint-resolution stage.
+    if (klass.pattern == Pattern::kRandom) {
+      return dram_.RandomRate(read, size, klass.region_bytes);
+    }
+    return dram_.SequentialRate(read);
+  }
+
+  // ---- PMEM ----------------------------------------------------------------
+  if (klass.pattern == Pattern::kRandom) {
+    // Random access loses the device prefetch; efficiency ramps from the
+    // 256 B floor to the >= 4 KB peak; sub-line accesses amplify.
+    double ramp = config_.pmem_random_small_fraction;
+    if (size > kOptaneLineBytes) {
+      double t = std::clamp(
+          std::log2(static_cast<double>(size) / 256.0) / 4.0, 0.0, 1.0);
+      ramp += (1.0 - ramp) * t;
+    }
+    if (read) {
+      double amp = optane_.ReadAmplification(size, /*sequential=*/false);
+      diag->read_amplification = amp;
+      return optane_.spec().random_read_gbps * dimms * ramp / amp;
+    }
+    double combine = write_combining_.spec().random_combine;
+    double amp = optane_.WriteAmplification(size, combine);
+    diag->combine_fraction = combine;
+    diag->write_amplification = amp;
+    double cap = optane_.spec().random_write_gbps * dimms * ramp / amp;
+    cap *= queue_.WriteThreadFactor(threads, /*random=*/true);
+    return cap;
+  }
+
+  if (read) {
+    double cd = interleave_.ConcurrentDimms(threads, size, grouped);
+    diag->concurrent_dimms = cd;
+    diag->read_amplification = 1.0;
+    double cap = optane_.spec().seq_read_gbps * cd;
+    if (!near && !warm) {
+      // Cold coherence directory: address-space mappings are being
+      // reassigned; the far-read ceiling collapses (paper Fig. 5).
+      cap = std::min(cap, directory_.ColdFarReadCeiling(threads));
+    }
+    return cap;
+  }
+
+  // Sequential PMEM write. The posted-write window in the WPQs spreads a
+  // stream over several stripes: grouped streams get a wider in-flight
+  // window, individual streams each cover multiple stripes at once.
+  uint64_t spread_size = size;
+  if (grouped && threads > 0) {
+    spread_size += config_.wpq_window_bytes / static_cast<uint64_t>(threads);
+  }
+  double write_stream_coverage =
+      1.0 + static_cast<double>(config_.wpq_window_bytes) /
+                static_cast<double>(interleave_.stripe_bytes());
+  double cd = interleave_.ConcurrentDimms(threads, spread_size, grouped,
+                                          write_stream_coverage);
+  WriteCombineResult wc = write_combining_.Evaluate(
+      threads, size, grouped, cd, optane_.spec().write_buffer_bytes);
+  // Cached stores merge sub-line writes in the CPU cache before the
+  // write-back, sidestepping the XPBuffer's cross-thread interference.
+  if (klass.instruction != WriteInstruction::kNtStore) {
+    wc.combine_fraction =
+        std::max(wc.combine_fraction, config_.cached_combine_fraction);
+  }
+  double amp = optane_.WriteAmplification(size, wc.combine_fraction);
+  diag->concurrent_dimms = cd;
+  diag->combine_fraction = wc.combine_fraction;
+  diag->buffer_efficiency = wc.buffer_efficiency;
+  diag->write_amplification = amp;
+  double cap =
+      optane_.spec().seq_write_gbps * cd * wc.buffer_efficiency / amp;
+  cap *= queue_.WriteThreadFactor(threads, /*random=*/false);
+  // Writes that align with the 4 KB DIMM interleave target exactly one
+  // DIMM per operation; line-multiple but stripe-misaligned sizes straddle
+  // stripe boundaries mid-access and split write bursts across two
+  // write-combining buffers (paper §4.1: "aligned 4 KB writes target
+  // exactly one DIMM").
+  uint64_t stripe = interleave_.stripe_bytes();
+  if (size > kOptaneLineBytes && size % stripe != 0) {
+    cap *= 0.97;
+  }
+  // Cached stores: every dirtied line is first read for ownership, so the
+  // media serves read traffic proportional to the writes.
+  if (klass.instruction != WriteInstruction::kNtStore) {
+    cap *= config_.clwb_rfo_factor;
+    if (klass.instruction == WriteInstruction::kClflushOpt) {
+      cap *= config_.clflushopt_factor;
+    }
+  }
+  if (!near) {
+    // ntstore to far PMEM behaves like a read-modify-write over the UPI
+    // (paper §4.4): a hard ceiling, reached only with ~6+ threads, with a
+    // mild decline as more far writers amplify.
+    double ceiling = config_.pmem_far_write_ceiling;
+    if (threads > 8) {
+      ceiling *= std::max(
+          0.6, 1.0 - config_.far_write_excess_penalty *
+                         static_cast<double>(threads - 8));
+    }
+    // Diagnostic: internal write amplification observed up to ~10x with
+    // many far writers.
+    diag->write_amplification =
+        std::min(10.0, 1.8 + 0.45 * static_cast<double>(threads));
+    cap = std::min(cap, ceiling);
+  }
+  return cap;
+}
+
+MemSystemModel::ClassEval MemSystemModel::EvaluateClass(
+    const AccessClass& klass, const WorkloadSpec& spec, bool shared_region,
+    bool warm) const {
+  ClassEval eval;
+  eval.is_read = klass.op == OpType::kRead;
+  eval.pool_socket = klass.data_socket;
+  eval.pool_media = klass.media;
+  eval.uses_pool = klass.media != Media::kSsd;
+  eval.diag.label = klass.label;
+
+  const ThreadPlacement& placement = klass.placement;
+  const int threads = placement.threads();
+  if (threads == 0) return eval;
+
+  // Split threads into near and far subgroups (mixed only without pinning).
+  int near_threads = placement.CountNear();
+  int far_threads = threads - near_threads;
+  double ht_weight = klass.pattern == Pattern::kRandom
+                         ? config_.issue.ht_rand_contribution
+                         : config_.issue.ht_seq_contribution;
+  double issue_near = 0.0;
+  double issue_far = 0.0;
+  int ht_count = 0;
+  int far_majority_socket = klass.data_socket;
+  std::map<int, int> far_sockets;
+  for (const ThreadSlot& slot : placement.slots) {
+    double rate = issue_.PerThread(klass.op, klass.pattern, klass.media,
+                                   slot.near_data, klass.access_size);
+    double contribution = slot.on_hyperthread ? rate * ht_weight : rate;
+    if (slot.on_hyperthread) ++ht_count;
+    if (slot.near_data) {
+      issue_near += contribution;
+    } else {
+      issue_far += contribution;
+      far_sockets[slot.socket]++;
+    }
+  }
+  if (!far_sockets.empty()) {
+    int best = -1;
+    for (const auto& [socket, count] : far_sockets) {
+      if (count > best) {
+        best = count;
+        far_majority_socket = socket;
+      }
+    }
+  }
+  if (placement.oversubscription > 1.0) {
+    issue_near /= placement.oversubscription;
+    issue_far /= placement.oversubscription;
+  }
+
+  double demand_near = 0.0;
+  double demand_far = 0.0;
+  double device_near = 0.0;
+  double device_far = 0.0;
+  if (near_threads > 0) {
+    device_near = DeviceBound(klass, near_threads, /*near=*/true, warm,
+                              &eval.diag);
+    demand_near = std::min(issue_near, device_near);
+  }
+  if (far_threads > 0) {
+    device_far =
+        DeviceBound(klass, far_threads, /*near=*/false, warm, &eval.diag);
+    demand_far = std::min(issue_far, device_far);
+  }
+  double demand = demand_near + demand_far;
+  // The near and far subgroups hit the SAME device pool: their combined
+  // demand cannot exceed the better single-locality capacity.
+  if (near_threads > 0 && far_threads > 0) {
+    demand = std::min(demand, std::max(device_near, device_far));
+  }
+  eval.diag.issue_bound_gbps = issue_near + issue_far;
+  eval.diag.device_bound_gbps = std::max(device_near, device_far);
+
+  // --- Modifier stack -------------------------------------------------------
+  // L2 prefetcher (reads only; writes bypass the cache via ntstore).
+  if (eval.is_read && klass.media != Media::kSsd) {
+    // Count other sequential classes whose threads share this class's
+    // socket: each is an extra stream location for the prefetcher.
+    int extra_streams = 0;
+    int my_socket = MajoritySocket(placement);
+    for (const AccessClass& other : spec.classes) {
+      if (&other == &klass) continue;
+      if (other.pattern == Pattern::kRandom) continue;
+      if (MajoritySocket(other.placement) == my_socket) ++extra_streams;
+    }
+    double pf = prefetcher_.ReadFactor(spec.l2_prefetcher_enabled,
+                                       klass.pattern, klass.access_size,
+                                       threads, ht_count, extra_streams);
+    eval.diag.prefetcher_factor = pf;
+    demand *= pf;
+  }
+
+  // Scheduler migration: unpinned threads churn the cross-socket coherence
+  // directory so every access behaves like a cold far access (hard
+  // ceiling); NUMA-region pinning with oversubscription migrates within
+  // the region (mild multiplicative penalty).
+  double migration = placement.MeanMigrationRate();
+  if (migration >= 0.99) {
+    if (klass.media == Media::kPmem) {
+      demand = std::min(
+          demand, eval.is_read
+                      ? config_.coherence.unpinned_read_ceiling_gbps
+                      : config_.coherence.unpinned_write_ceiling_gbps);
+    } else {
+      demand *= config_.coherence.unpinned_dram_factor;
+    }
+  } else if (migration > 0.0) {
+    // Intra-region rebalancing: streaming access barely notices core
+    // moves; random probes lose cache locality on every move.
+    double strength = klass.pattern == Pattern::kRandom ? 0.35 : 0.08;
+    demand *= 1.0 - strength * migration;
+  }
+
+  // Region accessed from both sockets simultaneously: queue interleaving
+  // breaks Optane's 256 B locality; coherence writes hit the media.
+  if (shared_region) {
+    if (far_threads == threads && klass.media == Media::kDram) {
+      // The far class is already UPI-bound; DRAM keeps most of it.
+      demand *= config_.far_shared_residual_dram;
+    } else {
+      demand *= queue_.SharedRegionFactor(klass.media, eval.is_read);
+    }
+  }
+
+  // fsdax page-fault overhead.
+  if (!spec.devdax && klass.media == Media::kPmem) {
+    demand *= config_.fsdax_factor;
+  }
+
+  eval.demand = demand;
+  eval.alone_capacity =
+      std::max(eval.diag.device_bound_gbps, 1e-9);
+  if (far_threads > 0) {
+    eval.upi_direction =
+        eval.is_read ? klass.data_socket : far_majority_socket;
+    eval.diag.upi_data_gbps =
+        demand * static_cast<double>(far_threads) /
+        static_cast<double>(threads);
+  }
+  return eval;
+}
+
+BandwidthResult MemSystemModel::EvaluateOnce(const WorkloadSpec& spec) const {
+  BandwidthResult result;
+  result.per_class.resize(spec.classes.size());
+
+  // Detect regions accessed from both sockets at once (paper config (v)).
+  std::map<std::pair<int, int>, std::set<int>> region_accessors;
+  for (const AccessClass& klass : spec.classes) {
+    region_accessors[{klass.region_id, klass.data_socket}].insert(
+        MajoritySocket(klass.placement));
+  }
+
+  std::vector<ClassEval> evals;
+  evals.reserve(spec.classes.size());
+  for (const AccessClass& klass : spec.classes) {
+    bool shared =
+        region_accessors[{klass.region_id, klass.data_socket}].size() > 1;
+    bool warm = klass.run_index >= 2 ||
+                directory_.IsWarm(MajoritySocket(klass.placement),
+                                  klass.region_id);
+    evals.push_back(EvaluateClass(klass, spec, shared, warm));
+  }
+
+  // --- Device pool resolution ----------------------------------------------
+  // Classes sharing (socket, media) split an occupancy budget that shrinks
+  // for balanced read/write mixes.
+  std::map<std::pair<int, int>, std::vector<size_t>> pools;
+  for (size_t i = 0; i < evals.size(); ++i) {
+    if (!evals[i].uses_pool) continue;
+    pools[{evals[i].pool_socket, static_cast<int>(evals[i].pool_media)}]
+        .push_back(i);
+  }
+  for (const auto& [key, members] : pools) {
+    (void)key;
+    double read_occ = 0.0;
+    double write_occ = 0.0;
+    for (size_t i : members) {
+      double occ = evals[i].demand / evals[i].alone_capacity;
+      (evals[i].is_read ? read_occ : write_occ) += occ;
+    }
+    double budget = queue_.MixedCapacity(read_occ, write_occ);
+    double total_occ = read_occ + write_occ;
+    if (total_occ > budget && total_occ > 0.0) {
+      double scale = budget / total_occ;
+      for (size_t i : members) evals[i].demand *= scale;
+    }
+  }
+
+  // --- UPI resolution --------------------------------------------------------
+  std::map<int, std::vector<size_t>> directions;
+  for (size_t i = 0; i < evals.size(); ++i) {
+    if (evals[i].upi_direction >= 0 && evals[i].diag.upi_data_gbps > 0.0) {
+      directions[evals[i].upi_direction].push_back(i);
+    }
+  }
+  bool both_active = directions.size() >= 2;
+  double max_utilization = 0.0;
+  for (const auto& [direction, members] : directions) {
+    (void)direction;
+    double payload = 0.0;
+    double capacity = 1e18;
+    for (size_t i : members) {
+      // Scale per-class payload with the (possibly pool-scaled) demand.
+      double far_fraction =
+          evals[i].diag.upi_data_gbps > 0.0
+              ? std::min(1.0, evals[i].diag.upi_data_gbps /
+                                  std::max(evals[i].demand, 1e-9))
+              : 0.0;
+      evals[i].diag.upi_data_gbps = evals[i].demand * far_fraction;
+      payload += evals[i].diag.upi_data_gbps;
+      capacity = std::min(
+          capacity,
+          upi_.DataCapacity(both_active,
+                            spec.classes[i].media));
+    }
+    if (payload > capacity && payload > 0.0) {
+      double scale = capacity / payload;
+      for (size_t i : members) {
+        evals[i].demand *= scale;
+        evals[i].diag.upi_data_gbps *= scale;
+      }
+      payload = capacity;
+    }
+    max_utilization = std::max(max_utilization, upi_.Utilization(payload));
+  }
+  result.upi_utilization = max_utilization;
+
+  for (size_t i = 0; i < evals.size(); ++i) {
+    evals[i].diag.gbps = evals[i].demand;
+    if (!evals[i].is_read && spec.classes[i].media == Media::kPmem) {
+      evals[i].diag.media_write_gbps =
+          evals[i].demand * std::max(1.0, evals[i].diag.write_amplification);
+    }
+    result.per_class[i] = evals[i].diag;
+    result.total_gbps += evals[i].demand;
+  }
+  return result;
+}
+
+BandwidthResult MemSystemModel::Evaluate(const WorkloadSpec& spec) {
+  BandwidthResult result = EvaluateOnce(spec);
+  // Far accesses warm the coherence directory for subsequent runs.
+  for (const AccessClass& klass : spec.classes) {
+    if (klass.placement.CountNear() < klass.placement.threads()) {
+      directory_.Warm(MajoritySocket(klass.placement), klass.region_id);
+    }
+  }
+  return result;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,40 @@
+#include "memsys/prefetcher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmemolap {
+
+double L2PrefetcherModel::ReadFactor(bool enabled, Pattern pattern,
+                                     uint64_t access_size, int threads,
+                                     int ht_threads,
+                                     int extra_streams) const {
+  if (threads < 1) return 1.0;
+  // Random access neither benefits from nor is hurt by the streamer.
+  if (pattern == Pattern::kRandom) return 1.0;
+
+  double factor = 1.0;
+  if (enabled) {
+    if (pattern == Pattern::kSequentialGrouped &&
+        access_size >= spec_.dip_lo_bytes &&
+        access_size <= spec_.dip_hi_bytes) {
+      factor *= spec_.grouped_dip_factor;
+    }
+    // Hyperthread siblings share L2; prefetches for two streams evict each
+    // other.
+    double ht_fraction =
+        static_cast<double>(ht_threads) / static_cast<double>(threads);
+    factor *= 1.0 - spec_.hyperthread_pollution * ht_fraction;
+    // Additional stream locations (other classes on the same cores) make
+    // the streamer prefetch from several places at once.
+    if (extra_streams > 0) {
+      factor *= std::pow(spec_.extra_stream_factor, extra_streams);
+    }
+  } else {
+    // No dip, no pollution — but few threads lose the prefetch benefit.
+    if (threads < 8) factor *= spec_.low_thread_penalty_disabled;
+  }
+  return std::clamp(factor, 0.0, 1.0);
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,60 @@
+// Model of the CPU L2 hardware prefetcher's effect on memory bandwidth.
+//
+// The paper's side experiments (§3.1, §3.2):
+//  - Grouped sequential access at 1-2 KB sizes confuses the L2 streamer and
+//    costs ~40% bandwidth (the Fig. 3a dip); disabling the prefetcher
+//    removes the dip. The same pathology exists on DRAM.
+//  - Hyperthread siblings share the L2; with the prefetcher on, prefetches
+//    for two streams pollute the shared cache, so reads with > 18 threads
+//    perform worse than 18. With the prefetcher off, 36 threads also reach
+//    the ~40 GB/s peak.
+//  - With the prefetcher off, low thread counts (< 8) lose the sequential
+//    prefetch benefit and perform worse.
+#pragma once
+
+#include <cstdint>
+
+#include "memsys/workload.h"
+
+namespace pmemolap {
+
+struct PrefetcherSpec {
+  /// Multiplier for grouped sequential access sized in [dip_lo, dip_hi].
+  double grouped_dip_factor = 0.62;
+  uint64_t dip_lo_bytes = 1024;
+  uint64_t dip_hi_bytes = 2048;
+  /// Max pollution loss when every thread shares its L2 with a sibling.
+  double hyperthread_pollution = 0.15;
+  /// Loss of the sequential prefetch benefit for < 8 threads when the
+  /// prefetcher is disabled.
+  double low_thread_penalty_disabled = 0.85;
+  /// Extra degradation per contending *stream location* beyond the first
+  /// when streams share the prefetcher (mixed workloads, §5.1).
+  double extra_stream_factor = 0.94;
+};
+
+class L2PrefetcherModel {
+ public:
+  explicit L2PrefetcherModel(const PrefetcherSpec& spec = PrefetcherSpec())
+      : spec_(spec) {}
+
+  const PrefetcherSpec& spec() const { return spec_; }
+
+  /// Bandwidth multiplier for a sequential-read class.
+  ///
+  /// \param enabled       BIOS prefetcher switch
+  /// \param pattern       grouped / individual / random
+  /// \param access_size   bytes per operation
+  /// \param threads       total threads of the class
+  /// \param ht_threads    how many of them share a physical core
+  /// \param extra_streams additional concurrent stream locations contending
+  ///                      for the prefetcher (e.g. a mixed workload's other
+  ///                      classes)
+  double ReadFactor(bool enabled, Pattern pattern, uint64_t access_size,
+                    int threads, int ht_threads, int extra_streams) const;
+
+ private:
+  PrefetcherSpec spec_;
+};
+
+}  // namespace pmemolap

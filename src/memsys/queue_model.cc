@@ -1,0 +1,5 @@
+#include "memsys/queue_model.h"
+
+// Header-only logic; this translation unit anchors the library symbol.
+
+namespace pmemolap {}  // namespace pmemolap

@@ -1,0 +1,83 @@
+// iMC queue (RPQ/WPQ) contention effects (paper §4.2, §3.5, §5.1).
+//
+//  - Many writer threads flood the WPQs faster than the media drains them;
+//    beyond ~8 threads each extra writer costs a little bandwidth.
+//  - When two sockets hit the SAME DIMMs, requests from the remote socket
+//    interleave into the queues with UPI latency, breaking the 256 B
+//    spatial locality the Optane controller relies on => read/write
+//    amplification and sharply reduced bandwidth (Fig. 6/10 config (v)).
+//  - Mixed read/write streams force the iMC to alternate between long
+//    write occupancy and reads; the *combined* achievable occupancy drops
+//    below 1 (Fig. 11: with 6 writers + 30 readers both sides fall to ~1/3
+//    of their solo peaks).
+#pragma once
+
+#include <algorithm>
+
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+struct QueueSpec {
+  /// Writer threads beyond this count start degrading PMEM write bandwidth.
+  int write_thread_knee = 8;
+  /// Per-extra-writer degradation slope.
+  double write_thread_slope = 0.004;
+  /// Random writes scatter lines and hit the queues harder.
+  double random_write_thread_slope = 0.015;
+  /// Multiplier applied to every class of a PMEM region accessed from both
+  /// sockets simultaneously (queue interleaving + coherence writes).
+  double pmem_shared_region_read_factor = 0.12;
+  double pmem_shared_region_write_factor = 0.45;
+  /// DRAM tolerates shared access better but still loses locality.
+  double dram_shared_region_read_factor = 0.30;
+  double dram_shared_region_write_factor = 0.60;
+  /// Strength of the mixed read/write capacity loss: the occupancy budget
+  /// shrinks to 1 - strength * balance, where balance in [0,1] measures how
+  /// evenly demand splits between reads and writes.
+  double mixed_penalty_strength = 0.35;
+};
+
+class QueueModel {
+ public:
+  explicit QueueModel(const QueueSpec& spec = QueueSpec()) : spec_(spec) {}
+
+  const QueueSpec& spec() const { return spec_; }
+
+  /// Multiplier for PMEM writes with `threads` writers on one socket.
+  double WriteThreadFactor(int threads, bool random) const {
+    int knee = spec_.write_thread_knee;
+    if (threads <= knee) return 1.0;
+    double slope =
+        random ? spec_.random_write_thread_slope : spec_.write_thread_slope;
+    return std::max(0.4, 1.0 - slope * static_cast<double>(threads - knee));
+  }
+
+  /// Multiplier for classes touching a region that another socket touches
+  /// concurrently.
+  double SharedRegionFactor(Media media, bool is_read) const {
+    if (media == Media::kPmem) {
+      return is_read ? spec_.pmem_shared_region_read_factor
+                     : spec_.pmem_shared_region_write_factor;
+    }
+    return is_read ? spec_.dram_shared_region_read_factor
+                   : spec_.dram_shared_region_write_factor;
+  }
+
+  /// Occupancy budget (<= 1) for a device pool given read and write demand
+  /// occupancies. Pure workloads keep the full budget; balanced mixes lose
+  /// up to `mixed_penalty_strength`.
+  double MixedCapacity(double read_occupancy_demand,
+                       double write_occupancy_demand) const {
+    double total = read_occupancy_demand + write_occupancy_demand;
+    if (total <= 0.0) return 1.0;
+    double balance =
+        2.0 * std::min(read_occupancy_demand, write_occupancy_demand) / total;
+    return 1.0 - spec_.mixed_penalty_strength * balance;
+  }
+
+ private:
+  QueueSpec spec_;
+};
+
+}  // namespace pmemolap

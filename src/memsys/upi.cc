@@ -1,0 +1,31 @@
+#include "memsys/upi.h"
+
+#include <algorithm>
+
+namespace pmemolap {
+
+GigabytesPerSecond UpiLink::DataCapacity(bool both_directions_active,
+                                         Media media) const {
+  if (!both_directions_active) return spec_.single_direction_data_gbps;
+  GigabytesPerSecond cap = spec_.dual_direction_data_gbps;
+  if (media == Media::kPmem) cap *= spec_.pmem_dual_factor;
+  return cap;
+}
+
+double UpiLink::Utilization(GigabytesPerSecond payload_gbps) const {
+  double data_share = spec_.raw_gbps_per_direction *
+                      (1.0 - spec_.metadata_fraction);
+  if (data_share <= 0.0) return 1.0;
+  return std::clamp(payload_gbps / data_share, 0.0, 1.0);
+}
+
+GigabytesPerSecond CoherenceDirectory::ColdFarReadCeiling(int threads) const {
+  GigabytesPerSecond ceiling = spec_.cold_far_read_gbps;
+  if (threads > spec_.cold_optimal_threads) {
+    double excess = static_cast<double>(threads - spec_.cold_optimal_threads);
+    ceiling *= std::max(0.5, 1.0 - spec_.cold_excess_thread_penalty * excess);
+  }
+  return ceiling;
+}
+
+}  // namespace pmemolap

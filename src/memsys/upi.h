@@ -1,0 +1,108 @@
+// Intel Ultra Path Interconnect (UPI) link and cross-socket coherence
+// directory models (paper Sections 3.4, 3.5, 4.4, 4.5).
+//
+// UpiLink: ~40 GB/s raw per direction, ~25% consumed by metadata; a single
+// active data direction sustains ~33 GB/s of payload (observed far-read
+// ceiling), and when both directions carry payload simultaneously the
+// coherence traffic grows, leaving ~30 GB/s per direction for DRAM and ~25
+// GB/s for PMEM (PMEM additionally suffers directory writes hitting the
+// slow write path).
+//
+// CoherenceDirectory: Xeon sockets manage a shared address space via address
+// mappings. When a memory region is first accessed from the other socket,
+// mapping entries are reassigned — the paper's warm-up effect, where the
+// first far read run reaches only ~8 GB/s and subsequent runs ~33 GB/s.
+// Unpinned threads migrate between sockets and keep re-triggering the
+// reassignment (the None-pinning collapse).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/units.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+struct UpiSpec {
+  /// Raw link rate per direction.
+  GigabytesPerSecond raw_gbps_per_direction = 40.0;
+  /// Fraction of the raw rate consumed by requests/snoops/metadata.
+  double metadata_fraction = 0.25;
+  /// Payload ceiling per direction when only one direction streams data.
+  GigabytesPerSecond single_direction_data_gbps = 33.0;
+  /// Payload ceiling per direction when both directions stream data.
+  GigabytesPerSecond dual_direction_data_gbps = 30.0;
+  /// PMEM-specific multiplier in the dual-direction case: directory
+  /// updates write to PMEM, stealing device write bandwidth (50 GB/s total
+  /// for PMEM "2 Far" vs 60 GB/s for DRAM, Fig. 6).
+  double pmem_dual_factor = 25.0 / 30.0;
+};
+
+class UpiLink {
+ public:
+  explicit UpiLink(const UpiSpec& spec = UpiSpec()) : spec_(spec) {}
+
+  const UpiSpec& spec() const { return spec_; }
+
+  /// Payload capacity of one direction given whether the opposite direction
+  /// also streams payload and which media serves the far accesses.
+  GigabytesPerSecond DataCapacity(bool both_directions_active,
+                                  Media media) const;
+
+  /// Link utilization (payload + metadata) in [0,1] for a payload rate on
+  /// one direction.
+  double Utilization(GigabytesPerSecond payload_gbps) const;
+
+ private:
+  UpiSpec spec_;
+};
+
+struct CoherenceSpec {
+  /// Far-read ceiling during directory reassignment (first run).
+  GigabytesPerSecond cold_far_read_gbps = 8.0;
+  /// Optimal thread count while cold; beyond it, extra threads contend on
+  /// the remapping and bandwidth degrades mildly.
+  int cold_optimal_threads = 4;
+  double cold_excess_thread_penalty = 0.015;
+  /// Bandwidth ceiling when unpinned threads keep migrating across sockets
+  /// (constant directory remapping makes everything behave like a cold far
+  /// access; paper Fig. 4 "None" peaks at ~9 GB/s vs ~41 GB/s pinned).
+  GigabytesPerSecond unpinned_read_ceiling_gbps = 9.2;
+  /// Writes suffer less from churn (Fig. 9: None peaks ~7 GB/s, 2x loss).
+  GigabytesPerSecond unpinned_write_ceiling_gbps = 7.0;
+  /// DRAM tolerates unpinned placement better; plain multiplier.
+  double unpinned_dram_factor = 0.8;
+};
+
+/// Tracks which (accessing socket, region) pairs have completed their first
+/// far run, and models the cold/warm far-read behaviour.
+class CoherenceDirectory {
+ public:
+  explicit CoherenceDirectory(const CoherenceSpec& spec = CoherenceSpec())
+      : spec_(spec) {}
+
+  const CoherenceSpec& spec() const { return spec_; }
+
+  bool IsWarm(int accessing_socket, int region_id) const {
+    return warmed_.count({accessing_socket, region_id}) > 0;
+  }
+
+  /// Records that a far run from `accessing_socket` touched `region_id`.
+  void Warm(int accessing_socket, int region_id) {
+    warmed_.insert({accessing_socket, region_id});
+  }
+
+  void Reset() { warmed_.clear(); }
+
+  /// Far-read ceiling while the directory is cold, for a given thread
+  /// count (peaks at ~4 threads, declines slightly beyond).
+  GigabytesPerSecond ColdFarReadCeiling(int threads) const;
+
+ private:
+  CoherenceSpec spec_;
+  std::set<std::pair<int, int>> warmed_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,51 @@
+#include "memsys/workload.h"
+
+#include <cassert>
+
+namespace pmemolap {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kWrite:
+      return "write";
+  }
+  return "unknown";
+}
+
+const char* PatternName(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::kSequentialGrouped:
+      return "grouped";
+    case Pattern::kSequentialIndividual:
+      return "individual";
+    case Pattern::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+const char* WriteInstructionName(WriteInstruction instruction) {
+  switch (instruction) {
+    case WriteInstruction::kNtStore:
+      return "ntstore";
+    case WriteInstruction::kClwb:
+      return "store+clwb";
+    case WriteInstruction::kClflushOpt:
+      return "store+clflushopt";
+  }
+  return "unknown";
+}
+
+GigabytesPerSecond BandwidthResult::TotalFor(
+    OpType op, const std::vector<AccessClass>& classes) const {
+  assert(classes.size() == per_class.size());
+  GigabytesPerSecond total = 0.0;
+  for (size_t i = 0; i < per_class.size(); ++i) {
+    if (classes[i].op == op) total += per_class[i].gbps;
+  }
+  return total;
+}
+
+}  // namespace pmemolap

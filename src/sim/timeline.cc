@@ -1,0 +1,72 @@
+#include "sim/timeline.h"
+
+#include <cmath>
+
+namespace pmemolap {
+
+Result<std::vector<TimelineSample>> TimelineSimulator::Run(
+    const std::vector<TimelineStep>& steps) {
+  if (tick_seconds_ <= 0.0) {
+    return Status::InvalidArgument("tick must be positive");
+  }
+  std::vector<TimelineSample> samples;
+  elapsed_seconds_ = 0.0;
+
+  for (const TimelineStep& step : steps) {
+    if (step.duration_seconds <= 0.0 && step.total_bytes == 0) {
+      return Status::InvalidArgument(
+          "step needs a duration or a byte target: " + step.label);
+    }
+    double phase_elapsed = 0.0;
+    uint64_t bytes_moved = 0;
+    while (true) {
+      if (step.duration_seconds > 0.0 &&
+          phase_elapsed >= step.duration_seconds - 1e-12) {
+        break;
+      }
+      if (step.total_bytes > 0 && bytes_moved >= step.total_bytes) break;
+
+      // Stateful evaluation: the first tick of a far phase runs cold, the
+      // next ones warm.
+      BandwidthResult result = model_->Evaluate(step.spec);
+      double tick = tick_seconds_;
+      if (step.duration_seconds > 0.0) {
+        tick = std::min(tick, step.duration_seconds - phase_elapsed);
+      }
+      double tick_bytes = result.total_gbps * 1e9 * tick;
+      if (step.total_bytes > 0) {
+        uint64_t remaining = step.total_bytes - bytes_moved;
+        if (tick_bytes >= static_cast<double>(remaining)) {
+          // Partial tick to finish the work.
+          if (result.total_gbps > 0.0) {
+            tick = static_cast<double>(remaining) / 1e9 / result.total_gbps;
+          }
+          tick_bytes = static_cast<double>(remaining);
+        }
+      }
+
+      double begin = elapsed_seconds_;
+      double end = begin + tick;
+      uint64_t moved = static_cast<uint64_t>(std::llround(tick_bytes));
+      // Merge with the previous sample when nothing changed.
+      if (!samples.empty() && samples.back().label == step.label &&
+          std::abs(samples.back().gbps - result.total_gbps) < 1e-9) {
+        samples.back().end_seconds = end;
+        samples.back().bytes_moved += moved;
+      } else {
+        samples.push_back(TimelineSample{begin, end, result.total_gbps,
+                                         moved, step.label});
+      }
+      elapsed_seconds_ = end;
+      phase_elapsed += tick;
+      bytes_moved += moved;
+      if (result.total_gbps <= 0.0 && step.total_bytes > 0) {
+        return Status::Internal("zero bandwidth with outstanding work: " +
+                                step.label);
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace pmemolap

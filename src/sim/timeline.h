@@ -1,0 +1,63 @@
+// TimelineSimulator — time-series execution of workload phases against the
+// stateful memory-system model.
+//
+// The steady-state model answers "what bandwidth does this workload
+// sustain?"; the timeline simulator answers "what happens over time":
+// the cold->warm far-read transition (paper Fig. 5's first vs second run),
+// phase changes (a write burst arriving during a scan), and how long a
+// fixed amount of work takes across those transitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "memsys/mem_system.h"
+
+namespace pmemolap {
+
+/// One workload phase on the timeline.
+struct TimelineStep {
+  WorkloadSpec spec;
+  /// Run the phase for this long (seconds of simulated time)...
+  double duration_seconds = 0.0;
+  /// ...or until this many bytes were moved (whichever is set; if both,
+  /// the earlier condition ends the phase).
+  uint64_t total_bytes = 0;
+  std::string label;
+};
+
+/// One sampled interval of the simulation.
+struct TimelineSample {
+  double begin_seconds = 0.0;
+  double end_seconds = 0.0;
+  GigabytesPerSecond gbps = 0.0;
+  uint64_t bytes_moved = 0;
+  std::string label;
+};
+
+/// Drives a MemSystemModel tick by tick. Each tick evaluates the current
+/// phase's spec *statefully* (far touches warm the coherence directory),
+/// so transient effects appear in the sample series. Consecutive ticks
+/// with the same bandwidth are merged into one sample.
+class TimelineSimulator {
+ public:
+  explicit TimelineSimulator(MemSystemModel* model,
+                             double tick_seconds = 0.1)
+      : model_(model), tick_seconds_(tick_seconds) {}
+
+  /// Runs the steps back to back from t = 0. Fails on a step with neither
+  /// a duration nor a byte target, or a non-positive tick.
+  Result<std::vector<TimelineSample>> Run(
+      const std::vector<TimelineStep>& steps);
+
+  /// Total simulated time of the last Run.
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  MemSystemModel* model_;
+  double tick_seconds_;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,58 @@
+#include "ssb/column_store.h"
+
+namespace pmemolap::ssb {
+
+ColumnStore::ColumnStore(const std::vector<LineorderRow>& rows) {
+  orderdate_.reserve(rows.size());
+  custkey_.reserve(rows.size());
+  partkey_.reserve(rows.size());
+  suppkey_.reserve(rows.size());
+  quantity_.reserve(rows.size());
+  discount_.reserve(rows.size());
+  extendedprice_.reserve(rows.size());
+  revenue_.reserve(rows.size());
+  supplycost_.reserve(rows.size());
+  for (const LineorderRow& row : rows) {
+    orderdate_.push_back(row.orderdate);
+    custkey_.push_back(row.custkey);
+    partkey_.push_back(row.partkey);
+    suppkey_.push_back(row.suppkey);
+    quantity_.push_back(row.quantity);
+    discount_.push_back(row.discount);
+    extendedprice_.push_back(row.extendedprice);
+    revenue_.push_back(row.revenue);
+    supplycost_.push_back(row.supplycost);
+  }
+}
+
+int64_t ColumnStore::ScanDiscountedRevenue(int32_t discount_lo,
+                                           int32_t discount_hi,
+                                           int32_t quantity_below) const {
+  int64_t sum = 0;
+  const size_t n = size();
+  const int32_t* discount = discount_.data();
+  const int32_t* quantity = quantity_.data();
+  const int32_t* price = extendedprice_.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (discount[i] >= discount_lo && discount[i] <= discount_hi &&
+        quantity[i] < quantity_below) {
+      sum += static_cast<int64_t>(price[i]) * discount[i];
+    }
+  }
+  return sum;
+}
+
+int64_t RowScanDiscountedRevenue(const std::vector<LineorderRow>& rows,
+                                 int32_t discount_lo, int32_t discount_hi,
+                                 int32_t quantity_below) {
+  int64_t sum = 0;
+  for (const LineorderRow& row : rows) {
+    if (row.discount >= discount_lo && row.discount <= discount_hi &&
+        row.quantity < quantity_below) {
+      sum += static_cast<int64_t>(row.extendedprice) * row.discount;
+    }
+  }
+  return sum;
+}
+
+}  // namespace pmemolap::ssb

@@ -1,0 +1,40 @@
+// CSV import/export for the SSB tables — the data-import path the paper's
+// write-side benchmarks motivate ("an important feature of data warehouses
+// is an efficient data import", §4).
+//
+// The format is the classic dbgen '|'-separated layout with one line per
+// tuple, numeric attribute encodings matching schema.h. Export and import
+// round-trip exactly; the importer validates field counts and numeric
+// ranges and reports the offending line on failure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "ssb/dbgen.h"
+
+namespace pmemolap::ssb {
+
+/// Writes one table as CSV ('|' separated, no header).
+void WriteCsv(const std::vector<DateRow>& rows, std::ostream& out);
+void WriteCsv(const std::vector<CustomerRow>& rows, std::ostream& out);
+void WriteCsv(const std::vector<SupplierRow>& rows, std::ostream& out);
+void WriteCsv(const std::vector<PartRow>& rows, std::ostream& out);
+void WriteCsv(const std::vector<LineorderRow>& rows, std::ostream& out);
+
+/// Parses one table from CSV. Fails with InvalidArgument naming the line
+/// on malformed input.
+Result<std::vector<DateRow>> ReadDateCsv(std::istream& in);
+Result<std::vector<CustomerRow>> ReadCustomerCsv(std::istream& in);
+Result<std::vector<SupplierRow>> ReadSupplierCsv(std::istream& in);
+Result<std::vector<PartRow>> ReadPartCsv(std::istream& in);
+Result<std::vector<LineorderRow>> ReadLineorderCsv(std::istream& in);
+
+/// Dumps a whole database into `directory` as <table>.tbl files.
+Status ExportDatabase(const Database& db, const std::string& directory);
+
+/// Loads a whole database from `directory`.
+Result<Database> ImportDatabase(const std::string& directory);
+
+}  // namespace pmemolap::ssb

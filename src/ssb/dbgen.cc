@@ -1,0 +1,199 @@
+#include "ssb/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/zipf.h"
+
+namespace pmemolap::ssb {
+
+namespace {
+
+constexpr int kStartYear = 1992;
+constexpr int kNumYears = 7;  // 1992..1998
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+/// Generates the fixed 7-year date dimension with real calendar structure.
+std::vector<DateRow> GenerateDates() {
+  std::vector<DateRow> dates;
+  // 1992-01-01 was a Wednesday => daynuminweek 1..7 with Monday = 1 gives 3.
+  int day_of_week = 3;
+  for (int year = kStartYear; year < kStartYear + kNumYears; ++year) {
+    int day_of_year = 0;
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= DaysInMonth(year, month); ++day) {
+        ++day_of_year;
+        DateRow row;
+        row.datekey = year * 10000 + month * 100 + day;
+        row.yearmonthnum = year * 100 + month;
+        row.year = static_cast<int16_t>(year);
+        row.monthnuminyear = static_cast<int8_t>(month);
+        row.daynuminweek = static_cast<int8_t>(day_of_week);
+        row.weeknuminyear = static_cast<int8_t>((day_of_year - 1) / 7 + 1);
+        dates.push_back(row);
+        day_of_week = day_of_week % 7 + 1;
+      }
+    }
+  }
+  return dates;
+}
+
+}  // namespace
+
+uint64_t Database::DimensionBytes() const {
+  return date.size() * sizeof(DateRow) +
+         customer.size() * sizeof(CustomerRow) +
+         supplier.size() * sizeof(SupplierRow) +
+         part.size() * sizeof(PartRow);
+}
+
+Cardinalities CardinalitiesFor(double scale_factor) {
+  Cardinalities cards;
+  // 7 calendar years 1992-1998 with the leap days of 1992 and 1996; the
+  // SSB spec quotes "~2556" days.
+  cards.date = 2557;
+  cards.lineorder = static_cast<uint64_t>(
+      std::llround(6'000'000.0 * scale_factor));
+  cards.customer = std::max<uint64_t>(
+      10, static_cast<uint64_t>(std::llround(30'000.0 * scale_factor)));
+  cards.supplier = std::max<uint64_t>(
+      5, static_cast<uint64_t>(std::llround(2'000.0 * scale_factor)));
+  if (scale_factor >= 1.0) {
+    cards.part = static_cast<uint64_t>(
+        200'000.0 * (1.0 + std::floor(std::log2(scale_factor))));
+  } else {
+    cards.part = std::max<uint64_t>(
+        50, static_cast<uint64_t>(std::llround(200'000.0 * scale_factor)));
+  }
+  return cards;
+}
+
+Result<Database> Generate(const DbgenConfig& config) {
+  if (config.scale_factor <= 0.0) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  Cardinalities cards = CardinalitiesFor(config.scale_factor);
+  Rng root(config.seed);
+
+  Database db;
+  db.date = GenerateDates();
+  if (db.date.size() != cards.date) {
+    return Status::Internal("date dimension cardinality mismatch");
+  }
+
+  Rng cust_rng = root.Fork(1);
+  db.customer.reserve(cards.customer);
+  for (uint64_t i = 0; i < cards.customer; ++i) {
+    CustomerRow row;
+    row.custkey = static_cast<int32_t>(i + 1);
+    row.nation = static_cast<uint8_t>(cust_rng.NextBelow(kNumNations));
+    row.region = static_cast<uint8_t>(RegionOfNation(row.nation));
+    row.city = static_cast<uint8_t>(cust_rng.NextBelow(kCitiesPerNation));
+    row.mktsegment = static_cast<uint8_t>(cust_rng.NextBelow(5));
+    db.customer.push_back(row);
+  }
+
+  Rng supp_rng = root.Fork(2);
+  db.supplier.reserve(cards.supplier);
+  for (uint64_t i = 0; i < cards.supplier; ++i) {
+    SupplierRow row;
+    row.suppkey = static_cast<int32_t>(i + 1);
+    row.nation = static_cast<uint8_t>(supp_rng.NextBelow(kNumNations));
+    row.region = static_cast<uint8_t>(RegionOfNation(row.nation));
+    row.city = static_cast<uint8_t>(supp_rng.NextBelow(kCitiesPerNation));
+    db.supplier.push_back(row);
+  }
+
+  Rng part_rng = root.Fork(3);
+  db.part.reserve(cards.part);
+  for (uint64_t i = 0; i < cards.part; ++i) {
+    PartRow row;
+    row.partkey = static_cast<int32_t>(i + 1);
+    row.mfgr = static_cast<uint8_t>(1 + part_rng.NextBelow(kNumMfgrs));
+    row.category =
+        static_cast<uint8_t>(1 + part_rng.NextBelow(kCategoriesPerMfgr));
+    row.brand =
+        static_cast<uint8_t>(1 + part_rng.NextBelow(kBrandsPerCategory));
+    row.color = static_cast<uint8_t>(part_rng.NextBelow(92));
+    row.size = static_cast<uint8_t>(1 + part_rng.NextBelow(50));
+    db.part.push_back(row);
+  }
+
+  Rng lo_rng = root.Fork(4);
+  // Skewed foreign keys (key_skew > 0): hot customers/suppliers/parts
+  // receive Zipf-distributed shares of the fact tuples. The sampled rank
+  // is scrambled with a fixed multiplicative permutation so hot keys
+  // spread over the key space instead of clustering at 1..k.
+  std::unique_ptr<ZipfSampler> cust_zipf;
+  std::unique_ptr<ZipfSampler> supp_zipf;
+  std::unique_ptr<ZipfSampler> part_zipf;
+  if (config.key_skew > 0.0) {
+    cust_zipf = std::make_unique<ZipfSampler>(cards.customer,
+                                              config.key_skew);
+    supp_zipf = std::make_unique<ZipfSampler>(cards.supplier,
+                                              config.key_skew);
+    part_zipf = std::make_unique<ZipfSampler>(cards.part, config.key_skew);
+  }
+  auto pick_key = [&](const std::unique_ptr<ZipfSampler>& zipf,
+                      uint64_t cardinality) -> int32_t {
+    if (zipf == nullptr) {
+      return static_cast<int32_t>(1 + lo_rng.NextBelow(cardinality));
+    }
+    uint64_t rank = zipf->Sample(lo_rng);
+    // Fixed odd-multiplier permutation over [0, cardinality).
+    uint64_t scrambled = (rank * 2654435761ULL + 7) % cardinality;
+    return static_cast<int32_t>(1 + scrambled);
+  };
+  db.lineorder.reserve(cards.lineorder);
+  uint64_t order = 0;
+  int lines_left = 0;
+  int linenumber = 0;
+  int32_t ordtotalprice = 0;
+  for (uint64_t i = 0; i < cards.lineorder; ++i) {
+    if (lines_left == 0) {
+      ++order;
+      lines_left = static_cast<int>(1 + lo_rng.NextBelow(7));
+      linenumber = 0;
+      ordtotalprice = 0;
+    }
+    --lines_left;
+    ++linenumber;
+
+    LineorderRow row;
+    row.orderkey = static_cast<int64_t>(order);
+    row.linenumber = linenumber;
+    row.custkey = pick_key(cust_zipf, cards.customer);
+    row.partkey = pick_key(part_zipf, cards.part);
+    row.suppkey = pick_key(supp_zipf, cards.supplier);
+    const DateRow& odate =
+        db.date[lo_rng.NextBelow(db.date.size())];
+    row.orderdate = odate.datekey;
+    row.commitdate = db.date[lo_rng.NextBelow(db.date.size())].datekey;
+    row.quantity = static_cast<int32_t>(1 + lo_rng.NextBelow(50));
+    row.discount = static_cast<int32_t>(lo_rng.NextBelow(11));
+    // Unit price 90..110k cents-ish, as in SSB's derived pricing.
+    int32_t unit_price = static_cast<int32_t>(90 + lo_rng.NextBelow(110'000));
+    row.extendedprice = row.quantity * (unit_price / 10 + 100);
+    row.revenue = row.extendedprice * (100 - row.discount) / 100;
+    row.supplycost = row.extendedprice * 6 / 10 / row.quantity;
+    row.tax = static_cast<int32_t>(lo_rng.NextBelow(9));
+    ordtotalprice += row.extendedprice;
+    row.ordtotalprice = ordtotalprice;
+    row.shipmode = static_cast<uint8_t>(lo_rng.NextBelow(7));
+    row.priority = static_cast<uint8_t>(lo_rng.NextBelow(5));
+    db.lineorder.push_back(row);
+  }
+  return db;
+}
+
+}  // namespace pmemolap::ssb

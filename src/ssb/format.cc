@@ -1,0 +1,92 @@
+#include "ssb/format.h"
+
+#include "common/table_printer.h"
+#include "ssb/schema.h"
+
+namespace pmemolap::ssb {
+
+namespace {
+
+std::string BrandFromId(int brand_id) {
+  return "MFGR#" + std::to_string(brand_id);
+}
+
+std::string CategoryFromId(int category_id) {
+  return "MFGR#" + std::to_string(category_id);
+}
+
+}  // namespace
+
+std::vector<std::string> ResultHeaders(QueryId query) {
+  switch (FlightOf(query)) {
+    case 1:
+      return {"sum(lo_extendedprice*lo_discount)"};
+    case 2:
+      return {"d_year", "p_brand1", "sum(lo_revenue)"};
+    case 3:
+      if (query == QueryId::kQ3_1) {
+        return {"c_nation", "s_nation", "d_year", "sum(lo_revenue)"};
+      }
+      return {"c_city", "s_city", "d_year", "sum(lo_revenue)"};
+    default:
+      if (query == QueryId::kQ4_1) {
+        return {"d_year", "c_nation", "sum(profit)"};
+      }
+      if (query == QueryId::kQ4_2) {
+        return {"d_year", "s_nation", "p_category", "sum(profit)"};
+      }
+      return {"d_year", "s_city", "p_brand1", "sum(profit)"};
+  }
+}
+
+std::vector<std::string> FormatRow(QueryId query, const GroupKey& key,
+                                   int64_t value) {
+  std::string sum = std::to_string(value);
+  switch (FlightOf(query)) {
+    case 1:
+      return {sum};
+    case 2:
+      return {std::to_string(key[0]), BrandFromId(key[1]), sum};
+    case 3:
+      if (query == QueryId::kQ3_1) {
+        return {NationName(key[0]), NationName(key[1]),
+                std::to_string(key[2]), sum};
+      }
+      return {CityName(key[0]), CityName(key[1]), std::to_string(key[2]),
+              sum};
+    default:
+      if (query == QueryId::kQ4_1) {
+        return {std::to_string(key[0]), NationName(key[1]), sum};
+      }
+      if (query == QueryId::kQ4_2) {
+        return {std::to_string(key[0]), NationName(key[1]),
+                CategoryFromId(key[2]), sum};
+      }
+      return {std::to_string(key[0]), CityName(key[1]),
+              BrandFromId(key[2]), sum};
+  }
+}
+
+std::string FormatOutput(QueryId query, const QueryOutput& output,
+                         size_t max_rows) {
+  TablePrinter table(ResultHeaders(query));
+  if (output.scalar) {
+    table.AddRow({std::to_string(output.value)});
+    return table.ToString();
+  }
+  size_t emitted = 0;
+  for (const auto& [key, value] : output.groups) {
+    if (max_rows > 0 && emitted >= max_rows) break;
+    table.AddRow(FormatRow(query, key, value));
+    ++emitted;
+  }
+  std::string rendered = table.ToString();
+  if (max_rows > 0 && output.groups.size() > max_rows) {
+    rendered += "... (" +
+                std::to_string(output.groups.size() - max_rows) +
+                " more rows)\n";
+  }
+  return rendered;
+}
+
+}  // namespace pmemolap::ssb

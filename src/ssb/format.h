@@ -1,0 +1,26 @@
+// Human-readable rendering of query results: group keys are decoded back
+// into the benchmark's display strings ("ASIA", "MFGR#2221",
+// "UNITED KI1", ...), per query semantics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ssb/queries.h"
+
+namespace pmemolap::ssb {
+
+/// The column headers of a query's result, e.g. Q2.1 ->
+/// {"d_year", "p_brand1", "sum(lo_revenue)"}.
+std::vector<std::string> ResultHeaders(QueryId query);
+
+/// One result row rendered with decoded display values.
+std::vector<std::string> FormatRow(QueryId query, const GroupKey& key,
+                                   int64_t value);
+
+/// Renders an output as an aligned table, truncated to `max_rows` rows
+/// (0 = all).
+std::string FormatOutput(QueryId query, const QueryOutput& output,
+                         size_t max_rows = 10);
+
+}  // namespace pmemolap::ssb

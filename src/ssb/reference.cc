@@ -1,0 +1,182 @@
+#include "ssb/reference.h"
+
+namespace pmemolap::ssb {
+
+namespace {
+
+constexpr int kUnitedStates = 9;    // AMERICA nation index
+constexpr int kUnitedKingdom = 19;  // EUROPE nation index
+constexpr int kRegionAmerica = 1;
+constexpr int kRegionAsia = 2;
+constexpr int kRegionEurope = 3;
+
+}  // namespace
+
+ReferenceExecutor::ReferenceExecutor(const Database* db) : db_(db) {
+  date_index_.reserve(db_->date.size());
+  for (size_t i = 0; i < db_->date.size(); ++i) {
+    date_index_[db_->date[i].datekey] = i;
+  }
+}
+
+QueryOutput ReferenceExecutor::Execute(QueryId query) const {
+  QueryOutput out;
+  switch (query) {
+    // --- Flight 1: scan + date filter, scalar revenue sum ------------------
+    case QueryId::kQ1_1: {
+      out.scalar = true;
+      for (const LineorderRow& lo : db_->lineorder) {
+        const DateRow& d = DateOf(lo.orderdate);
+        if (d.year == 1993 && lo.discount >= 1 && lo.discount <= 3 &&
+            lo.quantity < 25) {
+          out.value += static_cast<int64_t>(lo.extendedprice) * lo.discount;
+        }
+      }
+      return out;
+    }
+    case QueryId::kQ1_2: {
+      out.scalar = true;
+      for (const LineorderRow& lo : db_->lineorder) {
+        const DateRow& d = DateOf(lo.orderdate);
+        if (d.yearmonthnum == 199401 && lo.discount >= 4 &&
+            lo.discount <= 6 && lo.quantity >= 26 && lo.quantity <= 35) {
+          out.value += static_cast<int64_t>(lo.extendedprice) * lo.discount;
+        }
+      }
+      return out;
+    }
+    case QueryId::kQ1_3: {
+      out.scalar = true;
+      for (const LineorderRow& lo : db_->lineorder) {
+        const DateRow& d = DateOf(lo.orderdate);
+        if (d.weeknuminyear == 6 && d.year == 1994 && lo.discount >= 5 &&
+            lo.discount <= 7 && lo.quantity >= 26 && lo.quantity <= 35) {
+          out.value += static_cast<int64_t>(lo.extendedprice) * lo.discount;
+        }
+      }
+      return out;
+    }
+
+    // --- Flight 2: part x supplier x date, group by (year, brand) ----------
+    case QueryId::kQ2_1:
+    case QueryId::kQ2_2:
+    case QueryId::kQ2_3: {
+      for (const LineorderRow& lo : db_->lineorder) {
+        const PartRow& p = PartOf(lo.partkey);
+        const SupplierRow& s = SupplierOf(lo.suppkey);
+        bool part_ok = false;
+        bool supp_ok = false;
+        switch (query) {
+          case QueryId::kQ2_1:
+            part_ok = p.category_id() == 12;
+            supp_ok = s.region == kRegionAmerica;
+            break;
+          case QueryId::kQ2_2:
+            part_ok = p.brand_id() >= 2221 && p.brand_id() <= 2228;
+            supp_ok = s.region == kRegionAsia;
+            break;
+          default:  // kQ2_3
+            part_ok = p.brand_id() == 2239;
+            supp_ok = s.region == kRegionEurope;
+            break;
+        }
+        if (!part_ok || !supp_ok) continue;
+        const DateRow& d = DateOf(lo.orderdate);
+        out.groups[{d.year, p.brand_id(), 0}] += lo.revenue;
+      }
+      return out;
+    }
+
+    // --- Flight 3: customer x supplier x date, group by (geo, geo, year) ---
+    case QueryId::kQ3_1:
+    case QueryId::kQ3_2:
+    case QueryId::kQ3_3:
+    case QueryId::kQ3_4: {
+      for (const LineorderRow& lo : db_->lineorder) {
+        const CustomerRow& c = CustomerOf(lo.custkey);
+        const SupplierRow& s = SupplierOf(lo.suppkey);
+        const DateRow& d = DateOf(lo.orderdate);
+        int32_t c_city = CityId(c.nation, c.city);
+        int32_t s_city = CityId(s.nation, s.city);
+        switch (query) {
+          case QueryId::kQ3_1:
+            if (c.region != kRegionAsia || s.region != kRegionAsia ||
+                d.year < 1992 || d.year > 1997) {
+              continue;
+            }
+            out.groups[{c.nation, s.nation, d.year}] += lo.revenue;
+            break;
+          case QueryId::kQ3_2:
+            if (c.nation != kUnitedStates || s.nation != kUnitedStates ||
+                d.year < 1992 || d.year > 1997) {
+              continue;
+            }
+            out.groups[{c_city, s_city, d.year}] += lo.revenue;
+            break;
+          case QueryId::kQ3_3: {
+            bool c_ok = c_city == CityId(kUnitedKingdom, 1) ||
+                        c_city == CityId(kUnitedKingdom, 5);
+            bool s_ok = s_city == CityId(kUnitedKingdom, 1) ||
+                        s_city == CityId(kUnitedKingdom, 5);
+            if (!c_ok || !s_ok || d.year < 1992 || d.year > 1997) continue;
+            out.groups[{c_city, s_city, d.year}] += lo.revenue;
+            break;
+          }
+          default: {  // kQ3_4
+            bool c_ok = c_city == CityId(kUnitedKingdom, 1) ||
+                        c_city == CityId(kUnitedKingdom, 5);
+            bool s_ok = s_city == CityId(kUnitedKingdom, 1) ||
+                        s_city == CityId(kUnitedKingdom, 5);
+            if (!c_ok || !s_ok || d.yearmonthnum != 199712) continue;
+            out.groups[{c_city, s_city, d.year}] += lo.revenue;
+            break;
+          }
+        }
+      }
+      return out;
+    }
+
+    // --- Flight 4: all four dimensions, profit -----------------------------
+    case QueryId::kQ4_1:
+    case QueryId::kQ4_2:
+    case QueryId::kQ4_3: {
+      for (const LineorderRow& lo : db_->lineorder) {
+        const CustomerRow& c = CustomerOf(lo.custkey);
+        const SupplierRow& s = SupplierOf(lo.suppkey);
+        const PartRow& p = PartOf(lo.partkey);
+        const DateRow& d = DateOf(lo.orderdate);
+        int64_t profit =
+            static_cast<int64_t>(lo.revenue) - lo.supplycost;
+        switch (query) {
+          case QueryId::kQ4_1:
+            if (c.region != kRegionAmerica || s.region != kRegionAmerica ||
+                (p.mfgr != 1 && p.mfgr != 2)) {
+              continue;
+            }
+            out.groups[{d.year, c.nation, 0}] += profit;
+            break;
+          case QueryId::kQ4_2:
+            if (c.region != kRegionAmerica || s.region != kRegionAmerica ||
+                (p.mfgr != 1 && p.mfgr != 2) ||
+                (d.year != 1997 && d.year != 1998)) {
+              continue;
+            }
+            out.groups[{d.year, s.nation, p.category_id()}] += profit;
+            break;
+          default:  // kQ4_3
+            if (s.nation != kUnitedStates || p.category_id() != 14 ||
+                (d.year != 1997 && d.year != 1998)) {
+              continue;
+            }
+            out.groups[{d.year, CityId(s.nation, s.city), p.brand_id()}] +=
+                profit;
+            break;
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace pmemolap::ssb

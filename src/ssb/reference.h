@@ -1,0 +1,39 @@
+// ReferenceExecutor — straight-line, obviously-correct implementations of
+// the 13 SSB queries, used to validate the query engine's results. It uses
+// direct array indexing (key - 1) for dimension lookups, no hash indexes,
+// no partitioning — a completely independent code path from src/engine.
+#pragma once
+
+#include <unordered_map>
+
+#include "ssb/dbgen.h"
+#include "ssb/queries.h"
+
+namespace pmemolap::ssb {
+
+class ReferenceExecutor {
+ public:
+  /// The database must outlive the executor.
+  explicit ReferenceExecutor(const Database* db);
+
+  QueryOutput Execute(QueryId query) const;
+
+ private:
+  const DateRow& DateOf(int32_t datekey) const {
+    return db_->date[date_index_.at(datekey)];
+  }
+  const CustomerRow& CustomerOf(int32_t custkey) const {
+    return db_->customer[static_cast<size_t>(custkey - 1)];
+  }
+  const SupplierRow& SupplierOf(int32_t suppkey) const {
+    return db_->supplier[static_cast<size_t>(suppkey - 1)];
+  }
+  const PartRow& PartOf(int32_t partkey) const {
+    return db_->part[static_cast<size_t>(partkey - 1)];
+  }
+
+  const Database* db_;
+  std::unordered_map<int32_t, size_t> date_index_;
+};
+
+}  // namespace pmemolap::ssb

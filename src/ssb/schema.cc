@@ -1,0 +1,56 @@
+#include "ssb/schema.h"
+
+namespace pmemolap::ssb {
+
+namespace {
+
+const char* const kRegionNames[kNumRegions] = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+
+const char* const kNationNames[kNumNations] = {
+    // AFRICA
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    // AMERICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",
+    // ASIA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",
+    // EUROPE
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",
+    // MIDDLE EAST
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"};
+
+}  // namespace
+
+std::string RegionName(int region) {
+  if (region < 0 || region >= kNumRegions) return "UNKNOWN";
+  return kRegionNames[region];
+}
+
+std::string NationName(int nation) {
+  if (nation < 0 || nation >= kNumNations) return "UNKNOWN";
+  return kNationNames[nation];
+}
+
+std::string CityName(int city_id) {
+  int nation = city_id / kCitiesPerNation;
+  int digit = city_id % kCitiesPerNation;
+  if (nation < 0 || nation >= kNumNations) return "UNKNOWN";
+  // SSB cities: nation name padded/truncated to 9 chars + one digit.
+  std::string name = kNationNames[nation];
+  name.resize(9, ' ');
+  name += static_cast<char>('0' + digit);
+  return name;
+}
+
+std::string MfgrName(int mfgr) { return "MFGR#" + std::to_string(mfgr); }
+
+std::string CategoryName(int mfgr, int category) {
+  return "MFGR#" + std::to_string(mfgr) + std::to_string(category);
+}
+
+std::string BrandName(int mfgr, int category, int brand) {
+  return "MFGR#" + std::to_string(mfgr) + std::to_string(category) +
+         std::to_string(brand);
+}
+
+}  // namespace pmemolap::ssb

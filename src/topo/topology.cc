@@ -1,0 +1,87 @@
+#include "topo/topology.h"
+
+#include <cstdio>
+
+namespace pmemolap {
+
+const char* MediaName(Media media) {
+  switch (media) {
+    case Media::kPmem:
+      return "PMEM";
+    case Media::kDram:
+      return "DRAM";
+    case Media::kSsd:
+      return "SSD";
+  }
+  return "Unknown";
+}
+
+SystemTopology SystemTopology::PaperServer() {
+  return SystemTopology(Config{});
+}
+
+Result<SystemTopology> SystemTopology::Make(const Config& config) {
+  if (config.sockets < 1 || config.numa_nodes_per_socket < 1 ||
+      config.physical_cores_per_numa_node < 1) {
+    return Status::InvalidArgument("topology counts must be positive");
+  }
+  if (config.hyperthreads_per_core < 1 || config.hyperthreads_per_core > 2) {
+    return Status::InvalidArgument("hyperthreads_per_core must be 1 or 2");
+  }
+  if (config.imcs_per_socket < 1 || config.channels_per_imc < 1) {
+    return Status::InvalidArgument("iMC/channel counts must be positive");
+  }
+  if (config.interleave_bytes == 0 ||
+      (config.interleave_bytes & (config.interleave_bytes - 1)) != 0) {
+    return Status::InvalidArgument("interleave_bytes must be a power of two");
+  }
+  return SystemTopology(config);
+}
+
+SystemTopology::SystemTopology(const Config& config) : config_(config) {
+  // Enumerate logical CPUs socket-major; within a socket all physical
+  // threads come first, then the hyperthread siblings. This matches the
+  // paper's thread-filling order ("we fill up the physical cores before
+  // placing threads on the logical sibling cores").
+  int logical_id = 0;
+  for (int socket = 0; socket < config_.sockets; ++socket) {
+    for (int ht = 0; ht < config_.hyperthreads_per_core; ++ht) {
+      for (int node = 0; node < config_.numa_nodes_per_socket; ++node) {
+        for (int core = 0; core < config_.physical_cores_per_numa_node;
+             ++core) {
+          LogicalCpu cpu;
+          cpu.logical_id = logical_id++;
+          cpu.socket = socket;
+          cpu.numa_node = socket * config_.numa_nodes_per_socket + node;
+          cpu.physical_core =
+              socket * physical_cores_per_socket() +
+              node * config_.physical_cores_per_numa_node + core;
+          cpu.is_hyperthread = ht > 0;
+          cpus_.push_back(cpu);
+        }
+      }
+    }
+  }
+}
+
+std::vector<LogicalCpu> SystemTopology::CpusOfSocket(int socket) const {
+  std::vector<LogicalCpu> out;
+  for (const LogicalCpu& cpu : cpus_) {
+    if (cpu.socket == socket) out.push_back(cpu);
+  }
+  return out;
+}
+
+std::string SystemTopology::Describe() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%d sockets x %d cores (%d logical), %d PMEM + %d DRAM DIMMs "
+                "per socket, %s PMEM / %s DRAM total",
+                sockets(), physical_cores_per_socket(),
+                logical_cores_per_socket(), dimms_per_socket(),
+                dimms_per_socket(), FormatBytes(pmem_capacity_total()).c_str(),
+                FormatBytes(dram_capacity_total()).c_str());
+  return buf;
+}
+
+}  // namespace pmemolap

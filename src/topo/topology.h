@@ -1,0 +1,125 @@
+// Description of the modeled server platform.
+//
+// The paper's testbed (Section 2.3, Figure 1) is a dual-socket Intel Xeon
+// Gold 5220S machine: per socket 18 physical cores (36 logical with
+// hyperthreading), two integrated memory controllers (iMCs) with three memory
+// channels each, one 128 GB Optane DIMM plus one 16 GB DDR4 DIMM per channel.
+// Each socket forms one NUMA *region* consisting of two NUMA *nodes*
+// (9 physical cores + 1 iMC + 3 PMEM/DRAM DIMMs per node). The sockets are
+// connected by a UPI link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace pmemolap {
+
+/// Memory media types the model distinguishes.
+enum class Media {
+  kPmem,  ///< Intel Optane DC Persistent Memory (App Direct)
+  kDram,  ///< DDR4 DRAM
+  kSsd,   ///< NVMe SSD (block device; used only for the §6.2 comparison)
+};
+
+const char* MediaName(Media media);
+
+/// Identifies one logical CPU in the system.
+struct LogicalCpu {
+  int logical_id = 0;     ///< 0 .. logical_cores_total()-1
+  int socket = 0;         ///< NUMA region
+  int numa_node = 0;      ///< global NUMA node id (2 per socket)
+  int physical_core = 0;  ///< global physical core id
+  bool is_hyperthread = false;  ///< true for the second thread of a core
+};
+
+/// Static description of the modeled platform. All counts are per the
+/// paper's testbed by default; alternate shapes can be constructed for tests
+/// and what-if studies.
+class SystemTopology {
+ public:
+  struct Config {
+    int sockets = 2;
+    int numa_nodes_per_socket = 2;
+    int physical_cores_per_numa_node = 9;
+    int hyperthreads_per_core = 2;
+    int imcs_per_socket = 2;
+    int channels_per_imc = 3;
+    uint64_t pmem_dimm_capacity = 128 * kGiB;
+    uint64_t dram_dimm_capacity = 16 * kGiB;
+    uint64_t interleave_bytes = kInterleaveBytes;  ///< PMEM stripe size
+  };
+
+  /// Builds the paper's dual-socket Xeon Gold 5220S platform.
+  static SystemTopology PaperServer();
+
+  /// Builds an arbitrary platform; validates the config.
+  static Result<SystemTopology> Make(const Config& config);
+
+  const Config& config() const { return config_; }
+
+  int sockets() const { return config_.sockets; }
+  int numa_nodes_total() const {
+    return config_.sockets * config_.numa_nodes_per_socket;
+  }
+  int physical_cores_per_socket() const {
+    return config_.numa_nodes_per_socket * config_.physical_cores_per_numa_node;
+  }
+  int physical_cores_total() const {
+    return sockets() * physical_cores_per_socket();
+  }
+  int logical_cores_per_socket() const {
+    return physical_cores_per_socket() * config_.hyperthreads_per_core;
+  }
+  int logical_cores_total() const {
+    return sockets() * logical_cores_per_socket();
+  }
+  /// Memory channels (and thus DIMMs of each media type) per socket: 6 on
+  /// the paper machine.
+  int dimms_per_socket() const {
+    return config_.imcs_per_socket * config_.channels_per_imc;
+  }
+  int dimms_total() const { return sockets() * dimms_per_socket(); }
+
+  uint64_t pmem_capacity_per_socket() const {
+    return static_cast<uint64_t>(dimms_per_socket()) *
+           config_.pmem_dimm_capacity;
+  }
+  uint64_t pmem_capacity_total() const {
+    return static_cast<uint64_t>(sockets()) * pmem_capacity_per_socket();
+  }
+  uint64_t dram_capacity_per_socket() const {
+    return static_cast<uint64_t>(dimms_per_socket()) *
+           config_.dram_dimm_capacity;
+  }
+  uint64_t dram_capacity_total() const {
+    return static_cast<uint64_t>(sockets()) * dram_capacity_per_socket();
+  }
+
+  /// All logical CPUs, ordered socket-major, physical cores first, then
+  /// their hyperthread siblings (matching how the paper fills cores).
+  const std::vector<LogicalCpu>& cpus() const { return cpus_; }
+
+  /// The logical CPUs of one socket, physical threads first.
+  std::vector<LogicalCpu> CpusOfSocket(int socket) const;
+
+  /// True if a thread running on `socket` accesses memory on `data_socket`
+  /// locally ("near" in the paper's terminology).
+  static bool IsNear(int socket, int data_socket) {
+    return socket == data_socket;
+  }
+
+  /// Human-readable one-line summary, e.g. for bench headers.
+  std::string Describe() const;
+
+ private:
+  explicit SystemTopology(const Config& config);
+
+  Config config_;
+  std::vector<LogicalCpu> cpus_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace pmemolap {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc", 3), 0x352441C2u);
+}
+
+TEST(Crc32Test, SensitiveToEveryBit) {
+  std::string data(64, 'x');
+  uint32_t base = Crc32(data.data(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] = static_cast<char>(flipped[i] ^ 1);
+    EXPECT_NE(Crc32(flipped.data(), flipped.size()), base) << i;
+  }
+}
+
+TEST(Crc32Test, SeedContinuation) {
+  // crc(a ++ b) == crc(b, seed = crc(a)).
+  const char* a = "hello ";
+  const char* b = "world";
+  uint32_t whole = Crc32("hello world", 11);
+  uint32_t split = Crc32(b, std::strlen(b), Crc32(a, std::strlen(a)));
+  EXPECT_EQ(split, whole);
+}
+
+TEST(Crc32Test, OrderMatters) {
+  EXPECT_NE(Crc32("ab", 2), Crc32("ba", 2));
+}
+
+}  // namespace
+}  // namespace pmemolap

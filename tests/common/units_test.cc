@@ -1,0 +1,64 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(UnitsTest, Constants) {
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(kCacheLineBytes, 64u);
+  EXPECT_EQ(kOptaneLineBytes, 256u);
+  EXPECT_EQ(kInterleaveBytes, 4096u);
+}
+
+TEST(UnitsTest, FormatBytesWholeUnits) {
+  EXPECT_EQ(FormatBytes(64), "64B");
+  EXPECT_EQ(FormatBytes(4 * kKiB), "4KB");
+  EXPECT_EQ(FormatBytes(2 * kMiB), "2MB");
+  EXPECT_EQ(FormatBytes(128 * kGiB), "128GB");
+  EXPECT_EQ(FormatBytes(kTiB + kTiB / 2), "1.5TB");
+}
+
+TEST(UnitsTest, FormatBytesFractional) {
+  EXPECT_EQ(FormatBytes(1536), "1.5KB");
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(FormatBandwidth(40.06), "40.1 GB/s");
+  EXPECT_EQ(FormatBandwidth(0.0), "0.0 GB/s");
+}
+
+TEST(UnitsTest, ParseBytesPlain) {
+  EXPECT_EQ(ParseBytes("64"), 64u);
+  EXPECT_EQ(ParseBytes("64B"), 64u);
+}
+
+TEST(UnitsTest, ParseBytesSuffixes) {
+  EXPECT_EQ(ParseBytes("4K"), 4 * kKiB);
+  EXPECT_EQ(ParseBytes("4k"), 4 * kKiB);
+  EXPECT_EQ(ParseBytes("2M"), 2 * kMiB);
+  EXPECT_EQ(ParseBytes("1G"), kGiB);
+  EXPECT_EQ(ParseBytes("1T"), kTiB);
+  EXPECT_EQ(ParseBytes("0.5K"), 512u);
+}
+
+TEST(UnitsTest, ParseBytesInvalid) {
+  EXPECT_EQ(ParseBytes(""), 0u);
+  EXPECT_EQ(ParseBytes("abc"), 0u);
+  EXPECT_EQ(ParseBytes("4X"), 0u);
+  EXPECT_EQ(ParseBytes("-4K"), 0u);
+}
+
+TEST(UnitsTest, ParseFormatsRoundTrip) {
+  for (uint64_t bytes :
+       {uint64_t{64}, uint64_t{256}, uint64_t{4096}, uint64_t{65536}, kMiB,
+        kGiB}) {
+    EXPECT_EQ(ParseBytes(FormatBytes(bytes)), bytes) << bytes;
+  }
+}
+
+}  // namespace
+}  // namespace pmemolap

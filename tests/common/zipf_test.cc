@@ -1,0 +1,74 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pmemolap {
+namespace {
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.MassOf(k), 0.1, 1e-12) << k;
+  }
+}
+
+TEST(ZipfTest, MassesSumToOne) {
+  for (double s : {0.0, 0.5, 1.0, 1.5}) {
+    ZipfSampler zipf(100, s);
+    double total = 0.0;
+    for (uint64_t k = 0; k < 100; ++k) total += zipf.MassOf(k);
+    EXPECT_NEAR(total, 1.0, 1e-9) << s;
+  }
+  EXPECT_DOUBLE_EQ(ZipfSampler(10, 1.0).MassOf(10), 0.0);  // out of range
+}
+
+TEST(ZipfTest, MassMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.0);
+  for (uint64_t k = 1; k < 50; ++k) {
+    EXPECT_LT(zipf.MassOf(k), zipf.MassOf(k - 1)) << k;
+  }
+}
+
+TEST(ZipfTest, ClassicZipfRatios) {
+  // With s = 1, rank k has mass proportional to 1/(k+1).
+  ZipfSampler zipf(1000, 1.0);
+  EXPECT_NEAR(zipf.MassOf(0) / zipf.MassOf(1), 2.0, 1e-9);
+  EXPECT_NEAR(zipf.MassOf(0) / zipf.MassOf(9), 10.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesMatchMasses) {
+  ZipfSampler zipf(20, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    ASSERT_LT(k, 20u);
+    counts[k]++;
+  }
+  for (uint64_t k = 0; k < 20; ++k) {
+    double expected = zipf.MassOf(k) * draws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.1 + 30) << k;
+  }
+}
+
+TEST(ZipfTest, SingleItem) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(zipf.MassOf(0), 1.0);
+}
+
+TEST(ZipfTest, HigherExponentMoreSkew) {
+  ZipfSampler mild(100, 0.5);
+  ZipfSampler heavy(100, 1.5);
+  EXPECT_GT(heavy.MassOf(0), mild.MassOf(0));
+  EXPECT_LT(heavy.MassOf(99), mild.MassOf(99));
+}
+
+}  // namespace
+}  // namespace pmemolap

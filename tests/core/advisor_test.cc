@@ -1,0 +1,114 @@
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  SystemTopology topo_ = SystemTopology::PaperServer();
+  BestPracticesAdvisor advisor_{topo_};
+};
+
+TEST_F(AdvisorTest, ReadHeavyScanPlan) {
+  WorkloadIntent intent;
+  intent.read_fraction = 1.0;
+  AccessPlan plan = advisor_.Plan(intent);
+  // BP2: all physical cores for reads, no hyperthreads for sequential.
+  EXPECT_EQ(plan.read_threads_per_socket, 18);
+  EXPECT_FALSE(plan.use_hyperthreads_for_reads);
+  EXPECT_EQ(plan.write_threads_per_socket, 0);
+  // BP6: 4 KB sequential chunks.
+  EXPECT_EQ(plan.sequential_chunk_bytes, 4 * kKiB);
+  // BP7.
+  EXPECT_TRUE(plan.use_devdax);
+}
+
+TEST_F(AdvisorTest, WriteThreadsLimitedTo4To6) {
+  WorkloadIntent intent;
+  intent.read_fraction = 0.5;
+  AccessPlan plan = advisor_.Plan(intent);
+  EXPECT_GE(plan.write_threads_per_socket,
+            BestPracticesAdvisor::kMinWriteThreads);
+  EXPECT_LE(plan.write_threads_per_socket,
+            BestPracticesAdvisor::kMaxWriteThreads);
+}
+
+TEST_F(AdvisorTest, RandomAccessEnablesHyperthreads) {
+  WorkloadIntent intent;
+  intent.random_access = true;
+  AccessPlan plan = advisor_.Plan(intent);
+  EXPECT_TRUE(plan.use_hyperthreads_for_reads);
+  // BP6: at least 256 B random accesses.
+  EXPECT_EQ(plan.min_random_access_bytes, 256u);
+}
+
+TEST_F(AdvisorTest, PinningFollowsSystemControl) {
+  WorkloadIntent intent;
+  intent.full_system_control = true;
+  EXPECT_EQ(advisor_.Plan(intent).pinning, PinningPolicy::kCores);
+  intent.full_system_control = false;
+  EXPECT_EQ(advisor_.Plan(intent).pinning, PinningPolicy::kNumaRegion);
+}
+
+TEST_F(AdvisorTest, NeverRecommendsNoPinning) {
+  for (bool control : {true, false}) {
+    WorkloadIntent intent;
+    intent.full_system_control = control;
+    EXPECT_NE(advisor_.Plan(intent).pinning, PinningPolicy::kNone);
+  }
+}
+
+TEST_F(AdvisorTest, StripingAndNearAccess) {
+  WorkloadIntent intent;
+  intent.working_set_bytes = 500 * kGiB;
+  AccessPlan plan = advisor_.Plan(intent);
+  EXPECT_TRUE(plan.stripe_across_sockets);
+  EXPECT_TRUE(plan.near_socket_access_only);
+}
+
+TEST_F(AdvisorTest, SmallTablesGetReplicated) {
+  WorkloadIntent intent;
+  intent.small_table_bytes = 100 * kMiB;
+  EXPECT_TRUE(advisor_.Plan(intent).replicate_small_tables);
+  intent.small_table_bytes = 0;
+  EXPECT_FALSE(advisor_.Plan(intent).replicate_small_tables);
+}
+
+TEST_F(AdvisorTest, SerializesMixedPhasesWhenLatencyInsensitive) {
+  WorkloadIntent intent;
+  intent.requires_concurrent_read_write = true;
+  intent.latency_sensitive = false;
+  EXPECT_TRUE(advisor_.Plan(intent).serialize_read_write_phases);
+  intent.latency_sensitive = true;
+  EXPECT_FALSE(advisor_.Plan(intent).serialize_read_write_phases);
+}
+
+TEST_F(AdvisorTest, DistinctRegionsAlwaysRecommended) {
+  // BP1 holds regardless of intent.
+  WorkloadIntent intent;
+  EXPECT_TRUE(advisor_.Plan(intent).distinct_read_write_regions);
+}
+
+TEST_F(AdvisorTest, RationaleExplainsDecisions) {
+  WorkloadIntent intent;
+  intent.read_fraction = 0.7;
+  intent.small_table_bytes = kMiB;
+  AccessPlan plan = advisor_.Plan(intent);
+  EXPECT_GE(plan.rationale.size(), 5u);
+  bool mentions_devdax = false;
+  for (const std::string& line : plan.rationale) {
+    if (line.find("devdax") != std::string::npos) mentions_devdax = true;
+  }
+  EXPECT_TRUE(mentions_devdax);
+}
+
+TEST_F(AdvisorTest, SmallWriteChunkMatchesOptaneGranularity) {
+  WorkloadIntent intent;
+  intent.read_fraction = 0.0;
+  EXPECT_EQ(advisor_.Plan(intent).small_write_chunk_bytes, kOptaneLineBytes);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,110 @@
+#include "core/chunked_io.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+class ChunkedIoTest : public ::testing::Test {
+ protected:
+  SystemTopology topo_ = SystemTopology::PaperServer();
+  PmemSpace space_{topo_};
+};
+
+TEST_F(ChunkedIoTest, WriteThenReadRoundTrips) {
+  auto alloc = space_.Allocate(64 * kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(alloc.ok());
+  ChunkedWriter writer(&alloc.value());
+  ASSERT_TRUE(writer.WriteAll(4, /*seed=*/7, nullptr).ok());
+
+  ChunkedReader reader(&alloc.value());
+  auto checksum_a = reader.ReadAll(4, nullptr);
+  ASSERT_TRUE(checksum_a.ok());
+
+  // Same seed => same contents => same checksum, independent of threads.
+  auto alloc2 = space_.Allocate(64 * kKiB, {Media::kPmem, 1});
+  ASSERT_TRUE(alloc2.ok());
+  ChunkedWriter writer2(&alloc2.value());
+  ASSERT_TRUE(writer2.WriteAll(8, 7, nullptr).ok());
+  ChunkedReader reader2(&alloc2.value());
+  auto checksum_b = reader2.ReadAll(1, nullptr);
+  ASSERT_TRUE(checksum_b.ok());
+  EXPECT_EQ(checksum_a.value(), checksum_b.value());
+}
+
+TEST_F(ChunkedIoTest, DifferentSeedsChangeChecksum) {
+  auto alloc = space_.Allocate(16 * kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(alloc.ok());
+  ChunkedWriter writer(&alloc.value());
+  ASSERT_TRUE(writer.WriteAll(2, 1, nullptr).ok());
+  auto checksum_1 = ChunkedReader(&alloc.value()).ReadAll(2, nullptr);
+  ASSERT_TRUE(writer.WriteAll(2, 2, nullptr).ok());
+  auto checksum_2 = ChunkedReader(&alloc.value()).ReadAll(2, nullptr);
+  EXPECT_NE(checksum_1.value(), checksum_2.value());
+}
+
+TEST_F(ChunkedIoTest, ChecksumIndependentOfChunkAndThreadSplit) {
+  auto alloc = space_.Allocate(100000, {Media::kDram, 0});
+  ASSERT_TRUE(alloc.ok());
+  ChunkedWriter writer(&alloc.value(), 256);
+  ASSERT_TRUE(writer.WriteAll(3, 5, nullptr).ok());
+  uint64_t base = *ChunkedReader(&alloc.value(), 64).ReadAll(1, nullptr);
+  for (int threads : {2, 7, 18}) {
+    for (uint64_t chunk : {uint64_t{256}, uint64_t{4096}, uint64_t{100000}}) {
+      EXPECT_EQ(*ChunkedReader(&alloc.value(), chunk).ReadAll(threads,
+                                                              nullptr),
+                base)
+          << threads << "/" << chunk;
+    }
+  }
+}
+
+TEST_F(ChunkedIoTest, ProfilesTraffic) {
+  auto alloc = space_.Allocate(32 * kKiB, {Media::kPmem, 1});
+  ASSERT_TRUE(alloc.ok());
+  ExecutionProfile profile;
+  ChunkedWriter writer(&alloc.value());
+  ASSERT_TRUE(writer.WriteAll(4, 1, &profile, "ingest").ok());
+  ChunkedReader reader(&alloc.value());
+  ASSERT_TRUE(reader.ReadAll(8, &profile, "scan").ok());
+
+  ASSERT_EQ(profile.records().size(), 2u);
+  EXPECT_EQ(profile.records()[0].op, OpType::kWrite);
+  EXPECT_EQ(profile.records()[0].bytes, 32 * kKiB);
+  EXPECT_EQ(profile.records()[0].data_socket, 1);
+  EXPECT_EQ(profile.records()[1].op, OpType::kRead);
+  EXPECT_EQ(profile.records()[1].threads, 8);
+  EXPECT_EQ(profile.records()[1].access_size, 4 * kKiB);
+}
+
+TEST_F(ChunkedIoTest, DefaultChunkIsBestPractice4K) {
+  auto alloc = space_.Allocate(kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_EQ(ChunkedReader(&alloc.value()).chunk_bytes(), 4 * kKiB);
+  EXPECT_EQ(ChunkedWriter(&alloc.value()).chunk_bytes(), 4 * kKiB);
+}
+
+TEST_F(ChunkedIoTest, RejectsInvalidArguments) {
+  auto alloc = space_.Allocate(kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_FALSE(ChunkedReader(&alloc.value()).ReadAll(0, nullptr).ok());
+  EXPECT_FALSE(ChunkedReader(nullptr).ReadAll(1, nullptr).ok());
+  EXPECT_FALSE(
+      ChunkedReader(&alloc.value(), 0).ReadAll(1, nullptr).ok());
+  EXPECT_FALSE(ChunkedWriter(&alloc.value()).WriteAll(0, 1, nullptr).ok());
+  EXPECT_FALSE(ChunkedWriter(nullptr).WriteAll(1, 1, nullptr).ok());
+}
+
+TEST_F(ChunkedIoTest, MoreThreadsThanBytes) {
+  auto alloc = space_.Allocate(10, {Media::kPmem, 0});
+  ASSERT_TRUE(alloc.ok());
+  ChunkedWriter writer(&alloc.value());
+  ASSERT_TRUE(writer.WriteAll(36, 3, nullptr).ok());
+  auto checksum = ChunkedReader(&alloc.value()).ReadAll(36, nullptr);
+  ASSERT_TRUE(checksum.ok());
+  EXPECT_EQ(checksum.value(),
+            *ChunkedReader(&alloc.value()).ReadAll(1, nullptr));
+}
+
+}  // namespace
+}  // namespace pmemolap

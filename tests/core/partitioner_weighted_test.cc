@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/partitioner.h"
+
+namespace pmemolap {
+namespace {
+
+class WeightedPartitionerTest : public ::testing::Test {
+ protected:
+  /// Total weight of a tuple range under per-chunk weights.
+  static double WeightOf(const TupleRange& range, uint64_t num_tuples,
+                         const std::vector<double>& weights) {
+    double chunk_tuples = static_cast<double>(num_tuples) /
+                          static_cast<double>(weights.size());
+    double total = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      double chunk_begin = static_cast<double>(i) * chunk_tuples;
+      double chunk_end = chunk_begin + chunk_tuples;
+      double lo = std::max(chunk_begin, static_cast<double>(range.begin));
+      double hi = std::min(chunk_end, static_cast<double>(range.end));
+      if (hi > lo) total += weights[i] * (hi - lo) / chunk_tuples;
+    }
+    return total;
+  }
+
+  SystemTopology topo_ = SystemTopology::PaperServer();
+  Partitioner partitioner_{topo_};
+};
+
+TEST_F(WeightedPartitionerTest, ValidatesArguments) {
+  EXPECT_FALSE(partitioner_.PartitionWeighted(100, 0, {1.0}).ok());
+  EXPECT_FALSE(partitioner_.PartitionWeighted(100, 2, {}).ok());
+  EXPECT_FALSE(partitioner_.PartitionWeighted(100, 2, {1.0, -1.0}).ok());
+  EXPECT_FALSE(partitioner_.PartitionWeighted(100, 2, {0.0, 0.0}).ok());
+}
+
+TEST_F(WeightedPartitionerTest, UniformWeightsMatchEvenSplit) {
+  auto weighted =
+      partitioner_.PartitionWeighted(1000, 2, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_TRUE(weighted.ok());
+  EXPECT_EQ((*weighted)[0].tuples.begin, 0u);
+  EXPECT_EQ((*weighted)[0].tuples.end, 500u);
+  EXPECT_EQ((*weighted)[1].tuples.end, 1000u);
+}
+
+TEST_F(WeightedPartitionerTest, RangesAreContiguousAndComplete) {
+  std::vector<double> weights = {8.0, 4.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  auto partitions = partitioner_.PartitionWeighted(10000, 3, weights);
+  ASSERT_TRUE(partitions.ok());
+  uint64_t expected_begin = 0;
+  for (const SocketPartition& partition : *partitions) {
+    EXPECT_EQ(partition.tuples.begin, expected_begin);
+    uint64_t worker_begin = partition.tuples.begin;
+    for (const TupleRange& range : partition.worker_ranges) {
+      EXPECT_EQ(range.begin, worker_begin);
+      worker_begin = range.end;
+    }
+    EXPECT_EQ(worker_begin, partition.tuples.end);
+    expected_begin = partition.tuples.end;
+  }
+  EXPECT_EQ(expected_begin, 10000u);
+}
+
+TEST_F(WeightedPartitionerTest, SkewShiftsBoundaries) {
+  // All the weight sits in the first quarter: socket 0 should take far
+  // fewer tuples than socket 1.
+  std::vector<double> weights = {100.0, 1.0, 1.0, 1.0};
+  auto partitions = partitioner_.PartitionWeighted(10000, 2, weights);
+  ASSERT_TRUE(partitions.ok());
+  EXPECT_LT((*partitions)[0].tuples.size(), 2000u);
+  EXPECT_GT((*partitions)[1].tuples.size(), 8000u);
+}
+
+TEST_F(WeightedPartitionerTest, SocketWeightsBalanced) {
+  Rng rng(3);
+  std::vector<double> weights(64);
+  for (double& weight : weights) weight = 0.1 + rng.NextDouble() * 10.0;
+  const uint64_t n = 100000;
+  auto partitions = partitioner_.PartitionWeighted(n, 9, weights);
+  ASSERT_TRUE(partitions.ok());
+  double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (const SocketPartition& partition : *partitions) {
+    double share = WeightOf(partition.tuples, n, weights);
+    EXPECT_NEAR(share, total / 2.0, total * 0.02) << partition.socket;
+    // Workers balanced within the socket too.
+    for (const TupleRange& range : partition.worker_ranges) {
+      double worker_share = WeightOf(range, n, weights);
+      EXPECT_NEAR(worker_share, total / 18.0, total * 0.02);
+    }
+  }
+}
+
+TEST_F(WeightedPartitionerTest, ZipfLikeSkewStillBalances) {
+  // Zipf-ish: weight of chunk i ~ 1/(i+1).
+  std::vector<double> weights(32);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const uint64_t n = 50000;
+  auto partitions = partitioner_.PartitionWeighted(n, 4, weights);
+  ASSERT_TRUE(partitions.ok());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double share0 = WeightOf((*partitions)[0].tuples, n, weights);
+  EXPECT_NEAR(share0 / total, 0.5, 0.05);
+  // The hot socket holds far fewer tuples.
+  EXPECT_LT((*partitions)[0].tuples.size(),
+            (*partitions)[1].tuples.size());
+}
+
+TEST_F(WeightedPartitionerTest, ZeroWeightChunksAssignedSomewhere) {
+  std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  auto partitions = partitioner_.PartitionWeighted(4000, 2, weights);
+  ASSERT_TRUE(partitions.ok());
+  uint64_t covered = 0;
+  for (const SocketPartition& partition : *partitions) {
+    covered += partition.tuples.size();
+  }
+  EXPECT_EQ(covered, 4000u);
+}
+
+}  // namespace
+}  // namespace pmemolap

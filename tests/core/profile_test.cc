@@ -1,0 +1,78 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(ProfileTest, RecordSequentialFillsFields) {
+  ExecutionProfile profile;
+  profile.RecordSequential(OpType::kRead, Media::kPmem, 1, 1000, 4096, 18,
+                           "scan");
+  ASSERT_EQ(profile.records().size(), 1u);
+  const TrafficRecord& record = profile.records()[0];
+  EXPECT_EQ(record.op, OpType::kRead);
+  EXPECT_EQ(record.pattern, Pattern::kSequentialIndividual);
+  EXPECT_EQ(record.data_socket, 1);
+  EXPECT_EQ(record.bytes, 1000u);
+  EXPECT_EQ(record.access_size, 4096u);
+  EXPECT_EQ(record.threads, 18);
+  EXPECT_EQ(record.label, "scan");
+}
+
+TEST(ProfileTest, RecordRandomComputesBytes) {
+  ExecutionProfile profile;
+  profile.RecordRandom(OpType::kRead, Media::kPmem, 0, /*count=*/100,
+                       /*access_size=*/256, /*region=*/kGiB, 8, "probe");
+  const TrafficRecord& record = profile.records()[0];
+  EXPECT_EQ(record.pattern, Pattern::kRandom);
+  EXPECT_EQ(record.bytes, 25600u);
+  EXPECT_EQ(record.region_bytes, kGiB);
+}
+
+TEST(ProfileTest, TotalBytesByOp) {
+  ExecutionProfile profile;
+  profile.RecordSequential(OpType::kRead, Media::kPmem, 0, 100, 64, 1, "a");
+  profile.RecordSequential(OpType::kRead, Media::kPmem, 0, 200, 64, 1, "b");
+  profile.RecordSequential(OpType::kWrite, Media::kPmem, 0, 50, 64, 1, "c");
+  EXPECT_EQ(profile.TotalBytes(OpType::kRead), 300u);
+  EXPECT_EQ(profile.TotalBytes(OpType::kWrite), 50u);
+}
+
+TEST(ProfileTest, MergeAppends) {
+  ExecutionProfile a;
+  ExecutionProfile b;
+  a.RecordSequential(OpType::kRead, Media::kPmem, 0, 100, 64, 1, "a");
+  b.RecordSequential(OpType::kWrite, Media::kDram, 1, 200, 64, 1, "b");
+  a.Merge(b);
+  EXPECT_EQ(a.records().size(), 2u);
+  EXPECT_EQ(a.TotalBytes(OpType::kWrite), 200u);
+}
+
+TEST(ProfileTest, ClearEmpties) {
+  ExecutionProfile profile;
+  profile.RecordSequential(OpType::kRead, Media::kPmem, 0, 100, 64, 1, "a");
+  profile.Clear();
+  EXPECT_TRUE(profile.records().empty());
+}
+
+TEST(ProfileTest, ScaledMultipliesBytesAndRegions) {
+  ExecutionProfile profile;
+  profile.RecordRandom(OpType::kRead, Media::kPmem, 0, 100, 256, kMiB, 8,
+                       "probe");
+  ExecutionProfile scaled = profile.Scaled(2.5);
+  EXPECT_EQ(scaled.records()[0].bytes, 64000u);
+  EXPECT_EQ(scaled.records()[0].region_bytes,
+            static_cast<uint64_t>(2.5 * kMiB));
+  // Original untouched.
+  EXPECT_EQ(profile.records()[0].bytes, 25600u);
+}
+
+TEST(ProfileTest, WorkerSocketDefaultsToDataSocket) {
+  ExecutionProfile profile;
+  profile.RecordSequential(OpType::kRead, Media::kPmem, 1, 100, 64, 1, "x");
+  EXPECT_EQ(profile.records()[0].worker_socket, -1);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,68 @@
+#include "core/replicator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace pmemolap {
+namespace {
+
+class ReplicatorTest : public ::testing::Test {
+ protected:
+  SystemTopology topo_ = SystemTopology::PaperServer();
+  PmemSpace space_{topo_};
+  DimensionReplicator replicator_{&space_};
+};
+
+TEST_F(ReplicatorTest, ReplicatesOntoEverySocket) {
+  std::vector<std::byte> payload(1024);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  auto table = replicator_.Replicate(payload.data(), payload.size(),
+                                     Media::kPmem);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_copies(), 2);
+  EXPECT_EQ(table->size(), 1024u);
+  for (int socket = 0; socket < 2; ++socket) {
+    EXPECT_EQ(std::memcmp(table->LocalCopy(socket), payload.data(), 1024), 0)
+        << socket;
+  }
+}
+
+TEST_F(ReplicatorTest, CopiesAreIndependent) {
+  std::vector<std::byte> payload(64, std::byte{0x42});
+  auto table = replicator_.Replicate(payload.data(), payload.size(),
+                                     Media::kDram);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NE(table->LocalCopy(0), table->LocalCopy(1));
+}
+
+TEST_F(ReplicatorTest, AccountsCapacityPerSocket) {
+  uint64_t before0 = space_.AvailableBytes({Media::kPmem, 0});
+  uint64_t before1 = space_.AvailableBytes({Media::kPmem, 1});
+  std::vector<std::byte> payload(kMiB, std::byte{0});
+  auto table = replicator_.Replicate(payload.data(), payload.size(),
+                                     Media::kPmem);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(space_.AvailableBytes({Media::kPmem, 0}), before0 - kMiB);
+  EXPECT_EQ(space_.AvailableBytes({Media::kPmem, 1}), before1 - kMiB);
+}
+
+TEST_F(ReplicatorTest, RejectsEmptyPayload) {
+  EXPECT_FALSE(replicator_.Replicate(nullptr, 10, Media::kPmem).ok());
+  std::byte byte{0};
+  EXPECT_FALSE(replicator_.Replicate(&byte, 0, Media::kPmem).ok());
+}
+
+TEST_F(ReplicatorTest, ShouldReplicateHeuristic) {
+  // SSB dimensions (< 10% of the fact table) should be replicated.
+  EXPECT_TRUE(DimensionReplicator::ShouldReplicate(kMiB, 100 * kMiB));
+  EXPECT_FALSE(DimensionReplicator::ShouldReplicate(50 * kMiB, 100 * kMiB));
+  // Unknown fact size: replicate (conservative).
+  EXPECT_TRUE(DimensionReplicator::ShouldReplicate(kMiB, 0));
+}
+
+}  // namespace
+}  // namespace pmemolap

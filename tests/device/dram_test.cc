@@ -1,0 +1,75 @@
+#include "device/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+DramSocket PaperSocket() { return DramSocket(DramSpec{}, 6); }
+
+TEST(DramTest, SequentialReadMatchesPaperSocketPeak) {
+  DramSocket dram = PaperSocket();
+  // Paper Fig. 6b: ~100 GB/s near-socket sequential read.
+  EXPECT_NEAR(dram.SequentialRate(/*is_read=*/true), 100.0, 5.0);
+}
+
+TEST(DramTest, WritesSlowerThanReads) {
+  DramSocket dram = PaperSocket();
+  EXPECT_LT(dram.SequentialRate(false), dram.SequentialRate(true));
+}
+
+TEST(DramTest, SmallRegionUsesHalfTheChannels) {
+  DramSocket dram = PaperSocket();
+  // The paper's 2 GB random-access region lands on one NUMA node: 3 of 6
+  // channels (§5.2).
+  EXPECT_DOUBLE_EQ(dram.ActiveChannels(2 * kGiB), 3.0);
+  EXPECT_DOUBLE_EQ(dram.ActiveChannels(90 * kGiB), 6.0);
+  // 0 means "large".
+  EXPECT_DOUBLE_EQ(dram.ActiveChannels(0), 6.0);
+}
+
+TEST(DramTest, LargeRegionRandomNearlyDoubles) {
+  DramSocket dram = PaperSocket();
+  double small = dram.RandomRate(true, 4096, 2 * kGiB);
+  double large = dram.RandomRate(true, 4096, 90 * kGiB);
+  EXPECT_NEAR(large / small, 2.0, 0.01);
+}
+
+TEST(DramTest, LargeRegionRandomApproachesSequential) {
+  DramSocket dram = PaperSocket();
+  // §5.2: "this scaling reaches 90% of DRAM's sequential performance".
+  double rate = dram.RandomRate(true, 4096, 90 * kGiB);
+  EXPECT_GT(rate, 0.88 * dram.SequentialRate(true));
+  EXPECT_LE(rate, dram.SequentialRate(true));
+}
+
+TEST(DramTest, RandomEfficiencyRampsWithAccessSize) {
+  DramSocket dram = PaperSocket();
+  double prev = 0.0;
+  for (uint64_t size : {64ull, 256ull, 1024ull, 4096ull}) {
+    double rate = dram.RandomRate(true, size, 2 * kGiB);
+    EXPECT_GT(rate, prev) << size;
+    prev = rate;
+  }
+  // Plateau past 4 KB.
+  EXPECT_DOUBLE_EQ(dram.RandomRate(true, 4096, 2 * kGiB),
+                   dram.RandomRate(true, 8192, 2 * kGiB));
+}
+
+TEST(DramTest, Random64BAboutHalfOfPeak) {
+  DramSocket dram = PaperSocket();
+  double floor_rate = dram.RandomRate(true, 64, 2 * kGiB);
+  double peak_rate = dram.RandomRate(true, 4096, 2 * kGiB);
+  EXPECT_NEAR(floor_rate / peak_rate,
+              DramSpec{}.random_small_fraction / DramSpec{}.random_peak_fraction,
+              0.01);
+}
+
+TEST(DramTest, RandomWrite2GBRegionMatchesFig13b) {
+  DramSocket dram = PaperSocket();
+  // Fig. 13b: DRAM random writes peak ~40 GB/s in the 2 GB region.
+  EXPECT_NEAR(dram.RandomRate(false, 4096, 2 * kGiB), 40.0, 5.0);
+}
+
+}  // namespace
+}  // namespace pmemolap

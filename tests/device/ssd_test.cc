@@ -1,0 +1,52 @@
+#include "device/ssd.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(SsdTest, DatasheetSequentialRates) {
+  SsdDevice ssd;
+  // Intel P4610 (paper §6.2 footnote).
+  EXPECT_DOUBLE_EQ(ssd.SequentialRate(true), 3.20);
+  EXPECT_DOUBLE_EQ(ssd.SequentialRate(false), 2.08);
+}
+
+TEST(SsdTest, RandomSmallAccessIsIopsBound) {
+  SsdDevice ssd;
+  // 640k IOPS x 4 KB = 2.62 GB/s < 3.2 GB/s sequential.
+  EXPECT_NEAR(ssd.RandomRate(true, 4096), 2.62, 0.05);
+  // 64 B random reads are terrible.
+  EXPECT_LT(ssd.RandomRate(true, 64), 0.05);
+}
+
+TEST(SsdTest, RandomLargeAccessIsBandwidthBound) {
+  SsdDevice ssd;
+  EXPECT_DOUBLE_EQ(ssd.RandomRate(true, 1024 * 1024),
+                   ssd.SequentialRate(true));
+}
+
+TEST(SsdTest, RandomMonotoneInAccessSize) {
+  SsdDevice ssd;
+  double prev = 0.0;
+  for (uint64_t size = 64; size <= 1024 * 1024; size *= 4) {
+    double rate = ssd.RandomRate(true, size);
+    EXPECT_GE(rate, prev) << size;
+    prev = rate;
+  }
+}
+
+TEST(SsdTest, ZeroSizeAccess) {
+  SsdDevice ssd;
+  EXPECT_DOUBLE_EQ(ssd.RandomRate(true, 0), 0.0);
+}
+
+TEST(SsdTest, PmemBeatsSsdSequentially) {
+  // The premise of the paper's §6.2 comparison: PMEM sequential read
+  // (~40 GB/s) is an order of magnitude above NVMe.
+  SsdDevice ssd;
+  EXPECT_GT(40.0 / ssd.SequentialRate(true), 10.0);
+}
+
+}  // namespace
+}  // namespace pmemolap

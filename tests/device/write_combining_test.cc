@@ -1,0 +1,125 @@
+#include "device/write_combining.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+constexpr uint64_t kBuffer = 16 * 1024;
+
+TEST(WriteCombiningTest, SingleThreadCombinesWell) {
+  WriteCombiningModel model;
+  WriteCombineResult r = model.Evaluate(1, 64, /*grouped=*/true, 6.0, kBuffer);
+  EXPECT_NEAR(r.combine_fraction, 0.96, 1e-9);
+  EXPECT_DOUBLE_EQ(r.buffer_efficiency, 1.0);
+}
+
+TEST(WriteCombiningTest, GroupedCombiningDegradesWithThreads) {
+  WriteCombiningModel model;
+  double prev = 1.0;
+  for (int threads : {1, 4, 8, 18, 36}) {
+    WriteCombineResult r = model.Evaluate(threads, 64, true, 6.0, kBuffer);
+    EXPECT_LT(r.combine_fraction, prev) << threads;
+    prev = r.combine_fraction;
+  }
+  // At 36 threads, under half of the sub-line writes combine (the paper's
+  // 2.6 GB/s grouped vs 9.6 GB/s individual gap at 64 B).
+  EXPECT_LT(model.Evaluate(36, 64, true, 6.0, kBuffer).combine_fraction, 0.5);
+}
+
+TEST(WriteCombiningTest, IndividualCombiningIndependentOfThreads) {
+  WriteCombiningModel model;
+  double at_1 = model.Evaluate(1, 64, false, 6.0, kBuffer).combine_fraction;
+  double at_36 = model.Evaluate(36, 64, false, 6.0, kBuffer).combine_fraction;
+  EXPECT_DOUBLE_EQ(at_1, at_36);
+  EXPECT_GT(at_36, 0.9);
+}
+
+TEST(WriteCombiningTest, LineSizedAccessesNeverLoseEfficiency) {
+  WriteCombiningModel model;
+  // <= 256 B accesses are atomic at line granularity: no stream
+  // interleaving regardless of thread count.
+  for (int threads : {1, 8, 18, 36}) {
+    EXPECT_DOUBLE_EQ(
+        model.Evaluate(threads, 256, true, 6.0, kBuffer).buffer_efficiency,
+        1.0)
+        << threads;
+  }
+}
+
+TEST(WriteCombiningTest, FewStreamsKeepFullEfficiencyAtAnySize) {
+  WriteCombiningModel model;
+  // The Fig. 8 boomerang: <= 6 threads (1 stream per DIMM) sustain peak
+  // bandwidth even for huge accesses.
+  for (uint64_t size : {1024ull, 4096ull, 65536ull, 32ull * 1024 * 1024}) {
+    EXPECT_DOUBLE_EQ(
+        model.Evaluate(6, size, true, 6.0, kBuffer).buffer_efficiency, 1.0)
+        << size;
+  }
+}
+
+TEST(WriteCombiningTest, ManyStreamsWithLargeAccessCollapse) {
+  WriteCombiningModel model;
+  WriteCombineResult r = model.Evaluate(36, 64 * 1024, true, 6.0, kBuffer);
+  EXPECT_LT(r.buffer_efficiency, 0.6);
+  // ... but the paper observes stabilization around 5-6 GB/s, not zero.
+  EXPECT_GE(r.buffer_efficiency, model.spec().min_efficiency);
+}
+
+TEST(WriteCombiningTest, EfficiencyMonotoneDecreasingInSize) {
+  WriteCombiningModel model;
+  double prev = 1.1;
+  for (uint64_t size : {256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
+    double eff = model.Evaluate(18, size, true, 6.0, kBuffer).buffer_efficiency;
+    EXPECT_LE(eff, prev) << size;
+    prev = eff;
+  }
+}
+
+TEST(WriteCombiningTest, EfficiencyMonotoneDecreasingInThreads) {
+  WriteCombiningModel model;
+  double prev = 1.1;
+  for (int threads : {6, 8, 12, 18, 24, 36}) {
+    double eff =
+        model.Evaluate(threads, 16 * 1024, true, 6.0, kBuffer)
+            .buffer_efficiency;
+    EXPECT_LE(eff, prev) << threads;
+    prev = eff;
+  }
+}
+
+TEST(WriteCombiningTest, BoomerangProperty) {
+  WriteCombiningModel model;
+  // Scaling only threads (at 256 B) or only size (at 4 threads) keeps
+  // efficiency high; scaling both collapses it (paper Fig. 8).
+  double threads_only =
+      model.Evaluate(36, 256, true, 6.0, kBuffer).buffer_efficiency;
+  double size_only =
+      model.Evaluate(4, 65536, true, 6.0, kBuffer).buffer_efficiency;
+  double both = model.Evaluate(36, 65536, true, 6.0, kBuffer).buffer_efficiency;
+  EXPECT_GT(threads_only, 0.95);
+  EXPECT_GT(size_only, 0.95);
+  EXPECT_LT(both, 0.55);
+}
+
+TEST(WriteCombiningTest, DegenerateInputs) {
+  WriteCombiningModel model;
+  WriteCombineResult r = model.Evaluate(0, 4096, true, 6.0, kBuffer);
+  EXPECT_DOUBLE_EQ(r.combine_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.buffer_efficiency, 1.0);
+  r = model.Evaluate(4, 0, true, 6.0, kBuffer);
+  EXPECT_DOUBLE_EQ(r.buffer_efficiency, 1.0);
+}
+
+TEST(WriteCombiningTest, BufferedBytesDiagnostic) {
+  WriteCombiningModel model;
+  WriteCombineResult r = model.Evaluate(6, 4096, false, 6.0, kBuffer);
+  EXPECT_DOUBLE_EQ(r.buffered_bytes_per_dimm, 4096.0);
+  // The per-thread window caps the in-flight tail of huge accesses.
+  r = model.Evaluate(6, 32 * 1024 * 1024, false, 6.0, kBuffer);
+  EXPECT_DOUBLE_EQ(r.buffered_bytes_per_dimm,
+                   static_cast<double>(model.spec().per_thread_window_bytes));
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,227 @@
+// Tests for the engine extensions: columnar fact layout and hybrid
+// per-structure media placement.
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "ssb/reference.h"
+
+namespace pmemolap {
+namespace {
+
+using ssb::QueryId;
+
+class EngineExtensionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new ssb::Database(*ssb::Generate({.scale_factor = 0.02,
+                                            .seed = 17}));
+    model_ = new MemSystemModel();
+    reference_ = new ssb::ReferenceExecutor(db_);
+  }
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete model_;
+    delete db_;
+    reference_ = nullptr;
+    model_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static EngineConfig BaseConfig() {
+    EngineConfig config;
+    config.mode = EngineMode::kPmemAware;
+    config.media = Media::kPmem;
+    config.threads = 36;
+    config.project_to_sf = 100.0;
+    return config;
+  }
+
+  static ssb::Database* db_;
+  static MemSystemModel* model_;
+  static ssb::ReferenceExecutor* reference_;
+};
+
+ssb::Database* EngineExtensionsTest::db_ = nullptr;
+MemSystemModel* EngineExtensionsTest::model_ = nullptr;
+ssb::ReferenceExecutor* EngineExtensionsTest::reference_ = nullptr;
+
+// --- Columnar layout ----------------------------------------------------------
+
+TEST_F(EngineExtensionsTest, ColumnarPreservesResults) {
+  EngineConfig config = BaseConfig();
+  config.columnar = true;
+  SsbEngine engine(db_, model_, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  for (QueryId query : ssb::AllQueries()) {
+    auto run = engine.Execute(query);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run->output == reference_->Execute(query))
+        << ssb::QueryName(query);
+  }
+}
+
+TEST_F(EngineExtensionsTest, ColumnarScansFewerBytes) {
+  EngineConfig row = BaseConfig();
+  EngineConfig col = BaseConfig();
+  col.columnar = true;
+  SsbEngine row_engine(db_, model_, row);
+  SsbEngine col_engine(db_, model_, col);
+  ASSERT_TRUE(row_engine.Prepare().ok());
+  ASSERT_TRUE(col_engine.Prepare().ok());
+  auto row_run = row_engine.Execute(QueryId::kQ1_1);
+  auto col_run = col_engine.Execute(QueryId::kQ1_1);
+  ASSERT_TRUE(row_run.ok());
+  ASSERT_TRUE(col_run.ok());
+  auto scan_bytes = [](const ExecutionProfile& profile) {
+    uint64_t bytes = 0;
+    for (const TrafficRecord& record : profile.records()) {
+      if (record.label == "scan") bytes += record.bytes;
+    }
+    return bytes;
+  };
+  // QF1 touches 16 of 128 bytes per tuple.
+  EXPECT_EQ(scan_bytes(row_run->profile),
+            8 * scan_bytes(col_run->profile));
+  EXPECT_LT(col_run->seconds, row_run->seconds);
+}
+
+TEST_F(EngineExtensionsTest, ColumnarWidthsPerFlight) {
+  EngineConfig col = BaseConfig();
+  col.columnar = true;
+  SsbEngine engine(db_, model_, col);
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto scan_bytes = [&](QueryId query) {
+    auto run = engine.Execute(query);
+    uint64_t bytes = 0;
+    for (const TrafficRecord& record : run->profile.records()) {
+      if (record.label == "scan") bytes += record.bytes;
+    }
+    return bytes;
+  };
+  uint64_t tuples = db_->lineorder.size();
+  EXPECT_EQ(scan_bytes(QueryId::kQ1_1), tuples * 16);
+  EXPECT_EQ(scan_bytes(QueryId::kQ3_1), tuples * 16);
+  EXPECT_EQ(scan_bytes(QueryId::kQ4_1), tuples * 24);
+  EXPECT_EQ(scan_bytes(QueryId::kQ4_3), tuples * 20);
+}
+
+TEST_F(EngineExtensionsTest, ColumnarHelpsScanBoundFlightMost) {
+  EngineConfig row = BaseConfig();
+  EngineConfig col = BaseConfig();
+  col.columnar = true;
+  SsbEngine row_engine(db_, model_, row);
+  SsbEngine col_engine(db_, model_, col);
+  ASSERT_TRUE(row_engine.Prepare().ok());
+  ASSERT_TRUE(col_engine.Prepare().ok());
+  double q1_speedup = row_engine.Execute(QueryId::kQ1_1)->seconds /
+                      col_engine.Execute(QueryId::kQ1_1)->seconds;
+  double q2_speedup = row_engine.Execute(QueryId::kQ2_1)->seconds /
+                      col_engine.Execute(QueryId::kQ2_1)->seconds;
+  EXPECT_GT(q1_speedup, q2_speedup);
+  EXPECT_GT(q1_speedup, 1.2);
+}
+
+// --- Per-socket index replication -----------------------------------------------
+
+TEST_F(EngineExtensionsTest, ReplicatedIndexesStillCorrect) {
+  // Aware + both sockets: the engine builds one Dash replica per socket;
+  // results and probe counts must be unchanged vs the single-socket
+  // single-copy configuration.
+  EngineConfig both = BaseConfig();
+  EngineConfig single = BaseConfig();
+  single.use_both_sockets = false;
+  SsbEngine replicated(db_, model_, both);
+  SsbEngine one_copy(db_, model_, single);
+  ASSERT_TRUE(replicated.Prepare().ok());
+  ASSERT_TRUE(one_copy.Prepare().ok());
+  for (QueryId query : {QueryId::kQ2_1, QueryId::kQ3_1}) {
+    auto a = replicated.Execute(query);
+    auto b = one_copy.Execute(query);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(a->output == b->output) << ssb::QueryName(query);
+    EXPECT_EQ(a->cpu.probes, b->cpu.probes) << ssb::QueryName(query);
+  }
+}
+
+// --- Hybrid media placement ----------------------------------------------------
+
+TEST_F(EngineExtensionsTest, HybridPreservesResults) {
+  EngineConfig config = BaseConfig();
+  config.index_media = Media::kDram;
+  config.intermediate_media = Media::kDram;
+  SsbEngine engine(db_, model_, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  for (QueryId query : {QueryId::kQ1_1, QueryId::kQ2_1, QueryId::kQ3_1,
+                        QueryId::kQ4_1}) {
+    auto run = engine.Execute(query);
+    ASSERT_TRUE(run.ok());
+    EXPECT_TRUE(run->output == reference_->Execute(query));
+  }
+}
+
+TEST_F(EngineExtensionsTest, HybridProbesRecordDramTraffic) {
+  EngineConfig config = BaseConfig();
+  config.index_media = Media::kDram;
+  SsbEngine engine(db_, model_, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto run = engine.Execute(QueryId::kQ2_1);
+  ASSERT_TRUE(run.ok());
+  for (const TrafficRecord& record : run->profile.records()) {
+    if (record.label.starts_with("probe-")) {
+      EXPECT_EQ(record.media, Media::kDram) << record.label;
+    } else if (record.label == "scan") {
+      EXPECT_EQ(record.media, Media::kPmem);
+    }
+  }
+}
+
+TEST_F(EngineExtensionsTest, HybridSitsBetweenPmemAndDram) {
+  EngineConfig pmem_config = BaseConfig();
+  EngineConfig hybrid_config = BaseConfig();
+  hybrid_config.index_media = Media::kDram;
+  hybrid_config.intermediate_media = Media::kDram;
+  EngineConfig dram_config = BaseConfig();
+  dram_config.media = Media::kDram;
+
+  SsbEngine pmem(db_, model_, pmem_config);
+  SsbEngine hybrid(db_, model_, hybrid_config);
+  SsbEngine dram(db_, model_, dram_config);
+  ASSERT_TRUE(pmem.Prepare().ok());
+  ASSERT_TRUE(hybrid.Prepare().ok());
+  ASSERT_TRUE(dram.Prepare().ok());
+
+  double pmem_total = 0.0;
+  double hybrid_total = 0.0;
+  double dram_total = 0.0;
+  for (QueryId query : ssb::AllQueries()) {
+    pmem_total += pmem.Execute(query)->seconds;
+    hybrid_total += hybrid.Execute(query)->seconds;
+    dram_total += dram.Execute(query)->seconds;
+  }
+  EXPECT_LT(hybrid_total, pmem_total);
+  EXPECT_GE(hybrid_total, dram_total);
+  // The hybrid plan recovers most of the gap (probes are the PMEM pain).
+  double recovered = (pmem_total - hybrid_total) / (pmem_total - dram_total);
+  EXPECT_GT(recovered, 0.5);
+}
+
+TEST_F(EngineExtensionsTest, IntermediateMediaOverrideApplied) {
+  EngineConfig config = BaseConfig();
+  config.intermediate_media = Media::kDram;
+  SsbEngine engine(db_, model_, config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  auto run = engine.Execute(QueryId::kQ2_1);
+  ASSERT_TRUE(run.ok());
+  for (const TrafficRecord& record : run->profile.records()) {
+    if (record.label == "intermediate" || record.label == "aggregate") {
+      EXPECT_EQ(record.media, Media::kDram) << record.label;
+    }
+    if (record.label.starts_with("probe-")) {
+      EXPECT_EQ(record.media, Media::kPmem) << record.label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmemolap

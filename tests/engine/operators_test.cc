@@ -1,0 +1,320 @@
+// Tests for the operator framework: unit behavior of each operator plus
+// three-way cross-validation (plans vs reference executor) of all 13 SSB
+// queries with both index kinds.
+#include "engine/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/plans.h"
+#include "ssb/reference.h"
+
+namespace pmemolap {
+namespace {
+
+using ssb::QueryId;
+
+/// Shared database + indexes for all operator tests.
+class OperatorEnv {
+ public:
+  static OperatorEnv& Get() {
+    static OperatorEnv env;
+    return env;
+  }
+
+  const ssb::Database& db() const { return db_; }
+  const ssb::ReferenceExecutor& reference() const { return reference_; }
+
+  IndexSet Indexes(IndexKind kind) const {
+    const auto& set = kind == IndexKind::kDash ? dash_ : chained_;
+    return IndexSet{set[0].get(), set[1].get(), set[2].get(), set[3].get()};
+  }
+
+ private:
+  OperatorEnv()
+      : db_(*ssb::Generate({.scale_factor = 0.01, .seed = 31})),
+        reference_(&db_) {
+    for (IndexKind kind : {IndexKind::kDash, IndexKind::kChained}) {
+      auto& set = kind == IndexKind::kDash ? dash_ : chained_;
+      for (int i = 0; i < 4; ++i) {
+        set[i] = std::make_unique<DimensionIndex>(kind);
+      }
+      // Same payload encodings as the engine (date, geo, geo, part).
+      for (const ssb::DateRow& d : db_.date) {
+        (void)set[0]->Insert(
+            static_cast<uint64_t>(d.datekey),
+            (static_cast<uint64_t>(d.year) << 40) |
+                (static_cast<uint64_t>(d.yearmonthnum) << 16) |
+                (static_cast<uint64_t>(static_cast<uint8_t>(
+                     d.weeknuminyear))
+                 << 8) |
+                static_cast<uint64_t>(
+                    static_cast<uint8_t>(d.monthnuminyear)));
+      }
+      auto geo = [](int nation, int region, int city) {
+        return (static_cast<uint64_t>(nation) << 16) |
+               (static_cast<uint64_t>(region) << 8) |
+               static_cast<uint64_t>(city);
+      };
+      for (const ssb::CustomerRow& c : db_.customer) {
+        (void)set[1]->Insert(static_cast<uint64_t>(c.custkey),
+                             geo(c.nation, c.region, c.city));
+      }
+      for (const ssb::SupplierRow& s : db_.supplier) {
+        (void)set[2]->Insert(static_cast<uint64_t>(s.suppkey),
+                             geo(s.nation, s.region, s.city));
+      }
+      for (const ssb::PartRow& p : db_.part) {
+        (void)set[3]->Insert(static_cast<uint64_t>(p.partkey),
+                             (static_cast<uint64_t>(p.mfgr) << 16) |
+                                 (static_cast<uint64_t>(p.category) << 8) |
+                                 static_cast<uint64_t>(p.brand));
+      }
+    }
+  }
+
+  ssb::Database db_;
+  ssb::ReferenceExecutor reference_;
+  std::array<std::unique_ptr<DimensionIndex>, 4> dash_;
+  std::array<std::unique_ptr<DimensionIndex>, 4> chained_;
+};
+
+// --- Operator units -----------------------------------------------------------
+
+TEST(ScanOperatorTest, VisitsEveryTupleOnce) {
+  OperatorEnv& env = OperatorEnv::Get();
+  ScanOperator scan(&env.db(), 0, env.db().lineorder.size());
+  std::vector<Row> batch;
+  uint64_t seen = 0;
+  bool more = true;
+  while (more) {
+    more = scan.Next(&batch);
+    seen += batch.size();
+    EXPECT_LE(batch.size(), Operator::kBatchSize);
+  }
+  EXPECT_EQ(seen, env.db().lineorder.size());
+  EXPECT_EQ(scan.tuples_scanned(), env.db().lineorder.size());
+}
+
+TEST(ScanOperatorTest, RangeAndPredicateRespected) {
+  OperatorEnv& env = OperatorEnv::Get();
+  ScanOperator scan(&env.db(), 100, 300, [](const ssb::LineorderRow& lo) {
+    return lo.discount >= 5;
+  });
+  std::vector<Row> batch;
+  uint64_t emitted = 0;
+  bool more = true;
+  while (more) {
+    more = scan.Next(&batch);
+    for (const Row& row : batch) {
+      EXPECT_GE(row.lineorder->discount, 5);
+      ++emitted;
+    }
+  }
+  uint64_t expected = 0;
+  for (uint64_t i = 100; i < 300; ++i) {
+    if (env.db().lineorder[i].discount >= 5) ++expected;
+  }
+  EXPECT_EQ(emitted, expected);
+  EXPECT_EQ(scan.tuples_scanned(), 200u);
+}
+
+TEST(ScanOperatorTest, EmptyRange) {
+  OperatorEnv& env = OperatorEnv::Get();
+  ScanOperator scan(&env.db(), 10, 10);
+  std::vector<Row> batch;
+  EXPECT_FALSE(scan.Next(&batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(JoinOperatorTest, DecodesAndFilters) {
+  OperatorEnv& env = OperatorEnv::Get();
+  IndexSet indexes = env.Indexes(IndexKind::kDash);
+  auto scan = std::make_unique<ScanOperator>(&env.db(), 0, 2000);
+  JoinOperator join(std::move(scan), Dimension::kCustomer, indexes.customer,
+                    [](const Row& row) { return row.c_region == 2; });
+  std::vector<Row> batch;
+  uint64_t emitted = 0;
+  bool more = true;
+  while (more) {
+    more = join.Next(&batch);
+    for (const Row& row : batch) {
+      const ssb::CustomerRow& c =
+          env.db().customer[row.lineorder->custkey - 1];
+      EXPECT_EQ(row.c_nation, c.nation);
+      EXPECT_EQ(row.c_region, 2);
+      EXPECT_EQ(row.c_city, ssb::CityId(c.nation, c.city));
+      ++emitted;
+    }
+  }
+  EXPECT_EQ(join.probes(), 2000u);
+  uint64_t expected = 0;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    if (env.db()
+            .customer[env.db().lineorder[i].custkey - 1]
+            .region == 2) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(emitted, expected);
+}
+
+TEST(AggregateOperatorTest, ScalarSum) {
+  OperatorEnv& env = OperatorEnv::Get();
+  auto scan = std::make_unique<ScanOperator>(&env.db(), 0, 500);
+  AggregateOperator agg(std::move(scan), nullptr,
+                        [](const Row& row) { return row.lineorder->revenue; });
+  auto result = agg.Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->scalar);
+  int64_t expected = 0;
+  for (uint64_t i = 0; i < 500; ++i) {
+    expected += env.db().lineorder[i].revenue;
+  }
+  EXPECT_EQ(result->value, expected);
+  EXPECT_EQ(agg.rows_aggregated(), 500u);
+}
+
+TEST(AggregateOperatorTest, RequiresValueExtractor) {
+  OperatorEnv& env = OperatorEnv::Get();
+  auto scan = std::make_unique<ScanOperator>(&env.db(), 0, 10);
+  AggregateOperator agg(std::move(scan), nullptr, nullptr);
+  EXPECT_FALSE(agg.Execute().ok());
+}
+
+// --- Plan builder -------------------------------------------------------------
+
+TEST(PlanBuilderTest, MissingIndexRejected) {
+  OperatorEnv& env = OperatorEnv::Get();
+  IndexSet indexes;  // all null
+  QuerySpec spec = SsbQuerySpec(QueryId::kQ2_1);
+  auto result = ExecutePlan(spec, &env.db(), indexes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlanBuilderTest, BadRangeRejected) {
+  OperatorEnv& env = OperatorEnv::Get();
+  QuerySpec spec = SsbQuerySpec(QueryId::kQ1_1);
+  auto pipeline = BuildPipeline(spec, &env.db(),
+                                env.Indexes(IndexKind::kDash), 10, 5);
+  EXPECT_FALSE(pipeline.ok());
+  pipeline = BuildPipeline(spec, &env.db(), env.Indexes(IndexKind::kDash),
+                           0, env.db().lineorder.size() + 1);
+  EXPECT_FALSE(pipeline.ok());
+}
+
+TEST(PlanBuilderTest, PartitionedExecutionComposes) {
+  // Executing two half-ranges and merging equals the full range — the
+  // property the engine's per-socket partitioning relies on.
+  OperatorEnv& env = OperatorEnv::Get();
+  QuerySpec spec = SsbQuerySpec(QueryId::kQ2_1);
+  IndexSet indexes = env.Indexes(IndexKind::kDash);
+  uint64_t half = env.db().lineorder.size() / 2;
+  auto lo = BuildPipeline(spec, &env.db(), indexes, 0, half);
+  auto hi = BuildPipeline(spec, &env.db(), indexes, half,
+                          env.db().lineorder.size());
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  auto lo_out = (*lo)->Execute();
+  auto hi_out = (*hi)->Execute();
+  ASSERT_TRUE(lo_out.ok());
+  ASSERT_TRUE(hi_out.ok());
+  ssb::QueryOutput merged = *lo_out;
+  for (const auto& [key, value] : hi_out->groups) {
+    merged.groups[key] += value;
+  }
+  EXPECT_TRUE(merged == env.reference().Execute(QueryId::kQ2_1));
+}
+
+/// Three-way validation: plans match the reference executor for every
+/// query and both index kinds.
+class PlanCorrectnessTest
+    : public ::testing::TestWithParam<std::tuple<QueryId, IndexKind>> {};
+
+TEST_P(PlanCorrectnessTest, MatchesReference) {
+  auto [query, kind] = GetParam();
+  OperatorEnv& env = OperatorEnv::Get();
+  QuerySpec spec = SsbQuerySpec(query);
+  auto result = ExecutePlan(spec, &env.db(), env.Indexes(kind));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(*result == env.reference().Execute(query))
+      << ssb::QueryName(query);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQueriesBothIndexes, PlanCorrectnessTest,
+    ::testing::Combine(::testing::ValuesIn(ssb::AllQueries()),
+                       ::testing::Values(IndexKind::kDash,
+                                         IndexKind::kChained)),
+    [](const auto& info) {
+      std::string name =
+          ssb::QueryName(std::get<0>(info.param)) + "_" +
+          (std::get<1>(info.param) == IndexKind::kDash ? "Dash" : "Chained");
+      for (char& c : name) {
+        if (c == '.') c = '_';
+      }
+      return name;
+    });
+
+TEST(PlanBuilderTest, ParallelExecutionMatchesSerial) {
+  OperatorEnv& env = OperatorEnv::Get();
+  IndexSet indexes = env.Indexes(IndexKind::kDash);
+  for (QueryId query : {QueryId::kQ1_1, QueryId::kQ2_1, QueryId::kQ3_2,
+                        QueryId::kQ4_2}) {
+    QuerySpec spec = SsbQuerySpec(query);
+    auto serial = ExecutePlan(spec, &env.db(), indexes);
+    auto parallel = ExecutePlanParallel(spec, &env.db(), indexes, 8);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_TRUE(*serial == *parallel) << ssb::QueryName(query);
+  }
+  // Degenerate worker counts.
+  QuerySpec spec = SsbQuerySpec(QueryId::kQ1_1);
+  EXPECT_FALSE(ExecutePlanParallel(spec, &env.db(), indexes, 0).ok());
+  auto one = ExecutePlanParallel(spec, &env.db(), indexes, 1);
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(*one == env.reference().Execute(QueryId::kQ1_1));
+  // More workers than tuples still works.
+  auto many = ExecutePlanParallel(spec, &env.db(), indexes, 97);
+  ASSERT_TRUE(many.ok());
+  EXPECT_TRUE(*many == env.reference().Execute(QueryId::kQ1_1));
+}
+
+// --- Ad-hoc query composition ---------------------------------------------------
+
+TEST(AdHocQueryTest, CustomStarJoin) {
+  // A query no SSB flight contains: revenue by supplier region for
+  // high-discount orders in 1995 — composed from the same operators.
+  OperatorEnv& env = OperatorEnv::Get();
+  QuerySpec spec;
+  spec.lineorder_filter = [](const ssb::LineorderRow& lo) {
+    return lo.discount >= 8;
+  };
+  spec.joins = {{Dimension::kDate,
+                 [](const Row& row) { return row.year == 1995; }},
+                {Dimension::kSupplier, nullptr}};
+  spec.group_key = [](const Row& row) {
+    return ssb::GroupKey{row.s_region, 0, 0};
+  };
+  spec.value = [](const Row& row) {
+    return static_cast<int64_t>(row.lineorder->revenue);
+  };
+  auto result =
+      ExecutePlan(spec, &env.db(), env.Indexes(IndexKind::kDash));
+  ASSERT_TRUE(result.ok());
+
+  // Independent recomputation.
+  ssb::GroupMap expected;
+  std::unordered_map<int32_t, int16_t> year_of;
+  for (const ssb::DateRow& d : env.db().date) year_of[d.datekey] = d.year;
+  for (const ssb::LineorderRow& lo : env.db().lineorder) {
+    if (lo.discount < 8 || year_of[lo.orderdate] != 1995) continue;
+    const ssb::SupplierRow& s = env.db().supplier[lo.suppkey - 1];
+    expected[{s.region, 0, 0}] += lo.revenue;
+  }
+  EXPECT_EQ(result->groups, expected);
+  EXPECT_EQ(result->rows(), expected.size());
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,104 @@
+#include "exec/memory_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+class MemoryModeTest : public ::testing::Test {
+ protected:
+  MemoryModeTest() : memory_mode_(&model_), runner_(&model_) {}
+
+  MemSystemModel model_;
+  MemoryModeModel memory_mode_;
+  WorkloadRunner runner_;
+};
+
+TEST_F(MemoryModeTest, HitRatioFollowsWorkingSet) {
+  // Platform DRAM cache: 96 GiB per socket.
+  EXPECT_DOUBLE_EQ(memory_mode_.HitRatio(Pattern::kRandom, 16 * kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(memory_mode_.HitRatio(Pattern::kRandom, 96 * kGiB), 1.0);
+  EXPECT_DOUBLE_EQ(memory_mode_.HitRatio(Pattern::kRandom, 192 * kGiB), 0.5);
+  EXPECT_NEAR(memory_mode_.HitRatio(Pattern::kRandom, 768 * kGiB), 0.125,
+              1e-9);
+}
+
+TEST_F(MemoryModeTest, StreamingThrashesTheCache) {
+  double hit =
+      memory_mode_.HitRatio(Pattern::kSequentialIndividual, 384 * kGiB);
+  EXPECT_LT(hit, 0.1);
+  // ... but fits-in-cache streams hit fully.
+  EXPECT_DOUBLE_EQ(
+      memory_mode_.HitRatio(Pattern::kSequentialIndividual, 32 * kGiB), 1.0);
+}
+
+TEST_F(MemoryModeTest, FittingWorkingSetRunsNearDram) {
+  RunOptions options;
+  options.region_bytes = 16 * kGiB;
+  double mm = memory_mode_
+                  .Bandwidth(OpType::kRead, Pattern::kRandom, 4096, 36,
+                             options)
+                  .value_or(0.0);
+  double dram = runner_
+                    .Bandwidth(OpType::kRead, Pattern::kRandom, Media::kDram,
+                               4096, 36, options)
+                    .value_or(0.0);
+  EXPECT_GT(mm, dram * 0.9);
+  EXPECT_LE(mm, dram);
+}
+
+TEST_F(MemoryModeTest, OverflowingWorkingSetApproachesPmem) {
+  RunOptions options;
+  options.region_bytes = 768 * kGiB;
+  double mm = memory_mode_
+                  .Bandwidth(OpType::kRead, Pattern::kRandom, 4096, 36,
+                             options)
+                  .value_or(0.0);
+  double pmem = runner_
+                    .Bandwidth(OpType::kRead, Pattern::kRandom, Media::kPmem,
+                               4096, 36, options)
+                    .value_or(0.0);
+  // Below App Direct PMEM even: misses pay the cache-fill overhead, and
+  // the residual hits only partially compensate.
+  EXPECT_LT(mm, pmem * 1.25);
+  EXPECT_GT(mm, pmem * 0.7);
+}
+
+TEST_F(MemoryModeTest, BandwidthMonotoneInHitRatio) {
+  double prev = 1e18;
+  for (uint64_t region : {16 * kGiB, 128 * kGiB, 256 * kGiB, 512 * kGiB}) {
+    RunOptions options;
+    options.region_bytes = region;
+    double mm = memory_mode_
+                    .Bandwidth(OpType::kRead, Pattern::kRandom, 4096, 36,
+                               options)
+                    .value_or(0.0);
+    EXPECT_LT(mm, prev) << region;
+    prev = mm;
+  }
+}
+
+TEST_F(MemoryModeTest, LargeScansSeeLittleCacheBenefit) {
+  RunOptions options;
+  options.region_bytes = 384 * kGiB;
+  double mm = memory_mode_
+                  .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                             4096, 18, options)
+                  .value_or(0.0);
+  double pmem = runner_
+                    .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                               Media::kPmem, 4096, 18, options)
+                    .value_or(0.0);
+  // Within ~20% of raw App Direct PMEM: the cache does not help scans.
+  EXPECT_NEAR(mm / pmem, 0.9, 0.2);
+}
+
+TEST_F(MemoryModeTest, ErrorsPropagate) {
+  RunOptions options;
+  auto result = memory_mode_.Bandwidth(OpType::kRead, Pattern::kRandom,
+                                       4096, 0, options);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,138 @@
+#include "memsys/issue_model.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/pinning.h"
+
+namespace pmemolap {
+namespace {
+
+class IssueModelTest : public ::testing::Test {
+ protected:
+  AccessClass MakeClass(OpType op, Pattern pattern, Media media, int threads,
+                        PinningPolicy pinning = PinningPolicy::kCores) {
+    SystemTopology topo = SystemTopology::PaperServer();
+    ThreadPlacer placer(topo);
+    AccessClass klass;
+    klass.op = op;
+    klass.pattern = pattern;
+    klass.media = media;
+    klass.access_size = 4096;
+    klass.placement = *placer.Place(threads, pinning, 0);
+    return klass;
+  }
+
+  IssueModel model_;
+};
+
+TEST_F(IssueModelTest, PmemReadPerThreadCalibration) {
+  // 8 threads reach ~85% of the 40 GB/s socket peak => ~4.4 GB/s each.
+  double rate = model_.PerThread(OpType::kRead,
+                                 Pattern::kSequentialIndividual, Media::kPmem,
+                                 true, 4096);
+  EXPECT_NEAR(rate * 8, 35.0, 2.0);
+}
+
+TEST_F(IssueModelTest, PmemWriteFourThreadsSaturate) {
+  double rate = model_.PerThread(OpType::kWrite,
+                                 Pattern::kSequentialIndividual, Media::kPmem,
+                                 true, 4096);
+  EXPECT_GE(rate * 4, 12.6);
+  EXPECT_LT(rate * 3, 12.6);
+}
+
+TEST_F(IssueModelTest, FarRatesLowerThanNear) {
+  for (OpType op : {OpType::kRead, OpType::kWrite}) {
+    for (Media media : {Media::kPmem, Media::kDram}) {
+      double near = model_.PerThread(op, Pattern::kSequentialIndividual,
+                                     media, true, 4096);
+      double far = model_.PerThread(op, Pattern::kSequentialIndividual,
+                                    media, false, 4096);
+      EXPECT_LT(far, near);
+    }
+  }
+}
+
+TEST_F(IssueModelTest, FarWritesNeedSixThreadsForCeiling) {
+  // Paper §4.4: at least 6 threads to reach the ~7 GB/s far-write ceiling.
+  double rate = model_.PerThread(OpType::kWrite,
+                                 Pattern::kSequentialIndividual, Media::kPmem,
+                                 false, 4096);
+  EXPECT_LT(rate * 5, 7.0);
+  EXPECT_GE(rate * 6, 7.0);
+}
+
+TEST_F(IssueModelTest, RandomSlowerThanSequentialPerThread) {
+  double seq = model_.PerThread(OpType::kRead, Pattern::kSequentialIndividual,
+                                Media::kPmem, true, 256);
+  double rand = model_.PerThread(OpType::kRead, Pattern::kRandom,
+                                 Media::kPmem, true, 256);
+  EXPECT_LT(rand, seq);
+}
+
+TEST_F(IssueModelTest, RandomRateGrowsWithAccessSize) {
+  double at_256 = model_.PerThread(OpType::kRead, Pattern::kRandom,
+                                   Media::kPmem, true, 256);
+  double at_4k = model_.PerThread(OpType::kRead, Pattern::kRandom,
+                                  Media::kPmem, true, 4096);
+  EXPECT_NEAR(at_4k / at_256, 2.0, 0.01);  // (4096/256)^0.25 = 2
+  // Sub-line sizes do not get slower than the 256 B latency floor.
+  double at_64 = model_.PerThread(OpType::kRead, Pattern::kRandom,
+                                  Media::kPmem, true, 64);
+  EXPECT_DOUBLE_EQ(at_64, at_256);
+  // Boost is clamped.
+  double huge = model_.PerThread(OpType::kRead, Pattern::kRandom,
+                                 Media::kPmem, true, 1 << 20);
+  EXPECT_DOUBLE_EQ(huge, at_256 * 3.0);
+}
+
+TEST_F(IssueModelTest, ClassIssueBoundScalesWithThreads) {
+  double at_4 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 4));
+  double at_8 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 8));
+  EXPECT_NEAR(at_8, 2 * at_4, 1e-9);
+}
+
+TEST_F(IssueModelTest, HyperthreadsContributeLessSequential) {
+  double at_18 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 18));
+  double at_36 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 36));
+  // 18 HT siblings add only 35% each.
+  EXPECT_NEAR(at_36 / at_18, 1.35, 0.01);
+}
+
+TEST_F(IssueModelTest, HyperthreadsContributeMoreForRandom) {
+  double seq_36 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 36));
+  double seq_18 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 18));
+  double rand_36 = model_.ClassIssueBound(
+      MakeClass(OpType::kRead, Pattern::kRandom, Media::kPmem, 36));
+  double rand_18 = model_.ClassIssueBound(
+      MakeClass(OpType::kRead, Pattern::kRandom, Media::kPmem, 18));
+  EXPECT_GT(rand_36 / rand_18, seq_36 / seq_18);
+}
+
+TEST_F(IssueModelTest, OversubscriptionAddsNoCapacity) {
+  double at_36 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 36));
+  double at_72 = model_.ClassIssueBound(MakeClass(
+      OpType::kRead, Pattern::kSequentialIndividual, Media::kPmem, 72));
+  EXPECT_LE(at_72, at_36 * 1.01);
+}
+
+TEST_F(IssueModelTest, DramFasterThanPmemPerThread) {
+  for (Pattern pattern :
+       {Pattern::kSequentialIndividual, Pattern::kRandom}) {
+    double pmem = model_.PerThread(OpType::kRead, pattern, Media::kPmem,
+                                   true, 4096);
+    double dram = model_.PerThread(OpType::kRead, pattern, Media::kDram,
+                                   true, 4096);
+    EXPECT_GT(dram, pmem);
+  }
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,594 @@
+#include "memsys/mem_system.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/runner.h"
+
+namespace pmemolap {
+namespace {
+
+/// Shared fixture: one paper-server model and a runner over it.
+class MemSystemTest : public ::testing::Test {
+ protected:
+  MemSystemTest() : runner_(&model_) {}
+
+  double Bandwidth(OpType op, Pattern pattern, Media media, uint64_t size,
+                   int threads, RunOptions options = RunOptions()) {
+    Result<GigabytesPerSecond> result =
+        runner_.Bandwidth(op, pattern, media, size, threads, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value_or(0.0);
+  }
+
+  MemSystemModel model_;
+  WorkloadRunner runner_;
+};
+
+// --- Sequential read (paper Fig. 3) -----------------------------------------
+
+TEST_F(MemSystemTest, ReadPeakMatchesPaper) {
+  // ~40 GB/s with 18 threads on one socket.
+  double peak = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, 18);
+  EXPECT_NEAR(peak, 40.0, 2.0);
+}
+
+TEST_F(MemSystemTest, ReadEightThreadsNearPeak) {
+  // Paper: 8 threads reach within ~15% of 36 threads.
+  double at_8 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, 8);
+  double at_36 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                           Media::kPmem, 4096, 36);
+  EXPECT_GT(at_8, at_36 * 0.8);
+}
+
+TEST_F(MemSystemTest, HyperthreadedReadsDoNotBeatPhysicalPeak) {
+  double at_18 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                           Media::kPmem, 4096, 18);
+  for (int threads : {24, 32, 36}) {
+    double bw = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, threads);
+    EXPECT_LE(bw, at_18 + 0.1) << threads;
+  }
+}
+
+TEST_F(MemSystemTest, DisabledPrefetcherRestoresHyperthreadPeak) {
+  RunOptions no_prefetch;
+  no_prefetch.l2_prefetcher_enabled = false;
+  double at_36 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                           Media::kPmem, 4096, 36, no_prefetch);
+  EXPECT_NEAR(at_36, 40.0, 2.0);
+}
+
+TEST_F(MemSystemTest, GroupedSmallReadsCollapse) {
+  // Grouped 64 B at 36 threads lands on ~1.5 DIMMs (paper: 12 vs 40 GB/s).
+  double small = Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                           Media::kPmem, 64, 36);
+  double large = Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                           Media::kPmem, 4096, 36);
+  EXPECT_LT(small, large / 2.5);
+}
+
+TEST_F(MemSystemTest, GroupedPrefetcherDipAt1K) {
+  double at_1k = Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                           Media::kPmem, 1024, 36);
+  double at_4k = Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                           Media::kPmem, 4096, 36);
+  EXPECT_LT(at_1k, at_4k * 0.75);
+  // Disabling the prefetcher removes the dip.
+  RunOptions no_prefetch;
+  no_prefetch.l2_prefetcher_enabled = false;
+  double fixed = Bandwidth(OpType::kRead, Pattern::kSequentialGrouped,
+                           Media::kPmem, 1024, 36, no_prefetch);
+  EXPECT_GT(fixed, at_1k * 1.3);
+}
+
+TEST_F(MemSystemTest, IndividualReadsInsensitiveToAccessSize) {
+  // Paper Fig. 3b: individual reads are flat across access sizes.
+  double at_64 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                           Media::kPmem, 64, 18);
+  double at_64k = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                            Media::kPmem, 65536, 18);
+  EXPECT_NEAR(at_64, at_64k, at_64k * 0.1);
+  EXPECT_GT(at_64, 30.0);  // "still achieve 30+ GB/s"
+}
+
+// --- Pinning and NUMA (Figs. 4, 5) ------------------------------------------
+
+TEST_F(MemSystemTest, NoPinningCollapsesReads) {
+  RunOptions none;
+  none.pinning = PinningPolicy::kNone;
+  double best = 0.0;
+  for (int threads : {1, 4, 8, 18, 24, 36}) {
+    best = std::max(best, Bandwidth(OpType::kRead,
+                                    Pattern::kSequentialIndividual,
+                                    Media::kPmem, 4096, threads, none));
+  }
+  EXPECT_NEAR(best, 9.0, 1.5);  // paper: ~9 GB/s peak
+}
+
+TEST_F(MemSystemTest, CoresPinningBeatsNumaBeyond18Threads) {
+  RunOptions cores;
+  cores.pinning = PinningPolicy::kCores;
+  RunOptions numa;
+  numa.pinning = PinningPolicy::kNumaRegion;
+  double cores_bw = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                              Media::kPmem, 4096, 24, cores);
+  double numa_bw = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                             Media::kPmem, 4096, 24, numa);
+  EXPECT_GT(cores_bw, numa_bw);
+  // ... but they are nearly identical at <= 18 threads.
+  double cores_18 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                              Media::kPmem, 4096, 18, cores);
+  double numa_18 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                             Media::kPmem, 4096, 18, numa);
+  EXPECT_NEAR(numa_18 / cores_18, 1.0, 0.05);
+}
+
+TEST_F(MemSystemTest, ColdFarReadsCapNear8) {
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  far.run_index = 1;
+  double bw = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                        Media::kPmem, 4096, 4, far);
+  EXPECT_NEAR(bw, 8.0, 0.5);
+  // The optimal thread count shifts to ~4: more threads are NOT faster.
+  double at_18 = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                           Media::kPmem, 4096, 18, far);
+  EXPECT_LE(at_18, bw);
+}
+
+TEST_F(MemSystemTest, WarmFarReadsReach33) {
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  far.run_index = 2;
+  double bw = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                        Media::kPmem, 4096, 18, far);
+  EXPECT_NEAR(bw, 33.0, 1.0);
+}
+
+TEST_F(MemSystemTest, StatefulDirectoryWarmsAcrossRuns) {
+  MemSystemModel model;  // fresh stateful model
+  WorkloadRunner runner(&model);
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  Result<AccessClass> klass =
+      runner.MakeClass(OpType::kRead, Pattern::kSequentialIndividual,
+                       Media::kPmem, 4096, 18, far);
+  ASSERT_TRUE(klass.ok());
+  WorkloadSpec spec;
+  spec.classes.push_back(klass.value());
+  double first = model.Evaluate(spec).total_gbps;
+  double second = model.Evaluate(spec).total_gbps;
+  EXPECT_LT(first, 8.5);
+  EXPECT_GT(second, 30.0);
+}
+
+// --- Multi-socket (Figs. 6, 10) ---------------------------------------------
+
+TEST_F(MemSystemTest, TwoNearReadsScaleLinearly) {
+  auto result = runner_.MultiSocket(OpType::kRead, Media::kPmem,
+                                    MultiSocketConfig::kTwoNear, 18, 4096);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gbps, 80.0, 4.0);
+  // Near-only access does not use the UPI.
+  EXPECT_DOUBLE_EQ(result->upi_utilization, 0.0);
+}
+
+TEST_F(MemSystemTest, TwoFarReadsLimitedByUpi) {
+  auto pmem = runner_.MultiSocket(OpType::kRead, Media::kPmem,
+                                  MultiSocketConfig::kTwoFar, 18, 4096);
+  auto dram = runner_.MultiSocket(OpType::kRead, Media::kDram,
+                                  MultiSocketConfig::kTwoFar, 18, 4096);
+  ASSERT_TRUE(pmem.ok());
+  ASSERT_TRUE(dram.ok());
+  EXPECT_NEAR(pmem->total_gbps, 50.0, 3.0);
+  EXPECT_NEAR(dram->total_gbps, 60.0, 3.0);
+  EXPECT_GT(pmem->upi_utilization, 0.7);
+}
+
+TEST_F(MemSystemTest, SharedRegionReadsCollapseOnPmemNotDram) {
+  auto pmem = runner_.MultiSocket(OpType::kRead, Media::kPmem,
+                                  MultiSocketConfig::kNearFarShared, 18, 4096);
+  auto dram = runner_.MultiSocket(OpType::kRead, Media::kDram,
+                                  MultiSocketConfig::kNearFarShared, 18, 4096);
+  ASSERT_TRUE(pmem.ok());
+  ASSERT_TRUE(dram.ok());
+  EXPECT_LT(pmem->total_gbps, 15.0);  // "very low bandwidth"
+  EXPECT_NEAR(dram->total_gbps, 60.0, 6.0);  // ~the 2-Far level
+}
+
+TEST_F(MemSystemTest, MultiSocketWriteConfigs) {
+  auto one_near = runner_.MultiSocket(OpType::kWrite, Media::kPmem,
+                                      MultiSocketConfig::kOneNear, 4, 4096);
+  auto two_near = runner_.MultiSocket(OpType::kWrite, Media::kPmem,
+                                      MultiSocketConfig::kTwoNear, 4, 4096);
+  ASSERT_TRUE(one_near.ok());
+  ASSERT_TRUE(two_near.ok());
+  EXPECT_NEAR(one_near->total_gbps, 12.6, 1.0);
+  EXPECT_NEAR(two_near->total_gbps, 25.0, 2.0);
+
+  auto two_far = runner_.MultiSocket(OpType::kWrite, Media::kPmem,
+                                     MultiSocketConfig::kTwoFar, 8, 4096);
+  ASSERT_TRUE(two_far.ok());
+  EXPECT_NEAR(two_far->total_gbps, 13.0, 2.0);
+
+  auto shared = runner_.MultiSocket(OpType::kWrite, Media::kPmem,
+                                    MultiSocketConfig::kNearFarShared, 8,
+                                    4096);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_LT(shared->total_gbps, two_near->total_gbps);
+  EXPECT_NEAR(shared->total_gbps, 8.0, 2.5);
+}
+
+// --- Sequential write (Figs. 7, 8, 9) ----------------------------------------
+
+TEST_F(MemSystemTest, WritePeakMatchesPaper) {
+  double peak = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                          Media::kPmem, 4096, 4);
+  EXPECT_NEAR(peak, 12.6, 0.6);
+}
+
+TEST_F(MemSystemTest, FourToSixWriteThreadsAreOptimal) {
+  double best_46 = 0.0;
+  for (int threads : {4, 5, 6}) {
+    best_46 = std::max(best_46,
+                       Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                                 Media::kPmem, 16384, threads));
+  }
+  for (int threads : {18, 24, 36}) {
+    double bw = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                          Media::kPmem, 16384, threads);
+    EXPECT_LT(bw, best_46 * 0.8) << threads;
+  }
+}
+
+TEST_F(MemSystemTest, HighThreadWritesPreferSmallAccess) {
+  // Paper: "the higher the thread count, the lower the access size must
+  // be": at 36 threads, 256 B beats 16 KB.
+  double small = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                           Media::kPmem, 256, 36);
+  double large = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                           Media::kPmem, 16384, 36);
+  EXPECT_GT(small, large * 1.5);
+}
+
+TEST_F(MemSystemTest, GroupedVsIndividualSmallWrites) {
+  // 64 B at 36 threads: 2.6 vs 9.6 GB/s in the paper.
+  double grouped = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                             Media::kPmem, 64, 36);
+  double individual = Bandwidth(OpType::kWrite,
+                                Pattern::kSequentialIndividual, Media::kPmem,
+                                64, 36);
+  EXPECT_GT(individual, grouped * 2.5);
+  EXPECT_NEAR(grouped, 2.6, 1.0);
+  EXPECT_NEAR(individual, 9.6, 1.5);
+}
+
+TEST_F(MemSystemTest, BoomerangScalingBothCollapses) {
+  double threads_only = Bandwidth(
+      OpType::kWrite, Pattern::kSequentialGrouped, Media::kPmem, 256, 36);
+  double size_only = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                               Media::kPmem, 65536, 4);
+  double both = Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                          Media::kPmem, 65536, 36);
+  EXPECT_GT(threads_only, 10.0);
+  EXPECT_GT(size_only, 10.0);
+  EXPECT_LT(both, 7.0);
+}
+
+TEST_F(MemSystemTest, WriteNoPinningHalvesBandwidth) {
+  RunOptions none;
+  none.pinning = PinningPolicy::kNone;
+  double best = 0.0;
+  for (int threads : {4, 8, 18, 36}) {
+    best = std::max(best, Bandwidth(OpType::kWrite,
+                                    Pattern::kSequentialIndividual,
+                                    Media::kPmem, 4096, threads, none));
+  }
+  EXPECT_NEAR(best, 7.0, 1.0);  // paper: ~7 vs ~13 GB/s (2x loss)
+}
+
+TEST_F(MemSystemTest, FarWritesCapNear7) {
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  double at_8 = Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, 8, far);
+  EXPECT_NEAR(at_8, 7.0, 0.7);
+  // Unlike reads there is no warm-up: run 2 is the same.
+  far.run_index = 2;
+  double warm = Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, 8, far);
+  EXPECT_NEAR(warm, at_8, 0.1);
+}
+
+TEST_F(MemSystemTest, FarWriteAmplificationDiagnosed) {
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  auto result = runner_.Run(OpType::kWrite, Pattern::kSequentialIndividual,
+                            Media::kPmem, 4096, 18, far);
+  ASSERT_TRUE(result.ok());
+  // Paper §4.4: up to 10x internal write amplification with 18 far threads.
+  EXPECT_GT(result->per_class[0].write_amplification, 5.0);
+  EXPECT_LE(result->per_class[0].write_amplification, 10.0);
+}
+
+// --- Mixed workloads (Fig. 11) ----------------------------------------------
+
+TEST_F(MemSystemTest, SingleWriterAlreadyHurtsReaders) {
+  auto solo = runner_.Run(OpType::kRead, Pattern::kSequentialIndividual,
+                          Media::kPmem, 4096, 30, RunOptions());
+  auto mixed = runner_.Mixed(1, 30);
+  ASSERT_TRUE(solo.ok());
+  ASSERT_TRUE(mixed.ok());
+  double solo_read = solo->total_gbps;
+  double mixed_read = mixed->per_class[1].gbps;
+  EXPECT_LT(mixed_read, solo_read * 0.9);
+}
+
+TEST_F(MemSystemTest, BalancedMixDropsBothToAThird) {
+  auto mixed = runner_.Mixed(6, 30);
+  ASSERT_TRUE(mixed.ok());
+  double write_bw = mixed->per_class[0].gbps;
+  double read_bw = mixed->per_class[1].gbps;
+  // Paper: both drop to ~1/3 of their respective maxima (12.6 / 31+).
+  EXPECT_NEAR(write_bw, 4.2, 1.2);
+  EXPECT_NEAR(read_bw, 11.5, 3.0);
+}
+
+TEST_F(MemSystemTest, CombinedMixNeverExceedsReadPeak) {
+  for (int writers : {1, 4, 6}) {
+    for (int readers : {1, 8, 18, 30}) {
+      auto mixed = runner_.Mixed(writers, readers);
+      ASSERT_TRUE(mixed.ok());
+      EXPECT_LE(mixed->total_gbps, 41.0) << writers << "/" << readers;
+    }
+  }
+}
+
+TEST_F(MemSystemTest, MoreReadersHurtWritersAndViceVersa) {
+  double w_with_1 = runner_.Mixed(4, 1)->per_class[0].gbps;
+  double w_with_30 = runner_.Mixed(4, 30)->per_class[0].gbps;
+  EXPECT_LT(w_with_30, w_with_1);
+  double r_with_1 = runner_.Mixed(1, 18)->per_class[1].gbps;
+  double r_with_6 = runner_.Mixed(6, 18)->per_class[1].gbps;
+  EXPECT_LT(r_with_6, r_with_1);
+}
+
+// --- Random access (Figs. 12, 13) -------------------------------------------
+
+TEST_F(MemSystemTest, RandomReadsBelowSequential) {
+  RunOptions region;
+  region.region_bytes = 2 * kGiB;
+  double random = Bandwidth(OpType::kRead, Pattern::kRandom, Media::kPmem,
+                            4096, 36, region);
+  double sequential = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                                Media::kPmem, 4096, 18);
+  // Paper: ~2/3 of sequential for >= 4 KB.
+  EXPECT_NEAR(random / sequential, 0.67, 0.08);
+}
+
+TEST_F(MemSystemTest, RandomReadsHyperthreadingHelps) {
+  RunOptions region;
+  region.region_bytes = 2 * kGiB;
+  double at_18 = Bandwidth(OpType::kRead, Pattern::kRandom, Media::kPmem,
+                           256, 18, region);
+  double at_36 = Bandwidth(OpType::kRead, Pattern::kRandom, Media::kPmem,
+                           256, 36, region);
+  EXPECT_GT(at_36, at_18);
+}
+
+TEST_F(MemSystemTest, RandomWritePeaksAt4To6Threads) {
+  RunOptions region;
+  region.region_bytes = 2 * kGiB;
+  double at_6 = Bandwidth(OpType::kWrite, Pattern::kRandom, Media::kPmem,
+                          4096, 6, region);
+  double at_36 = Bandwidth(OpType::kWrite, Pattern::kRandom, Media::kPmem,
+                           4096, 36, region);
+  EXPECT_NEAR(at_6, 8.4, 1.0);  // ~2/3 of the sequential write peak
+  EXPECT_LT(at_36, at_6);
+}
+
+TEST_F(MemSystemTest, DramRandomDoublesOnLargeRegions) {
+  RunOptions small;
+  small.region_bytes = 2 * kGiB;
+  RunOptions large;
+  large.region_bytes = 90 * kGiB;
+  double small_bw = Bandwidth(OpType::kRead, Pattern::kRandom, Media::kDram,
+                              4096, 36, small);
+  double large_bw = Bandwidth(OpType::kRead, Pattern::kRandom, Media::kDram,
+                              4096, 36, large);
+  EXPECT_NEAR(large_bw / small_bw, 2.0, 0.2);
+  // PMEM is already fully interleaved: region size does not matter.
+  double pmem_small = Bandwidth(OpType::kRead, Pattern::kRandom,
+                                Media::kPmem, 4096, 36, small);
+  double pmem_large = Bandwidth(OpType::kRead, Pattern::kRandom,
+                                Media::kPmem, 4096, 36, large);
+  EXPECT_NEAR(pmem_small, pmem_large, 0.01);
+}
+
+// --- devdax / fsdax (§2.3) ---------------------------------------------------
+
+TEST_F(MemSystemTest, FsdaxCostsFiveToTenPercent) {
+  RunOptions devdax;
+  RunOptions fsdax;
+  fsdax.devdax = false;
+  double dev = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                         Media::kPmem, 4096, 18, devdax);
+  double fs = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                        Media::kPmem, 4096, 18, fsdax);
+  double overhead = dev / fs - 1.0;
+  EXPECT_GT(overhead, 0.05);
+  EXPECT_LT(overhead, 0.11);
+  // DRAM is unaffected by the dax mode.
+  double dram_dev = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                              Media::kDram, 4096, 18, devdax);
+  double dram_fs = Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                             Media::kDram, 4096, 18, fsdax);
+  EXPECT_DOUBLE_EQ(dram_dev, dram_fs);
+}
+
+// --- Parameterized monotonicity sweeps ---------------------------------------
+
+class ReadThreadSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReadThreadSweep, BandwidthNondecreasingUpTo18Threads) {
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+  double prev = 0.0;
+  for (int threads : {1, 2, 4, 8, 16, 18}) {
+    double bw = runner
+                    .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                               Media::kPmem, GetParam(), threads,
+                               RunOptions())
+                    .value_or(0.0);
+    EXPECT_GE(bw, prev - 0.01) << "size=" << GetParam() << " t=" << threads;
+    EXPECT_LE(bw, 41.5);
+    prev = bw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AccessSizes, ReadThreadSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 16384,
+                                           65536));
+
+class WriteSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteSizeSweep, BandwidthWithinDeviceEnvelope) {
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+  for (uint64_t size = 64; size <= 32 * kMiB; size *= 4) {
+    double bw = runner
+                    .Bandwidth(OpType::kWrite, Pattern::kSequentialGrouped,
+                               Media::kPmem, size, GetParam(), RunOptions())
+                    .value_or(-1.0);
+    EXPECT_GE(bw, 0.0) << size;
+    EXPECT_LE(bw, 12.7) << size;  // never above the device write peak
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, WriteSizeSweep,
+                         ::testing::Values(1, 2, 4, 6, 8, 18, 24, 36));
+
+class RandomSizeSweep
+    : public ::testing::TestWithParam<std::tuple<OpType, Media>> {};
+
+TEST_P(RandomSizeSweep, BandwidthNondecreasingInAccessSize) {
+  auto [op, media] = GetParam();
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+  RunOptions options;
+  options.region_bytes = 2 * kGiB;
+  int threads = op == OpType::kWrite ? 6 : 18;
+  double prev = 0.0;
+  for (uint64_t size : {64ull, 256ull, 1024ull, 4096ull, 8192ull}) {
+    double bw = runner.Bandwidth(op, Pattern::kRandom, media, size, threads,
+                                 options)
+                    .value_or(0.0);
+    EXPECT_GE(bw, prev - 0.01)
+        << OpTypeName(op) << " " << MediaName(media) << " " << size;
+    prev = bw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndMedia, RandomSizeSweep,
+    ::testing::Combine(::testing::Values(OpType::kRead, OpType::kWrite),
+                       ::testing::Values(Media::kPmem, Media::kDram)));
+
+// --- Diagnostics --------------------------------------------------------------
+
+TEST_F(MemSystemTest, DiagnosticsPopulated) {
+  auto result = runner_.Run(OpType::kWrite, Pattern::kSequentialGrouped,
+                            Media::kPmem, 64, 36, RunOptions());
+  ASSERT_TRUE(result.ok());
+  const ClassBandwidth& diag = result->per_class[0];
+  EXPECT_GT(diag.issue_bound_gbps, 0.0);
+  EXPECT_GT(diag.device_bound_gbps, 0.0);
+  EXPECT_GT(diag.concurrent_dimms, 0.0);
+  EXPECT_LT(diag.combine_fraction, 1.0);
+  EXPECT_GT(diag.write_amplification, 1.0);
+  EXPECT_DOUBLE_EQ(diag.upi_data_gbps, 0.0);  // near access
+}
+
+TEST_F(MemSystemTest, FarWritesUseUpiInAccessingDirection) {
+  auto result = runner_.MultiSocket(OpType::kWrite, Media::kPmem,
+                                    MultiSocketConfig::kOneFar, 8, 4096);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->per_class[0].upi_data_gbps, 0.0);
+  EXPECT_GT(result->upi_utilization, 0.0);
+  // Far writes are far below the link capacity ("the UPI utilization is
+  // very low when writing", §4.4).
+  EXPECT_LT(result->upi_utilization, 0.5);
+}
+
+TEST_F(MemSystemTest, SocketPoolsAreIndependent) {
+  // A write storm on socket 1 does not slow reads on socket 0 (distinct
+  // device pools, no UPI involvement).
+  WorkloadSpec solo;
+  ThreadPlacer placer(model_.config().topology);
+  AccessClass reader;
+  reader.op = OpType::kRead;
+  reader.pattern = Pattern::kSequentialIndividual;
+  reader.media = Media::kPmem;
+  reader.access_size = 4096;
+  reader.placement = *placer.Place(18, PinningPolicy::kCores, 0);
+  reader.data_socket = 0;
+  solo.classes.push_back(reader);
+  double alone = model_.EvaluateOnce(solo).total_gbps;
+
+  WorkloadSpec joint = solo;
+  AccessClass writer;
+  writer.op = OpType::kWrite;
+  writer.pattern = Pattern::kSequentialIndividual;
+  writer.media = Media::kPmem;
+  writer.access_size = 4096;
+  writer.placement = *placer.Place(6, PinningPolicy::kCores, 1);
+  writer.data_socket = 1;
+  writer.region_id = 99;
+  joint.classes.push_back(writer);
+  BandwidthResult result = model_.EvaluateOnce(joint);
+  EXPECT_NEAR(result.per_class[0].gbps, alone, 1e-9);
+  EXPECT_GT(result.per_class[1].gbps, 10.0);
+}
+
+TEST_F(MemSystemTest, PmemAndDramPoolsIndependentOnOneSocket) {
+  // The paper's machine drives PMEM and DRAM through the same iMCs but
+  // the media are distinct pools in this model: a DRAM stream does not
+  // steal PMEM bandwidth.
+  ThreadPlacer placer(model_.config().topology);
+  WorkloadSpec spec;
+  AccessClass pmem_reader;
+  pmem_reader.op = OpType::kRead;
+  pmem_reader.pattern = Pattern::kSequentialIndividual;
+  pmem_reader.media = Media::kPmem;
+  pmem_reader.access_size = 4096;
+  pmem_reader.placement = *placer.Place(18, PinningPolicy::kCores, 0);
+  pmem_reader.data_socket = 0;
+  AccessClass dram_reader = pmem_reader;
+  dram_reader.media = Media::kDram;
+  dram_reader.region_id = 5;
+  spec.classes = {pmem_reader, dram_reader};
+  BandwidthResult result = model_.EvaluateOnce(spec);
+  EXPECT_NEAR(result.per_class[0].gbps, 39.4, 2.0);
+  EXPECT_NEAR(result.per_class[1].gbps, 99.2, 5.0);
+}
+
+TEST_F(MemSystemTest, SsdClassUsesDeviceRates) {
+  MemSystemModel model;
+  WorkloadRunner runner(&model);
+  RunOptions options;
+  double bw = runner
+                  .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                             Media::kSsd, 4096, 18, options)
+                  .value_or(0.0);
+  EXPECT_NEAR(bw, 3.2, 0.1);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,101 @@
+#include "memsys/prefetcher.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(PrefetcherTest, NoEffectsForPlainSequentialRead) {
+  L2PrefetcherModel model;
+  EXPECT_DOUBLE_EQ(
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 8, 0, 0),
+      1.0);
+}
+
+TEST(PrefetcherTest, GroupedDipAt1And2K) {
+  L2PrefetcherModel model;
+  // Paper §3.1: the L2 streamer performs poorly for 1-2 KB grouped access.
+  double at_1k =
+      model.ReadFactor(true, Pattern::kSequentialGrouped, 1024, 18, 0, 0);
+  double at_2k =
+      model.ReadFactor(true, Pattern::kSequentialGrouped, 2048, 18, 0, 0);
+  double at_4k =
+      model.ReadFactor(true, Pattern::kSequentialGrouped, 4096, 18, 0, 0);
+  double at_512 =
+      model.ReadFactor(true, Pattern::kSequentialGrouped, 512, 18, 0, 0);
+  EXPECT_LT(at_1k, 0.7);
+  EXPECT_LT(at_2k, 0.7);
+  EXPECT_DOUBLE_EQ(at_4k, 1.0);
+  EXPECT_DOUBLE_EQ(at_512, 1.0);
+}
+
+TEST(PrefetcherTest, DipOnlyForGroupedAccess) {
+  L2PrefetcherModel model;
+  EXPECT_DOUBLE_EQ(
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 1024, 18, 0, 0),
+      1.0);
+}
+
+TEST(PrefetcherTest, DisablingRemovesDip) {
+  L2PrefetcherModel model;
+  // Paper: "When running the same benchmark with the L2 prefetcher
+  // disabled, we do not observe the drop at 1 and 2K access".
+  EXPECT_DOUBLE_EQ(
+      model.ReadFactor(false, Pattern::kSequentialGrouped, 1024, 18, 0, 0),
+      1.0);
+}
+
+TEST(PrefetcherTest, HyperthreadPollution) {
+  L2PrefetcherModel model;
+  double no_ht =
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 18, 0, 0);
+  double full_ht =
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 36, 18, 0);
+  EXPECT_LT(full_ht, no_ht);
+  EXPECT_NEAR(full_ht, 1.0 - 0.15 * 0.5, 1e-9);
+}
+
+TEST(PrefetcherTest, DisabledPrefetcherHelpsHyperthreads) {
+  L2PrefetcherModel model;
+  // Paper §3.2: with the prefetcher off, 36 threads also reach peak.
+  double enabled =
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 36, 18, 0);
+  double disabled =
+      model.ReadFactor(false, Pattern::kSequentialIndividual, 4096, 36, 18, 0);
+  EXPECT_GT(disabled, enabled);
+  EXPECT_DOUBLE_EQ(disabled, 1.0);
+}
+
+TEST(PrefetcherTest, DisabledPrefetcherHurtsLowThreadCounts) {
+  L2PrefetcherModel model;
+  // Paper §3.2: with the prefetcher off, < 8 threads perform worse.
+  double low =
+      model.ReadFactor(false, Pattern::kSequentialIndividual, 4096, 4, 0, 0);
+  double high =
+      model.ReadFactor(false, Pattern::kSequentialIndividual, 4096, 8, 0, 0);
+  EXPECT_LT(low, high);
+  EXPECT_DOUBLE_EQ(high, 1.0);
+}
+
+TEST(PrefetcherTest, ExtraStreamsDegrade) {
+  L2PrefetcherModel model;
+  // Paper §5.1: a second stream location makes the streamer prefetch from
+  // two places with suboptimal results.
+  double solo =
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 30, 12, 0);
+  double contended =
+      model.ReadFactor(true, Pattern::kSequentialIndividual, 4096, 30, 12, 1);
+  EXPECT_LT(contended, solo);
+  EXPECT_NEAR(contended / solo, 0.94, 1e-9);
+}
+
+TEST(PrefetcherTest, RandomAccessUnaffected) {
+  L2PrefetcherModel model;
+  EXPECT_DOUBLE_EQ(model.ReadFactor(true, Pattern::kRandom, 64, 36, 18, 3),
+                   1.0);
+  EXPECT_DOUBLE_EQ(model.ReadFactor(false, Pattern::kRandom, 64, 4, 0, 0),
+                   1.0);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,76 @@
+#include "memsys/queue_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(QueueModelTest, NoWritePenaltyUpToKnee) {
+  QueueModel model;
+  for (int threads : {1, 4, 6, 8}) {
+    EXPECT_DOUBLE_EQ(model.WriteThreadFactor(threads, false), 1.0) << threads;
+  }
+}
+
+TEST(QueueModelTest, WritePenaltyGrowsBeyondKnee) {
+  QueueModel model;
+  double at_18 = model.WriteThreadFactor(18, false);
+  double at_36 = model.WriteThreadFactor(36, false);
+  EXPECT_LT(at_18, 1.0);
+  EXPECT_LT(at_36, at_18);
+  EXPECT_GE(at_36, 0.4);  // floored
+}
+
+TEST(QueueModelTest, RandomWritesPenalizedHarder) {
+  QueueModel model;
+  EXPECT_LT(model.WriteThreadFactor(18, true),
+            model.WriteThreadFactor(18, false));
+}
+
+TEST(QueueModelTest, SharedRegionPmemReadsCollapse) {
+  QueueModel model;
+  // Fig. 6 config (v): same PMEM from both sockets is "very low".
+  EXPECT_LT(model.SharedRegionFactor(Media::kPmem, true), 0.2);
+  // DRAM tolerates it far better.
+  EXPECT_GT(model.SharedRegionFactor(Media::kDram, true),
+            model.SharedRegionFactor(Media::kPmem, true));
+}
+
+TEST(QueueModelTest, SharedRegionWritesLessAffectedThanReads) {
+  QueueModel model;
+  EXPECT_GT(model.SharedRegionFactor(Media::kPmem, false),
+            model.SharedRegionFactor(Media::kPmem, true));
+}
+
+TEST(QueueModelTest, PureWorkloadsKeepFullBudget) {
+  QueueModel model;
+  EXPECT_DOUBLE_EQ(model.MixedCapacity(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.MixedCapacity(0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.MixedCapacity(0.0, 0.0), 1.0);
+}
+
+TEST(QueueModelTest, BalancedMixLosesMost) {
+  QueueModel model;
+  // Fig. 11: with balanced demand both sides fall to ~1/3 of their peaks;
+  // the occupancy budget shrinks to ~0.65.
+  EXPECT_NEAR(model.MixedCapacity(1.0, 1.0), 0.65, 0.01);
+}
+
+TEST(QueueModelTest, MixPenaltyMonotoneInBalance) {
+  QueueModel model;
+  double prev = 1.0;
+  for (double write_occ : {0.1, 0.3, 0.6, 1.0}) {
+    double budget = model.MixedCapacity(1.0, write_occ);
+    EXPECT_LT(budget, prev) << write_occ;
+    prev = budget;
+  }
+}
+
+TEST(QueueModelTest, MixPenaltySymmetric) {
+  QueueModel model;
+  EXPECT_DOUBLE_EQ(model.MixedCapacity(0.3, 0.9),
+                   model.MixedCapacity(0.9, 0.3));
+}
+
+}  // namespace
+}  // namespace pmemolap

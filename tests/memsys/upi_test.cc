@@ -1,0 +1,75 @@
+#include "memsys/upi.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(UpiTest, SingleDirectionPayloadCeiling) {
+  UpiLink link;
+  // The observed warmed far-read ceiling (~33 GB/s, Fig. 5).
+  EXPECT_DOUBLE_EQ(link.DataCapacity(false, Media::kPmem), 33.0);
+  EXPECT_DOUBLE_EQ(link.DataCapacity(false, Media::kDram), 33.0);
+}
+
+TEST(UpiTest, DualDirectionSharesWithCoherence) {
+  UpiLink link;
+  // Fig. 6: "2 Far" totals ~50 GB/s on PMEM, ~60 GB/s on DRAM.
+  EXPECT_NEAR(2 * link.DataCapacity(true, Media::kPmem), 50.0, 1.0);
+  EXPECT_NEAR(2 * link.DataCapacity(true, Media::kDram), 60.0, 1.0);
+}
+
+TEST(UpiTest, DualDirectionNeverExceedsSingle) {
+  UpiLink link;
+  for (Media media : {Media::kPmem, Media::kDram}) {
+    EXPECT_LE(link.DataCapacity(true, media),
+              link.DataCapacity(false, media));
+  }
+}
+
+TEST(UpiTest, UtilizationIncludesMetadataShare) {
+  UpiLink link;
+  // 30 GB/s payload on a 40 GB/s link with 25% metadata = full payload
+  // share => utilization 1.0 (the paper's "90+% UPI utilization").
+  EXPECT_DOUBLE_EQ(link.Utilization(30.0), 1.0);
+  EXPECT_NEAR(link.Utilization(15.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(link.Utilization(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(link.Utilization(100.0), 1.0);  // clamped
+}
+
+TEST(CoherenceTest, WarmTrackingPerSocketAndRegion) {
+  CoherenceDirectory directory;
+  EXPECT_FALSE(directory.IsWarm(0, 7));
+  directory.Warm(0, 7);
+  EXPECT_TRUE(directory.IsWarm(0, 7));
+  EXPECT_FALSE(directory.IsWarm(1, 7));
+  EXPECT_FALSE(directory.IsWarm(0, 8));
+  directory.Reset();
+  EXPECT_FALSE(directory.IsWarm(0, 7));
+}
+
+TEST(CoherenceTest, ColdCeilingPeaksAtFourThreads) {
+  CoherenceDirectory directory;
+  // Paper Fig. 5: first-run far reads cap at ~8 GB/s, optimal at 4
+  // threads, degrading beyond.
+  EXPECT_DOUBLE_EQ(directory.ColdFarReadCeiling(4), 8.0);
+  EXPECT_DOUBLE_EQ(directory.ColdFarReadCeiling(1), 8.0);
+  EXPECT_LT(directory.ColdFarReadCeiling(18), 8.0);
+  EXPECT_LT(directory.ColdFarReadCeiling(36),
+            directory.ColdFarReadCeiling(18));
+}
+
+TEST(CoherenceTest, ColdCeilingHasFloor) {
+  CoherenceDirectory directory;
+  EXPECT_GE(directory.ColdFarReadCeiling(1000), 4.0);
+}
+
+TEST(CoherenceTest, UnpinnedCeilingsMatchPaperNonePinning) {
+  CoherenceSpec spec;
+  // Fig. 4: None-pinning reads peak ~9 GB/s; Fig. 9: writes ~7 GB/s.
+  EXPECT_NEAR(spec.unpinned_read_ceiling_gbps, 9.0, 1.0);
+  EXPECT_NEAR(spec.unpinned_write_ceiling_gbps, 7.0, 0.5);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,101 @@
+// Tests for the store-instruction model: ntstore vs store+clwb vs
+// store+clflushopt (paper §1 cites instruction choice as a first-order
+// PMEM performance factor; calibrated to the Yang et al. FAST'20
+// crossover at ~256 B).
+#include <gtest/gtest.h>
+
+#include "exec/runner.h"
+
+namespace pmemolap {
+namespace {
+
+class WriteInstructionTest : public ::testing::Test {
+ protected:
+  WriteInstructionTest() : runner_(&model_) {}
+
+  double Bandwidth(WriteInstruction instruction, uint64_t size, int threads,
+                   Pattern pattern = Pattern::kSequentialGrouped) {
+    RunOptions options;
+    options.instruction = instruction;
+    return runner_
+        .Bandwidth(OpType::kWrite, pattern, Media::kPmem, size, threads,
+                   options)
+        .value_or(0.0);
+  }
+
+  MemSystemModel model_;
+  WorkloadRunner runner_;
+};
+
+TEST_F(WriteInstructionTest, NtStoreWinsAtLargeAccesses) {
+  for (uint64_t size : {1024ull, 4096ull, 65536ull}) {
+    double nt = Bandwidth(WriteInstruction::kNtStore, size, 4);
+    double clwb = Bandwidth(WriteInstruction::kClwb, size, 4);
+    EXPECT_GT(nt, clwb * 1.3) << size;
+  }
+}
+
+TEST_F(WriteInstructionTest, ClwbWinsForSmallGroupedWrites) {
+  // 64 B grouped at high thread counts: ntstore suffers the XPBuffer
+  // interference (2.6 GB/s in the paper); cached stores merge in L1/L2.
+  double nt = Bandwidth(WriteInstruction::kNtStore, 64, 36);
+  double clwb = Bandwidth(WriteInstruction::kClwb, 64, 36);
+  EXPECT_GT(clwb, nt * 1.5);
+}
+
+TEST_F(WriteInstructionTest, CrossoverNear256B) {
+  // ntstore should take over somewhere at or below 256 B for few threads.
+  double nt_256 = Bandwidth(WriteInstruction::kNtStore, 256, 4);
+  double clwb_256 = Bandwidth(WriteInstruction::kClwb, 256, 4);
+  EXPECT_GT(nt_256, clwb_256);
+}
+
+TEST_F(WriteInstructionTest, ClflushOptSlightlyWorseThanClwb) {
+  for (uint64_t size : {64ull, 4096ull}) {
+    double clwb = Bandwidth(WriteInstruction::kClwb, size, 4);
+    double clflush = Bandwidth(WriteInstruction::kClflushOpt, size, 4);
+    EXPECT_LT(clflush, clwb) << size;
+    EXPECT_GT(clflush, clwb * 0.8) << size;
+  }
+}
+
+TEST_F(WriteInstructionTest, InstructionIgnoredForReads) {
+  RunOptions nt;
+  nt.instruction = WriteInstruction::kNtStore;
+  RunOptions clwb;
+  clwb.instruction = WriteInstruction::kClwb;
+  double a = runner_
+                 .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                            Media::kPmem, 4096, 18, nt)
+                 .value_or(0.0);
+  double b = runner_
+                 .Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                            Media::kPmem, 4096, 18, clwb)
+                 .value_or(0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(WriteInstructionTest, DramWritesUnaffected) {
+  RunOptions nt;
+  RunOptions clwb;
+  clwb.instruction = WriteInstruction::kClwb;
+  double a = runner_
+                 .Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
+                            Media::kDram, 4096, 8, nt)
+                 .value_or(0.0);
+  double b = runner_
+                 .Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
+                            Media::kDram, 4096, 8, clwb)
+                 .value_or(0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(WriteInstructionTest, InstructionNames) {
+  EXPECT_STREQ(WriteInstructionName(WriteInstruction::kNtStore), "ntstore");
+  EXPECT_STREQ(WriteInstructionName(WriteInstruction::kClwb), "store+clwb");
+  EXPECT_STREQ(WriteInstructionName(WriteInstruction::kClflushOpt),
+               "store+clflushopt");
+}
+
+}  // namespace
+}  // namespace pmemolap

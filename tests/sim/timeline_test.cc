@@ -1,0 +1,144 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/runner.h"
+
+namespace pmemolap {
+namespace {
+
+class TimelineTest : public ::testing::Test {
+ protected:
+  /// Builds a single-class spec via the runner helpers.
+  WorkloadSpec MakeSpec(OpType op, int threads, const RunOptions& options) {
+    WorkloadRunner runner(&model_);
+    auto klass = runner.MakeClass(op, Pattern::kSequentialIndividual,
+                                  Media::kPmem, 4096, threads, options);
+    WorkloadSpec spec;
+    spec.classes.push_back(std::move(klass.value()));
+    return spec;
+  }
+
+  MemSystemModel model_;
+};
+
+TEST_F(TimelineTest, ValidatesInput) {
+  TimelineStep step;
+  step.duration_seconds = 1.0;
+  TimelineSimulator bad_tick(&model_, 0.0);
+  EXPECT_FALSE(bad_tick.Run({step}).ok());
+
+  TimelineSimulator sim(&model_);
+  // Empty runs are fine and take no time.
+  auto empty = sim.Run({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_DOUBLE_EQ(sim.elapsed_seconds(), 0.0);
+  // A step needs a duration or a byte target.
+  TimelineStep no_target;
+  no_target.label = "empty";
+  EXPECT_FALSE(sim.Run({no_target}).ok());
+}
+
+TEST_F(TimelineTest, SteadyPhaseMergesIntoOneSample) {
+  TimelineSimulator sim(&model_);
+  TimelineStep step;
+  step.spec = MakeSpec(OpType::kRead, 18, RunOptions());
+  step.duration_seconds = 1.0;
+  step.label = "near-scan";
+  auto samples = sim.Run({step});
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 1u);
+  EXPECT_NEAR((*samples)[0].gbps, 39.4, 1.5);
+  EXPECT_DOUBLE_EQ((*samples)[0].begin_seconds, 0.0);
+  EXPECT_NEAR((*samples)[0].end_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(sim.elapsed_seconds(), 1.0, 1e-9);
+}
+
+TEST_F(TimelineTest, FarReadWarmUpTransitionAppears) {
+  // Paper Fig. 5: the first far run crawls at ~8 GB/s, subsequent access
+  // reaches ~33 GB/s. On the timeline this is a visible step.
+  TimelineSimulator sim(&model_);
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  TimelineStep step;
+  step.spec = MakeSpec(OpType::kRead, 18, far);
+  step.duration_seconds = 1.0;
+  step.label = "far-scan";
+  auto samples = sim.Run({step});
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 2u);  // cold tick, then merged warm ticks
+  EXPECT_LT((*samples)[0].gbps, 9.0);
+  EXPECT_NEAR((*samples)[1].gbps, 33.0, 1.0);
+  EXPECT_LT((*samples)[0].end_seconds, 0.2);  // one tick of cold access
+}
+
+TEST_F(TimelineTest, ByteTargetEndsPhaseEarly) {
+  TimelineSimulator sim(&model_);
+  TimelineStep step;
+  step.spec = MakeSpec(OpType::kRead, 18, RunOptions());
+  step.total_bytes = 20ULL * 1000 * 1000 * 1000;  // 20 GB at ~39 GB/s
+  step.label = "bounded";
+  auto samples = sim.Run({step});
+  ASSERT_TRUE(samples.ok());
+  uint64_t moved = 0;
+  for (const TimelineSample& sample : *samples) moved += sample.bytes_moved;
+  EXPECT_NEAR(static_cast<double>(moved), 20e9, 1e6);
+  EXPECT_NEAR(sim.elapsed_seconds(), 20.0 / 39.4, 0.05);
+}
+
+TEST_F(TimelineTest, WarmupMakesWorkFinishFaster) {
+  // Moving 10 GB over a cold far link takes longer than over a warm one —
+  // and a pre-warmed directory (one earlier touch) removes the penalty.
+  RunOptions far;
+  far.thread_socket = 0;
+  far.data_socket = 1;
+  TimelineStep step;
+  step.total_bytes = 10ULL * 1000 * 1000 * 1000;
+  step.label = "work";
+
+  MemSystemModel cold_model;
+  TimelineSimulator cold(&cold_model, 0.05);
+  {
+    WorkloadRunner runner(&cold_model);
+    auto klass = runner.MakeClass(OpType::kRead,
+                                  Pattern::kSequentialIndividual,
+                                  Media::kPmem, 4096, 18, far);
+    step.spec.classes = {std::move(klass.value())};
+  }
+  ASSERT_TRUE(cold.Run({step}).ok());
+  double cold_time = cold.elapsed_seconds();
+
+  MemSystemModel warm_model;
+  warm_model.directory().Warm(0, 0);
+  TimelineSimulator warm(&warm_model, 0.05);
+  ASSERT_TRUE(warm.Run({step}).ok());
+  double warm_time = warm.elapsed_seconds();
+  EXPECT_GT(cold_time, warm_time * 1.1);
+}
+
+TEST_F(TimelineTest, MultiPhaseSequence) {
+  // A scan phase followed by a write burst: distinct samples with the
+  // expected levels, times accumulating across phases.
+  TimelineSimulator sim(&model_);
+  TimelineStep scan;
+  scan.spec = MakeSpec(OpType::kRead, 18, RunOptions());
+  scan.duration_seconds = 0.5;
+  scan.label = "scan";
+  TimelineStep burst;
+  burst.spec = MakeSpec(OpType::kWrite, 4, RunOptions());
+  burst.duration_seconds = 0.5;
+  burst.label = "ingest";
+  auto samples = sim.Run({scan, burst});
+  ASSERT_TRUE(samples.ok());
+  ASSERT_EQ(samples->size(), 2u);
+  EXPECT_EQ((*samples)[0].label, "scan");
+  EXPECT_EQ((*samples)[1].label, "ingest");
+  EXPECT_NEAR((*samples)[1].gbps, 12.4, 1.0);
+  EXPECT_NEAR((*samples)[1].begin_seconds, 0.5, 1e-9);
+  EXPECT_NEAR(sim.elapsed_seconds(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pmemolap

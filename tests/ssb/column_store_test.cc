@@ -1,0 +1,74 @@
+#include "ssb/column_store.h"
+
+#include <gtest/gtest.h>
+
+#include "ssb/dbgen.h"
+
+namespace pmemolap::ssb {
+namespace {
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(*Generate({.scale_factor = 0.01, .seed = 12}));
+    store_ = new ColumnStore(db_->lineorder);
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    delete db_;
+    store_ = nullptr;
+    db_ = nullptr;
+  }
+  static Database* db_;
+  static ColumnStore* store_;
+};
+
+Database* ColumnStoreTest::db_ = nullptr;
+ColumnStore* ColumnStoreTest::store_ = nullptr;
+
+TEST_F(ColumnStoreTest, SizesMatch) {
+  EXPECT_EQ(store_->size(), db_->lineorder.size());
+  EXPECT_FALSE(store_->empty());
+  EXPECT_TRUE(ColumnStore().empty());
+}
+
+TEST_F(ColumnStoreTest, ColumnsMirrorRows) {
+  for (size_t i = 0; i < store_->size(); i += 397) {
+    const LineorderRow& row = db_->lineorder[i];
+    EXPECT_EQ(store_->orderdate()[i], row.orderdate);
+    EXPECT_EQ(store_->custkey()[i], row.custkey);
+    EXPECT_EQ(store_->partkey()[i], row.partkey);
+    EXPECT_EQ(store_->suppkey()[i], row.suppkey);
+    EXPECT_EQ(store_->quantity()[i], row.quantity);
+    EXPECT_EQ(store_->discount()[i], row.discount);
+    EXPECT_EQ(store_->extendedprice()[i], row.extendedprice);
+    EXPECT_EQ(store_->revenue()[i], row.revenue);
+    EXPECT_EQ(store_->supplycost()[i], row.supplycost);
+  }
+}
+
+TEST_F(ColumnStoreTest, FootprintMuchSmallerThanRows) {
+  // Nine 4 B columns = 36 B/tuple vs the 128 B padded row.
+  EXPECT_EQ(store_->TotalBytes(), store_->size() * 36);
+  EXPECT_LT(store_->TotalBytes(),
+            db_->lineorder.size() * sizeof(LineorderRow) / 3);
+}
+
+TEST_F(ColumnStoreTest, ColumnarScanMatchesRowScan) {
+  for (auto [lo, hi, qty] : {std::tuple<int, int, int>{1, 3, 25},
+                             std::tuple<int, int, int>{4, 6, 36},
+                             std::tuple<int, int, int>{0, 10, 51}}) {
+    int64_t columnar = store_->ScanDiscountedRevenue(lo, hi, qty);
+    int64_t row = RowScanDiscountedRevenue(db_->lineorder, lo, hi, qty);
+    EXPECT_EQ(columnar, row) << lo << "-" << hi << "/" << qty;
+    EXPECT_GT(columnar, 0);
+  }
+}
+
+TEST_F(ColumnStoreTest, EmptySelection) {
+  EXPECT_EQ(store_->ScanDiscountedRevenue(11, 20, 51), 0);
+  EXPECT_EQ(store_->ScanDiscountedRevenue(1, 3, 0), 0);
+}
+
+}  // namespace
+}  // namespace pmemolap::ssb

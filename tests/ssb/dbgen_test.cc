@@ -1,0 +1,196 @@
+#include "ssb/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmemolap::ssb {
+namespace {
+
+TEST(DbgenTest, RejectsNonPositiveScaleFactor) {
+  EXPECT_FALSE(Generate({.scale_factor = 0.0}).ok());
+  EXPECT_FALSE(Generate({.scale_factor = -1.0}).ok());
+}
+
+TEST(DbgenTest, CardinalitiesMatchSpec) {
+  Cardinalities sf1 = CardinalitiesFor(1.0);
+  EXPECT_EQ(sf1.lineorder, 6'000'000u);
+  EXPECT_EQ(sf1.customer, 30'000u);
+  EXPECT_EQ(sf1.supplier, 2'000u);
+  EXPECT_EQ(sf1.part, 200'000u);
+  EXPECT_EQ(sf1.date, 2557u);
+
+  // Part grows with 1 + floor(log2(sf)).
+  EXPECT_EQ(CardinalitiesFor(2.0).part, 400'000u);
+  EXPECT_EQ(CardinalitiesFor(100.0).part, 1'400'000u);
+  // Lineorder scales linearly.
+  EXPECT_EQ(CardinalitiesFor(100.0).lineorder, 600'000'000u);
+}
+
+TEST(DbgenTest, GeneratedCountsMatchCardinalities) {
+  auto db = Generate({.scale_factor = 0.02, .seed = 1});
+  ASSERT_TRUE(db.ok());
+  Cardinalities cards = CardinalitiesFor(0.02);
+  EXPECT_EQ(db->lineorder.size(), cards.lineorder);
+  EXPECT_EQ(db->customer.size(), cards.customer);
+  EXPECT_EQ(db->supplier.size(), cards.supplier);
+  EXPECT_EQ(db->part.size(), cards.part);
+  EXPECT_EQ(db->date.size(), cards.date);
+}
+
+TEST(DbgenTest, DeterministicForSameSeed) {
+  auto a = Generate({.scale_factor = 0.01, .seed = 9});
+  auto b = Generate({.scale_factor = 0.01, .seed = 9});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->lineorder.size(), b->lineorder.size());
+  for (size_t i = 0; i < a->lineorder.size(); i += 997) {
+    EXPECT_EQ(a->lineorder[i].revenue, b->lineorder[i].revenue) << i;
+    EXPECT_EQ(a->lineorder[i].orderdate, b->lineorder[i].orderdate) << i;
+  }
+}
+
+TEST(DbgenTest, DifferentSeedsDiffer) {
+  auto a = Generate({.scale_factor = 0.01, .seed = 1});
+  auto b = Generate({.scale_factor = 0.01, .seed = 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int differing = 0;
+  for (size_t i = 0; i < a->lineorder.size(); i += 101) {
+    if (a->lineorder[i].revenue != b->lineorder[i].revenue) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+class DbgenInvariantTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new Database(*Generate({.scale_factor = 0.02, .seed = 3}));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* DbgenInvariantTest::db_ = nullptr;
+
+TEST_F(DbgenInvariantTest, DateDimensionIsRealCalendar) {
+  EXPECT_EQ(db_->date.front().datekey, 19920101);
+  EXPECT_EQ(db_->date.back().datekey, 19981231);
+  // 1992 and 1996 are leap years.
+  std::set<int32_t> keys;
+  for (const DateRow& d : db_->date) {
+    keys.insert(d.datekey);
+    EXPECT_GE(d.year, 1992);
+    EXPECT_LE(d.year, 1998);
+    EXPECT_GE(d.monthnuminyear, 1);
+    EXPECT_LE(d.monthnuminyear, 12);
+    EXPECT_GE(d.daynuminweek, 1);
+    EXPECT_LE(d.daynuminweek, 7);
+    EXPECT_GE(d.weeknuminyear, 1);
+    EXPECT_LE(d.weeknuminyear, 53);
+    EXPECT_EQ(d.yearmonthnum, d.year * 100 + d.monthnuminyear);
+  }
+  EXPECT_EQ(keys.size(), db_->date.size());  // unique datekeys
+  EXPECT_TRUE(keys.count(19920229));         // leap day
+  EXPECT_TRUE(keys.count(19960229));
+  EXPECT_FALSE(keys.count(19930229));
+}
+
+TEST_F(DbgenInvariantTest, DimensionKeysAreDenseFromOne) {
+  for (size_t i = 0; i < db_->customer.size(); ++i) {
+    EXPECT_EQ(db_->customer[i].custkey, static_cast<int32_t>(i + 1));
+  }
+  for (size_t i = 0; i < db_->supplier.size(); ++i) {
+    EXPECT_EQ(db_->supplier[i].suppkey, static_cast<int32_t>(i + 1));
+  }
+  for (size_t i = 0; i < db_->part.size(); ++i) {
+    EXPECT_EQ(db_->part[i].partkey, static_cast<int32_t>(i + 1));
+  }
+}
+
+TEST_F(DbgenInvariantTest, GeoAttributesConsistent) {
+  for (const CustomerRow& c : db_->customer) {
+    EXPECT_LT(c.nation, kNumNations);
+    EXPECT_EQ(c.region, RegionOfNation(c.nation));
+    EXPECT_LT(c.city, kCitiesPerNation);
+  }
+  for (const SupplierRow& s : db_->supplier) {
+    EXPECT_EQ(s.region, RegionOfNation(s.nation));
+  }
+}
+
+TEST_F(DbgenInvariantTest, PartHierarchyInRange) {
+  for (const PartRow& p : db_->part) {
+    EXPECT_GE(p.mfgr, 1);
+    EXPECT_LE(p.mfgr, kNumMfgrs);
+    EXPECT_GE(p.category, 1);
+    EXPECT_LE(p.category, kCategoriesPerMfgr);
+    EXPECT_GE(p.brand, 1);
+    EXPECT_LE(p.brand, kBrandsPerCategory);
+  }
+}
+
+TEST_F(DbgenInvariantTest, LineorderReferentialIntegrity) {
+  for (const LineorderRow& lo : db_->lineorder) {
+    EXPECT_GE(lo.custkey, 1);
+    EXPECT_LE(lo.custkey, static_cast<int32_t>(db_->customer.size()));
+    EXPECT_GE(lo.suppkey, 1);
+    EXPECT_LE(lo.suppkey, static_cast<int32_t>(db_->supplier.size()));
+    EXPECT_GE(lo.partkey, 1);
+    EXPECT_LE(lo.partkey, static_cast<int32_t>(db_->part.size()));
+  }
+}
+
+TEST_F(DbgenInvariantTest, LineorderValueDomains) {
+  for (const LineorderRow& lo : db_->lineorder) {
+    EXPECT_GE(lo.quantity, 1);
+    EXPECT_LE(lo.quantity, 50);
+    EXPECT_GE(lo.discount, 0);
+    EXPECT_LE(lo.discount, 10);
+    EXPECT_GT(lo.extendedprice, 0);
+    EXPECT_EQ(lo.revenue, lo.extendedprice * (100 - lo.discount) / 100);
+    EXPECT_GT(lo.supplycost, 0);
+    EXPECT_LT(lo.supplycost, lo.extendedprice);
+    EXPECT_GE(lo.tax, 0);
+    EXPECT_LE(lo.tax, 8);
+  }
+}
+
+TEST_F(DbgenInvariantTest, OrdersGroupConsecutiveLines) {
+  int64_t prev_order = 0;
+  int prev_line = 0;
+  for (const LineorderRow& lo : db_->lineorder) {
+    if (lo.orderkey == prev_order) {
+      EXPECT_EQ(lo.linenumber, prev_line + 1);
+    } else {
+      EXPECT_EQ(lo.orderkey, prev_order + 1);
+      EXPECT_EQ(lo.linenumber, 1);
+    }
+    EXPECT_LE(lo.linenumber, 7);
+    prev_order = lo.orderkey;
+    prev_line = lo.linenumber;
+  }
+}
+
+TEST_F(DbgenInvariantTest, OrderDatesAreValidDateKeys) {
+  std::set<int32_t> keys;
+  for (const DateRow& d : db_->date) keys.insert(d.datekey);
+  for (const LineorderRow& lo : db_->lineorder) {
+    EXPECT_TRUE(keys.count(lo.orderdate)) << lo.orderdate;
+    EXPECT_TRUE(keys.count(lo.commitdate)) << lo.commitdate;
+  }
+}
+
+TEST_F(DbgenInvariantTest, FactBytesReflectRowSize) {
+  EXPECT_EQ(db_->FactBytes(), db_->lineorder.size() * 128);
+  EXPECT_GT(db_->DimensionBytes(), 0u);
+  // Dimensions are small relative to the fact table (the replication
+  // premise of §6.2).
+  EXPECT_LT(db_->DimensionBytes(), db_->FactBytes() / 5);
+}
+
+}  // namespace
+}  // namespace pmemolap::ssb

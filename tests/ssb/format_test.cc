@@ -1,0 +1,63 @@
+#include "ssb/format.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap::ssb {
+namespace {
+
+TEST(FormatTest, HeadersPerFlight) {
+  EXPECT_EQ(ResultHeaders(QueryId::kQ1_1).size(), 1u);
+  EXPECT_EQ(ResultHeaders(QueryId::kQ2_1),
+            (std::vector<std::string>{"d_year", "p_brand1",
+                                      "sum(lo_revenue)"}));
+  EXPECT_EQ(ResultHeaders(QueryId::kQ3_1)[0], "c_nation");
+  EXPECT_EQ(ResultHeaders(QueryId::kQ3_3)[0], "c_city");
+  EXPECT_EQ(ResultHeaders(QueryId::kQ4_2)[2], "p_category");
+}
+
+TEST(FormatTest, Q2RowDecodesBrand) {
+  auto row = FormatRow(QueryId::kQ2_1, {1994, 1207, 0}, 12345);
+  EXPECT_EQ(row, (std::vector<std::string>{"1994", "MFGR#1207", "12345"}));
+}
+
+TEST(FormatTest, Q3RowsDecodeGeo) {
+  auto nations = FormatRow(QueryId::kQ3_1, {10, 14, 1995}, 7);
+  EXPECT_EQ(nations[0], "CHINA");
+  EXPECT_EQ(nations[1], "VIETNAM");
+  auto cities = FormatRow(QueryId::kQ3_3, {191, 195, 1995}, 7);
+  EXPECT_EQ(cities[0], "UNITED KI1");
+  EXPECT_EQ(cities[1], "UNITED KI5");
+}
+
+TEST(FormatTest, Q4RowsDecodeMixedKeys) {
+  auto q41 = FormatRow(QueryId::kQ4_1, {1997, 9, 0}, -5);
+  EXPECT_EQ(q41, (std::vector<std::string>{"1997", "UNITED STATES", "-5"}));
+  auto q43 = FormatRow(QueryId::kQ4_3, {1998, 92, 1403}, 9);
+  EXPECT_EQ(q43[1], "UNITED ST2");
+  EXPECT_EQ(q43[2], "MFGR#1403");
+}
+
+TEST(FormatTest, ScalarOutput) {
+  QueryOutput output;
+  output.scalar = true;
+  output.value = 4242;
+  std::string rendered = FormatOutput(QueryId::kQ1_1, output);
+  EXPECT_NE(rendered.find("4242"), std::string::npos);
+  EXPECT_NE(rendered.find("sum(lo_extendedprice*lo_discount)"),
+            std::string::npos);
+}
+
+TEST(FormatTest, TruncationNote) {
+  QueryOutput output;
+  for (int32_t brand = 1201; brand <= 1215; ++brand) {
+    output.groups[{1994, brand, 0}] = brand;
+  }
+  std::string rendered = FormatOutput(QueryId::kQ2_1, output, 10);
+  EXPECT_NE(rendered.find("5 more rows"), std::string::npos);
+  // Unlimited output has no note.
+  rendered = FormatOutput(QueryId::kQ2_1, output, 0);
+  EXPECT_EQ(rendered.find("more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pmemolap::ssb

@@ -1,0 +1,119 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pmemolap {
+namespace {
+
+TEST(TopologyTest, PaperServerShape) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  EXPECT_EQ(topo.sockets(), 2);
+  EXPECT_EQ(topo.numa_nodes_total(), 4);
+  EXPECT_EQ(topo.physical_cores_per_socket(), 18);
+  EXPECT_EQ(topo.physical_cores_total(), 36);
+  EXPECT_EQ(topo.logical_cores_per_socket(), 36);
+  EXPECT_EQ(topo.logical_cores_total(), 72);
+  EXPECT_EQ(topo.dimms_per_socket(), 6);
+  EXPECT_EQ(topo.dimms_total(), 12);
+}
+
+TEST(TopologyTest, PaperServerCapacities) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  EXPECT_EQ(topo.pmem_capacity_per_socket(), 6 * 128 * kGiB);
+  EXPECT_EQ(topo.pmem_capacity_total(), 12 * 128 * kGiB);  // 1.5 TB
+  EXPECT_EQ(topo.dram_capacity_per_socket(), 6 * 16 * kGiB);
+  EXPECT_EQ(topo.dram_capacity_total(), 12 * 16 * kGiB);  // 192 GB
+}
+
+TEST(TopologyTest, CpuEnumerationPhysicalFirst) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  const auto& cpus = topo.cpus();
+  ASSERT_EQ(cpus.size(), 72u);
+  // Within socket 0, the first 18 logical CPUs are physical threads.
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_EQ(cpus[i].socket, 0);
+    EXPECT_FALSE(cpus[i].is_hyperthread) << i;
+  }
+  for (int i = 18; i < 36; ++i) {
+    EXPECT_EQ(cpus[i].socket, 0);
+    EXPECT_TRUE(cpus[i].is_hyperthread) << i;
+  }
+}
+
+TEST(TopologyTest, HyperthreadSiblingsSharePhysicalCore) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  const auto& cpus = topo.cpus();
+  // Logical CPU i and i+18 (within a socket) are siblings.
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_EQ(cpus[i].physical_core, cpus[i + 18].physical_core);
+  }
+}
+
+TEST(TopologyTest, NumaNodeAssignment) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  std::set<int> socket0_nodes;
+  std::set<int> socket1_nodes;
+  for (const LogicalCpu& cpu : topo.cpus()) {
+    (cpu.socket == 0 ? socket0_nodes : socket1_nodes).insert(cpu.numa_node);
+  }
+  EXPECT_EQ(socket0_nodes, (std::set<int>{0, 1}));
+  EXPECT_EQ(socket1_nodes, (std::set<int>{2, 3}));
+}
+
+TEST(TopologyTest, CpusOfSocketFilters) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  auto socket1 = topo.CpusOfSocket(1);
+  EXPECT_EQ(socket1.size(), 36u);
+  for (const LogicalCpu& cpu : socket1) EXPECT_EQ(cpu.socket, 1);
+}
+
+TEST(TopologyTest, IsNear) {
+  EXPECT_TRUE(SystemTopology::IsNear(0, 0));
+  EXPECT_FALSE(SystemTopology::IsNear(0, 1));
+}
+
+TEST(TopologyTest, MakeValidatesConfig) {
+  SystemTopology::Config config;
+  config.sockets = 0;
+  EXPECT_FALSE(SystemTopology::Make(config).ok());
+
+  config = SystemTopology::Config{};
+  config.hyperthreads_per_core = 3;
+  EXPECT_FALSE(SystemTopology::Make(config).ok());
+
+  config = SystemTopology::Config{};
+  config.interleave_bytes = 3000;  // not a power of two
+  EXPECT_FALSE(SystemTopology::Make(config).ok());
+
+  config = SystemTopology::Config{};
+  EXPECT_TRUE(SystemTopology::Make(config).ok());
+}
+
+TEST(TopologyTest, CustomShape) {
+  SystemTopology::Config config;
+  config.sockets = 4;
+  config.numa_nodes_per_socket = 1;
+  config.physical_cores_per_numa_node = 8;
+  config.hyperthreads_per_core = 1;
+  Result<SystemTopology> topo = SystemTopology::Make(config);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->logical_cores_total(), 32);
+  EXPECT_EQ(topo->physical_cores_per_socket(), 8);
+}
+
+TEST(TopologyTest, DescribeMentionsKeyNumbers) {
+  std::string desc = SystemTopology::PaperServer().Describe();
+  EXPECT_NE(desc.find("2 sockets"), std::string::npos);
+  EXPECT_NE(desc.find("1.5TB"), std::string::npos);
+}
+
+TEST(TopologyTest, MediaNames) {
+  EXPECT_STREQ(MediaName(Media::kPmem), "PMEM");
+  EXPECT_STREQ(MediaName(Media::kDram), "DRAM");
+  EXPECT_STREQ(MediaName(Media::kSsd), "SSD");
+}
+
+}  // namespace
+}  // namespace pmemolap
