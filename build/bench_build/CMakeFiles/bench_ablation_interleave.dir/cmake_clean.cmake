@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_interleave"
+  "../bench/bench_ablation_interleave.pdb"
+  "CMakeFiles/bench_ablation_interleave.dir/bench_ablation_interleave.cc.o"
+  "CMakeFiles/bench_ablation_interleave.dir/bench_ablation_interleave.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

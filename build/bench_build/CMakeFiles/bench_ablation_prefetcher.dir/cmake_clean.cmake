@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_prefetcher"
+  "../bench/bench_ablation_prefetcher.pdb"
+  "CMakeFiles/bench_ablation_prefetcher.dir/bench_ablation_prefetcher.cc.o"
+  "CMakeFiles/bench_ablation_prefetcher.dir/bench_ablation_prefetcher.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_row_vs_column"
+  "../bench/bench_ablation_row_vs_column.pdb"
+  "CMakeFiles/bench_ablation_row_vs_column.dir/bench_ablation_row_vs_column.cc.o"
+  "CMakeFiles/bench_ablation_row_vs_column.dir/bench_ablation_row_vs_column.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_row_vs_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

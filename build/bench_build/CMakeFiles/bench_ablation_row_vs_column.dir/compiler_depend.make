@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_row_vs_column.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wcbuffer"
+  "../bench/bench_ablation_wcbuffer.pdb"
+  "CMakeFiles/bench_ablation_wcbuffer.dir/bench_ablation_wcbuffer.cc.o"
+  "CMakeFiles/bench_ablation_wcbuffer.dir/bench_ablation_wcbuffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wcbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_devdax_fsdax"
+  "../bench/bench_devdax_fsdax.pdb"
+  "CMakeFiles/bench_devdax_fsdax.dir/bench_devdax_fsdax.cc.o"
+  "CMakeFiles/bench_devdax_fsdax.dir/bench_devdax_fsdax.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_devdax_fsdax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

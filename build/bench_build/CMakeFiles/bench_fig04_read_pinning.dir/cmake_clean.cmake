@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_read_pinning"
+  "../bench/bench_fig04_read_pinning.pdb"
+  "CMakeFiles/bench_fig04_read_pinning.dir/bench_fig04_read_pinning.cc.o"
+  "CMakeFiles/bench_fig04_read_pinning.dir/bench_fig04_read_pinning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_read_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

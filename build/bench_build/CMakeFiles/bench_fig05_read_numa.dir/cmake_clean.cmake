@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_read_numa"
+  "../bench/bench_fig05_read_numa.pdb"
+  "CMakeFiles/bench_fig05_read_numa.dir/bench_fig05_read_numa.cc.o"
+  "CMakeFiles/bench_fig05_read_numa.dir/bench_fig05_read_numa.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_read_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_read_multisocket.cc" "bench_build/CMakeFiles/bench_fig06_read_multisocket.dir/bench_fig06_read_multisocket.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig06_read_multisocket.dir/bench_fig06_read_multisocket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/pmemolap_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/pmemolap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemolap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmemolap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pmemolap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/pmemolap_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pmemolap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dash/CMakeFiles/pmemolap_dash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssb/CMakeFiles/pmemolap_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

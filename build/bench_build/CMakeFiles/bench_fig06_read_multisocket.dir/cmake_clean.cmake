@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_read_multisocket"
+  "../bench/bench_fig06_read_multisocket.pdb"
+  "CMakeFiles/bench_fig06_read_multisocket.dir/bench_fig06_read_multisocket.cc.o"
+  "CMakeFiles/bench_fig06_read_multisocket.dir/bench_fig06_read_multisocket.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_read_multisocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_write_heatmap"
+  "../bench/bench_fig08_write_heatmap.pdb"
+  "CMakeFiles/bench_fig08_write_heatmap.dir/bench_fig08_write_heatmap.cc.o"
+  "CMakeFiles/bench_fig08_write_heatmap.dir/bench_fig08_write_heatmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_write_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

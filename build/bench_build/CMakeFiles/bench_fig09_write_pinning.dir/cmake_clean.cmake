@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_write_pinning"
+  "../bench/bench_fig09_write_pinning.pdb"
+  "CMakeFiles/bench_fig09_write_pinning.dir/bench_fig09_write_pinning.cc.o"
+  "CMakeFiles/bench_fig09_write_pinning.dir/bench_fig09_write_pinning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_write_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

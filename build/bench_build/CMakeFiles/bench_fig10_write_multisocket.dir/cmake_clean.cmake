@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_write_multisocket"
+  "../bench/bench_fig10_write_multisocket.pdb"
+  "CMakeFiles/bench_fig10_write_multisocket.dir/bench_fig10_write_multisocket.cc.o"
+  "CMakeFiles/bench_fig10_write_multisocket.dir/bench_fig10_write_multisocket.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_write_multisocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

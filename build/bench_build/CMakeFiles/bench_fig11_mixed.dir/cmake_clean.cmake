@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_mixed"
+  "../bench/bench_fig11_mixed.pdb"
+  "CMakeFiles/bench_fig11_mixed.dir/bench_fig11_mixed.cc.o"
+  "CMakeFiles/bench_fig11_mixed.dir/bench_fig11_mixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_random_read"
+  "../bench/bench_fig12_random_read.pdb"
+  "CMakeFiles/bench_fig12_random_read.dir/bench_fig12_random_read.cc.o"
+  "CMakeFiles/bench_fig12_random_read.dir/bench_fig12_random_read.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_random_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_random_write"
+  "../bench/bench_fig13_random_write.pdb"
+  "CMakeFiles/bench_fig13_random_write.dir/bench_fig13_random_write.cc.o"
+  "CMakeFiles/bench_fig13_random_write.dir/bench_fig13_random_write.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_random_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ssb"
+  "../bench/bench_fig14_ssb.pdb"
+  "CMakeFiles/bench_fig14_ssb.dir/bench_fig14_ssb.cc.o"
+  "CMakeFiles/bench_fig14_ssb.dir/bench_fig14_ssb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

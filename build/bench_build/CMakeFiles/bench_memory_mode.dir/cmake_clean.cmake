@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_memory_mode"
+  "../bench/bench_memory_mode.pdb"
+  "CMakeFiles/bench_memory_mode.dir/bench_memory_mode.cc.o"
+  "CMakeFiles/bench_memory_mode.dir/bench_memory_mode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

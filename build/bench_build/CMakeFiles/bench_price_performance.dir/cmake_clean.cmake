@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_price_performance"
+  "../bench/bench_price_performance.pdb"
+  "CMakeFiles/bench_price_performance.dir/bench_price_performance.cc.o"
+  "CMakeFiles/bench_price_performance.dir/bench_price_performance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_price_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skew_partitioning"
+  "../bench/bench_skew_partitioning.pdb"
+  "CMakeFiles/bench_skew_partitioning.dir/bench_skew_partitioning.cc.o"
+  "CMakeFiles/bench_skew_partitioning.dir/bench_skew_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skew_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

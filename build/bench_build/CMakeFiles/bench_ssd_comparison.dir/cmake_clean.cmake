@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ssd_comparison"
+  "../bench/bench_ssd_comparison.pdb"
+  "CMakeFiles/bench_ssd_comparison.dir/bench_ssd_comparison.cc.o"
+  "CMakeFiles/bench_ssd_comparison.dir/bench_ssd_comparison.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_q21_ladder"
+  "../bench/bench_table1_q21_ladder.pdb"
+  "CMakeFiles/bench_table1_q21_ladder.dir/bench_table1_q21_ladder.cc.o"
+  "CMakeFiles/bench_table1_q21_ladder.dir/bench_table1_q21_ladder.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_q21_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

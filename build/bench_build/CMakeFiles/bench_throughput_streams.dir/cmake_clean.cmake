@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_throughput_streams"
+  "../bench/bench_throughput_streams.pdb"
+  "CMakeFiles/bench_throughput_streams.dir/bench_throughput_streams.cc.o"
+  "CMakeFiles/bench_throughput_streams.dir/bench_throughput_streams.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

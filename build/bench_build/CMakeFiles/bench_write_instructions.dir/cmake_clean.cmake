@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_write_instructions"
+  "../bench/bench_write_instructions.pdb"
+  "CMakeFiles/bench_write_instructions.dir/bench_write_instructions.cc.o"
+  "CMakeFiles/bench_write_instructions.dir/bench_write_instructions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_instructions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

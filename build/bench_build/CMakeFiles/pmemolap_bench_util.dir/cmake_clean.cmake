@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/pmemolap_bench_util.dir/bench_util.cc.o.d"
+  "libpmemolap_bench_util.a"
+  "libpmemolap_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

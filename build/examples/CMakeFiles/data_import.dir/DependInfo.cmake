@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/data_import.cpp" "examples/CMakeFiles/data_import.dir/data_import.cpp.o" "gcc" "examples/CMakeFiles/data_import.dir/data_import.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pmemolap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmemolap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pmemolap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/pmemolap_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pmemolap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dash/CMakeFiles/pmemolap_dash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssb/CMakeFiles/pmemolap_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_ingest.dir/log_ingest.cpp.o"
+  "CMakeFiles/log_ingest.dir/log_ingest.cpp.o.d"
+  "log_ingest"
+  "log_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

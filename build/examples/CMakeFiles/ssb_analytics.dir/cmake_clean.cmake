@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssb_analytics.dir/ssb_analytics.cpp.o"
+  "CMakeFiles/ssb_analytics.dir/ssb_analytics.cpp.o.d"
+  "ssb_analytics"
+  "ssb_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssb_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_common.dir/crc32.cc.o"
+  "CMakeFiles/pmemolap_common.dir/crc32.cc.o.d"
+  "CMakeFiles/pmemolap_common.dir/stats.cc.o"
+  "CMakeFiles/pmemolap_common.dir/stats.cc.o.d"
+  "CMakeFiles/pmemolap_common.dir/status.cc.o"
+  "CMakeFiles/pmemolap_common.dir/status.cc.o.d"
+  "CMakeFiles/pmemolap_common.dir/table_printer.cc.o"
+  "CMakeFiles/pmemolap_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/pmemolap_common.dir/units.cc.o"
+  "CMakeFiles/pmemolap_common.dir/units.cc.o.d"
+  "CMakeFiles/pmemolap_common.dir/zipf.cc.o"
+  "CMakeFiles/pmemolap_common.dir/zipf.cc.o.d"
+  "libpmemolap_common.a"
+  "libpmemolap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/pmemolap_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/chunked_io.cc" "src/core/CMakeFiles/pmemolap_core.dir/chunked_io.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/chunked_io.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/pmemolap_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/pmemolap_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/per_worker_log.cc" "src/core/CMakeFiles/pmemolap_core.dir/per_worker_log.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/per_worker_log.cc.o.d"
+  "/root/repo/src/core/pmem_space.cc" "src/core/CMakeFiles/pmemolap_core.dir/pmem_space.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/pmem_space.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/pmemolap_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/replicator.cc" "src/core/CMakeFiles/pmemolap_core.dir/replicator.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/replicator.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/pmemolap_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/pmemolap_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memsys/CMakeFiles/pmemolap_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pmemolap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pmemolap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

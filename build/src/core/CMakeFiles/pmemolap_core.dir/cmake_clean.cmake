@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_core.dir/advisor.cc.o"
+  "CMakeFiles/pmemolap_core.dir/advisor.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/chunked_io.cc.o"
+  "CMakeFiles/pmemolap_core.dir/chunked_io.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/hybrid.cc.o"
+  "CMakeFiles/pmemolap_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/partitioner.cc.o"
+  "CMakeFiles/pmemolap_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/per_worker_log.cc.o"
+  "CMakeFiles/pmemolap_core.dir/per_worker_log.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/pmem_space.cc.o"
+  "CMakeFiles/pmemolap_core.dir/pmem_space.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/profile.cc.o"
+  "CMakeFiles/pmemolap_core.dir/profile.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/replicator.cc.o"
+  "CMakeFiles/pmemolap_core.dir/replicator.cc.o.d"
+  "CMakeFiles/pmemolap_core.dir/scheduler.cc.o"
+  "CMakeFiles/pmemolap_core.dir/scheduler.cc.o.d"
+  "libpmemolap_core.a"
+  "libpmemolap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_dash.dir/dash_table.cc.o"
+  "CMakeFiles/pmemolap_dash.dir/dash_table.cc.o.d"
+  "libpmemolap_dash.a"
+  "libpmemolap_dash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_dash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

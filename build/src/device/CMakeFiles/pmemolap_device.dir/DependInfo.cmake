@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/dram.cc" "src/device/CMakeFiles/pmemolap_device.dir/dram.cc.o" "gcc" "src/device/CMakeFiles/pmemolap_device.dir/dram.cc.o.d"
+  "/root/repo/src/device/optane_dimm.cc" "src/device/CMakeFiles/pmemolap_device.dir/optane_dimm.cc.o" "gcc" "src/device/CMakeFiles/pmemolap_device.dir/optane_dimm.cc.o.d"
+  "/root/repo/src/device/ssd.cc" "src/device/CMakeFiles/pmemolap_device.dir/ssd.cc.o" "gcc" "src/device/CMakeFiles/pmemolap_device.dir/ssd.cc.o.d"
+  "/root/repo/src/device/write_combining.cc" "src/device/CMakeFiles/pmemolap_device.dir/write_combining.cc.o" "gcc" "src/device/CMakeFiles/pmemolap_device.dir/write_combining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_device.dir/dram.cc.o"
+  "CMakeFiles/pmemolap_device.dir/dram.cc.o.d"
+  "CMakeFiles/pmemolap_device.dir/optane_dimm.cc.o"
+  "CMakeFiles/pmemolap_device.dir/optane_dimm.cc.o.d"
+  "CMakeFiles/pmemolap_device.dir/ssd.cc.o"
+  "CMakeFiles/pmemolap_device.dir/ssd.cc.o.d"
+  "CMakeFiles/pmemolap_device.dir/write_combining.cc.o"
+  "CMakeFiles/pmemolap_device.dir/write_combining.cc.o.d"
+  "libpmemolap_device.a"
+  "libpmemolap_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

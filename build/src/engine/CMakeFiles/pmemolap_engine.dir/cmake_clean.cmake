@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_engine.dir/dimension_index.cc.o"
+  "CMakeFiles/pmemolap_engine.dir/dimension_index.cc.o.d"
+  "CMakeFiles/pmemolap_engine.dir/engine.cc.o"
+  "CMakeFiles/pmemolap_engine.dir/engine.cc.o.d"
+  "CMakeFiles/pmemolap_engine.dir/operators.cc.o"
+  "CMakeFiles/pmemolap_engine.dir/operators.cc.o.d"
+  "CMakeFiles/pmemolap_engine.dir/plans.cc.o"
+  "CMakeFiles/pmemolap_engine.dir/plans.cc.o.d"
+  "CMakeFiles/pmemolap_engine.dir/timer.cc.o"
+  "CMakeFiles/pmemolap_engine.dir/timer.cc.o.d"
+  "libpmemolap_engine.a"
+  "libpmemolap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

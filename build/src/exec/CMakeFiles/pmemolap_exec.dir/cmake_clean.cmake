@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_exec.dir/memory_mode.cc.o"
+  "CMakeFiles/pmemolap_exec.dir/memory_mode.cc.o.d"
+  "CMakeFiles/pmemolap_exec.dir/runner.cc.o"
+  "CMakeFiles/pmemolap_exec.dir/runner.cc.o.d"
+  "libpmemolap_exec.a"
+  "libpmemolap_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/issue_model.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/issue_model.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/issue_model.cc.o.d"
+  "/root/repo/src/memsys/mem_system.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/mem_system.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/mem_system.cc.o.d"
+  "/root/repo/src/memsys/prefetcher.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/prefetcher.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/prefetcher.cc.o.d"
+  "/root/repo/src/memsys/queue_model.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/queue_model.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/queue_model.cc.o.d"
+  "/root/repo/src/memsys/upi.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/upi.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/upi.cc.o.d"
+  "/root/repo/src/memsys/workload.cc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/workload.cc.o" "gcc" "src/memsys/CMakeFiles/pmemolap_memsys.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pmemolap_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

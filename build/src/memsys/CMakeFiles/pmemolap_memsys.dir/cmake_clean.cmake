@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_memsys.dir/issue_model.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/issue_model.cc.o.d"
+  "CMakeFiles/pmemolap_memsys.dir/mem_system.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/mem_system.cc.o.d"
+  "CMakeFiles/pmemolap_memsys.dir/prefetcher.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/prefetcher.cc.o.d"
+  "CMakeFiles/pmemolap_memsys.dir/queue_model.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/queue_model.cc.o.d"
+  "CMakeFiles/pmemolap_memsys.dir/upi.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/upi.cc.o.d"
+  "CMakeFiles/pmemolap_memsys.dir/workload.cc.o"
+  "CMakeFiles/pmemolap_memsys.dir/workload.cc.o.d"
+  "libpmemolap_memsys.a"
+  "libpmemolap_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmemolap_memsys.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_sim.dir/timeline.cc.o"
+  "CMakeFiles/pmemolap_sim.dir/timeline.cc.o.d"
+  "libpmemolap_sim.a"
+  "libpmemolap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssb/column_store.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/column_store.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/column_store.cc.o.d"
+  "/root/repo/src/ssb/csv.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/csv.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/csv.cc.o.d"
+  "/root/repo/src/ssb/dbgen.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/dbgen.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/dbgen.cc.o.d"
+  "/root/repo/src/ssb/format.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/format.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/format.cc.o.d"
+  "/root/repo/src/ssb/queries.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/queries.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/queries.cc.o.d"
+  "/root/repo/src/ssb/reference.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/reference.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/reference.cc.o.d"
+  "/root/repo/src/ssb/schema.cc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/schema.cc.o" "gcc" "src/ssb/CMakeFiles/pmemolap_ssb.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

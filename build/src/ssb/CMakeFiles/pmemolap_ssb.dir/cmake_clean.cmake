@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_ssb.dir/column_store.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/column_store.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/csv.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/csv.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/dbgen.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/dbgen.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/format.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/format.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/queries.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/queries.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/reference.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/reference.cc.o.d"
+  "CMakeFiles/pmemolap_ssb.dir/schema.cc.o"
+  "CMakeFiles/pmemolap_ssb.dir/schema.cc.o.d"
+  "libpmemolap_ssb.a"
+  "libpmemolap_ssb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_ssb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

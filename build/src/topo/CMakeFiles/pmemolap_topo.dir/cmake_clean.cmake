@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemolap_topo.dir/interleave.cc.o"
+  "CMakeFiles/pmemolap_topo.dir/interleave.cc.o.d"
+  "CMakeFiles/pmemolap_topo.dir/pinning.cc.o"
+  "CMakeFiles/pmemolap_topo.dir/pinning.cc.o.d"
+  "CMakeFiles/pmemolap_topo.dir/topology.cc.o"
+  "CMakeFiles/pmemolap_topo.dir/topology.cc.o.d"
+  "libpmemolap_topo.a"
+  "libpmemolap_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemolap_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

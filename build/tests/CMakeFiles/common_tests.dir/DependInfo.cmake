@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/crc32_test.cc" "tests/CMakeFiles/common_tests.dir/common/crc32_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/crc32_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/table_printer_test.cc" "tests/CMakeFiles/common_tests.dir/common/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/table_printer_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/CMakeFiles/common_tests.dir/common/units_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/units_test.cc.o.d"
+  "/root/repo/tests/common/zipf_test.cc" "tests/CMakeFiles/common_tests.dir/common/zipf_test.cc.o" "gcc" "tests/CMakeFiles/common_tests.dir/common/zipf_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/pmemolap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pmemolap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pmemolap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pmemolap_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/pmemolap_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/pmemolap_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/pmemolap_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/dash/CMakeFiles/pmemolap_dash.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssb/CMakeFiles/pmemolap_ssb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pmemolap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/advisor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/advisor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/chunked_io_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/chunked_io_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/hybrid_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/hybrid_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/partitioner_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/partitioner_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/partitioner_weighted_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/partitioner_weighted_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/per_worker_log_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/per_worker_log_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/pmem_space_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/pmem_space_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/profile_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/profile_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/replicator_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/replicator_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/scheduler_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_tests.dir/dash/dash_table_test.cc.o"
+  "CMakeFiles/dash_tests.dir/dash/dash_table_test.cc.o.d"
+  "dash_tests"
+  "dash_tests.pdb"
+  "dash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

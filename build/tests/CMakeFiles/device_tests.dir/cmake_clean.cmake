@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_tests.dir/device/dram_test.cc.o"
+  "CMakeFiles/device_tests.dir/device/dram_test.cc.o.d"
+  "CMakeFiles/device_tests.dir/device/endurance_test.cc.o"
+  "CMakeFiles/device_tests.dir/device/endurance_test.cc.o.d"
+  "CMakeFiles/device_tests.dir/device/optane_dimm_test.cc.o"
+  "CMakeFiles/device_tests.dir/device/optane_dimm_test.cc.o.d"
+  "CMakeFiles/device_tests.dir/device/ssd_test.cc.o"
+  "CMakeFiles/device_tests.dir/device/ssd_test.cc.o.d"
+  "CMakeFiles/device_tests.dir/device/write_combining_test.cc.o"
+  "CMakeFiles/device_tests.dir/device/write_combining_test.cc.o.d"
+  "device_tests"
+  "device_tests.pdb"
+  "device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

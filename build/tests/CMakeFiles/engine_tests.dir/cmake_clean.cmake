@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/dimension_index_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/dimension_index_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/engine_extensions_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/engine_extensions_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/engine_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/engine_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/operators_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/operators_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/throughput_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/throughput_test.cc.o.d"
+  "CMakeFiles/engine_tests.dir/engine/timer_test.cc.o"
+  "CMakeFiles/engine_tests.dir/engine/timer_test.cc.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_tests.dir/exec/memory_mode_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/memory_mode_test.cc.o.d"
+  "CMakeFiles/exec_tests.dir/exec/runner_test.cc.o"
+  "CMakeFiles/exec_tests.dir/exec/runner_test.cc.o.d"
+  "exec_tests"
+  "exec_tests.pdb"
+  "exec_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsys_tests.dir/memsys/issue_model_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/issue_model_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/mem_system_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/mem_system_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/model_fuzz_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/model_fuzz_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/prefetcher_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/prefetcher_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/queue_model_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/queue_model_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/upi_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/upi_test.cc.o.d"
+  "CMakeFiles/memsys_tests.dir/memsys/write_instruction_test.cc.o"
+  "CMakeFiles/memsys_tests.dir/memsys/write_instruction_test.cc.o.d"
+  "memsys_tests"
+  "memsys_tests.pdb"
+  "memsys_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsys_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

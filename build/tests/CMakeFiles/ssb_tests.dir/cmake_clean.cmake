@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssb_tests.dir/ssb/column_store_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/column_store_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/csv_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/csv_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/dbgen_skew_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/dbgen_skew_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/dbgen_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/dbgen_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/format_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/format_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/queries_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/queries_test.cc.o.d"
+  "CMakeFiles/ssb_tests.dir/ssb/schema_test.cc.o"
+  "CMakeFiles/ssb_tests.dir/ssb/schema_test.cc.o.d"
+  "ssb_tests"
+  "ssb_tests.pdb"
+  "ssb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
