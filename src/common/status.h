@@ -21,6 +21,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// Unrecoverable data corruption or loss (e.g. a poisoned PMEM line that
+  /// survived retry, scrub, and failover).
+  kDataLoss,
+  /// The resource is temporarily unusable (e.g. a DIMM in a thermal
+  /// throttle window, a degraded UPI link); retrying later may succeed.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -63,6 +69,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -133,5 +145,22 @@ class Result {
     ::pmemolap::Status _st = (expr);           \
     if (!_st.ok()) return _st;                 \
   } while (false)
+
+#define PMEMOLAP_CONCAT_INNER_(a, b) a##b
+#define PMEMOLAP_CONCAT_(a, b) PMEMOLAP_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status (works in
+/// functions returning Status or Result<U>), on success move-assigns the
+/// value to `lhs`, which may declare a new variable:
+///
+///   PMEMOLAP_ASSIGN_OR_RETURN(Allocation region,
+///                             space->Allocate(size, placement));
+#define PMEMOLAP_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PMEMOLAP_ASSIGN_OR_RETURN_IMPL_(                                         \
+      PMEMOLAP_CONCAT_(_pmemolap_result_, __LINE__), lhs, rexpr)
+#define PMEMOLAP_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr)                \
+  auto result = (rexpr);                                                   \
+  if (!result.ok()) return result.status();                                \
+  lhs = std::move(result).value()
 
 }  // namespace pmemolap

@@ -4,6 +4,60 @@
 
 namespace pmemolap {
 
+void Allocation::PoisonLine(uint64_t line_index, int transient_clears) {
+  if (poisoned_ == nullptr) {
+    poisoned_ = std::make_unique<std::map<uint64_t, int>>();
+  }
+  (*poisoned_)[line_index] = transient_clears;
+}
+
+bool Allocation::ScrubLine(uint64_t line_index) {
+  if (poisoned_ == nullptr) return false;
+  return poisoned_->erase(line_index) > 0;
+}
+
+bool Allocation::RetryLine(uint64_t line_index) {
+  if (poisoned_ == nullptr) return false;
+  auto it = poisoned_->find(line_index);
+  if (it == poisoned_->end()) return true;  // already clean
+  if (it->second <= 0) return false;        // permanent
+  if (--it->second == 0) {
+    poisoned_->erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Allocation::IsPoisoned(uint64_t offset, uint64_t size) const {
+  if (poisoned_ == nullptr || poisoned_->empty() || size == 0) return false;
+  uint64_t first = offset / kOptaneLineBytes;
+  uint64_t last = (offset + size - 1) / kOptaneLineBytes;
+  auto it = poisoned_->lower_bound(first);
+  return it != poisoned_->end() && it->first <= last;
+}
+
+std::vector<uint64_t> Allocation::PoisonedLinesIn(uint64_t offset,
+                                                  uint64_t size) const {
+  std::vector<uint64_t> lines;
+  if (poisoned_ == nullptr || size == 0) return lines;
+  uint64_t first = offset / kOptaneLineBytes;
+  uint64_t last = (offset + size - 1) / kOptaneLineBytes;
+  for (auto it = poisoned_->lower_bound(first);
+       it != poisoned_->end() && it->first <= last; ++it) {
+    lines.push_back(it->first);
+  }
+  return lines;
+}
+
+std::vector<uint64_t> Allocation::PermanentPoisonedLines() const {
+  std::vector<uint64_t> lines;
+  if (poisoned_ == nullptr) return lines;
+  for (const auto& [line, clears] : *poisoned_) {
+    if (clears <= 0) lines.push_back(line);
+  }
+  return lines;
+}
+
 uint64_t StripedAllocation::total_size() const {
   uint64_t total = 0;
   for (const Allocation& stripe : stripes_) total += stripe.size();
@@ -66,7 +120,18 @@ Result<Allocation> PmemSpace::Allocate(uint64_t size, MemPlacement placement) {
     return Status::ResourceExhausted("host allocation failed");
   }
   UsedOf(placement) += size;
-  return Allocation(std::move(data), size, placement);
+  return FinishAllocation(Allocation(std::move(data), size, placement));
+}
+
+Result<Allocation> PmemSpace::FinishAllocation(Allocation allocation) {
+  if (allocation_hook_) {
+    Status status = allocation_hook_(&allocation);
+    if (!status.ok()) {
+      Release(allocation);
+      return status;
+    }
+  }
+  return allocation;
 }
 
 Result<Allocation> PmemSpace::AllocateAligned(uint64_t size,
@@ -94,7 +159,8 @@ Result<Allocation> PmemSpace::AllocateAligned(uint64_t size,
   uint64_t base = reinterpret_cast<uint64_t>(data.get());
   uint64_t offset = (alignment - base % alignment) % alignment;
   UsedOf(placement) += padded;
-  return Allocation(std::move(data), size, placement, offset, padded);
+  return FinishAllocation(
+      Allocation(std::move(data), size, placement, offset, padded));
 }
 
 Result<StripedAllocation> PmemSpace::AllocateStriped(uint64_t size,

@@ -9,10 +9,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "common/status.h"
+#include "common/units.h"
 #include "topo/topology.h"
 
 namespace pmemolap {
@@ -50,12 +53,49 @@ class Allocation {
   const MemPlacement& placement() const { return placement_; }
   bool empty() const { return size_ == 0; }
 
+  // --- Media poison tracking (fault layer) ---------------------------------
+  // A "line" is one 256 B Optane internal line, indexed from the start of
+  // the usable region. A poisoned line models an uncorrectable media error:
+  // reads of it must fail until the line is scrubbed (rewritten). Transient
+  // poisons model errors the DIMM's ECC corrects after retries.
+
+  /// Marks line `line_index` poisoned. `transient_clears` > 0 means the
+  /// poison clears after that many retry attempts (ECC eventually
+  /// corrects); 0 means permanent until ScrubLine.
+  void PoisonLine(uint64_t line_index, int transient_clears = 0);
+
+  /// Clears the poison on `line_index` (after the line was rewritten).
+  /// Returns true if the line was poisoned.
+  bool ScrubLine(uint64_t line_index);
+
+  /// One retry attempt on a transiently poisoned line; returns true when
+  /// the retry cleared the poison. Permanent poisons never clear.
+  bool RetryLine(uint64_t line_index);
+
+  /// True if any poisoned line overlaps [offset, offset + size).
+  bool IsPoisoned(uint64_t offset, uint64_t size) const;
+
+  /// Line indexes of poisoned lines overlapping [offset, offset + size).
+  std::vector<uint64_t> PoisonedLinesIn(uint64_t offset,
+                                        uint64_t size) const;
+
+  /// Line indexes whose poison is permanent (no transient clears left) —
+  /// these hold genuinely corrupt data until scrubbed from a source.
+  std::vector<uint64_t> PermanentPoisonedLines() const;
+
+  uint64_t poisoned_line_count() const {
+    return poisoned_ == nullptr ? 0 : poisoned_->size();
+  }
+
  private:
   std::unique_ptr<std::byte[]> data_;
   uint64_t size_ = 0;
   uint64_t offset_ = 0;
   uint64_t charged_bytes_ = 0;
   MemPlacement placement_;
+  /// line index -> remaining transient clears (0 = permanent). Lazily
+  /// created: healthy allocations pay one null pointer.
+  std::unique_ptr<std::map<uint64_t, int>> poisoned_;
 };
 
 /// A logical region striped across the PMEM (or DRAM) of every socket —
@@ -80,7 +120,19 @@ class StripedAllocation {
 /// platform.
 class PmemSpace {
  public:
+  /// Called after each successful allocation, before it is returned. The
+  /// hook may tag the region (e.g. poison lines) or veto the allocation by
+  /// returning an error, which PmemSpace propagates after releasing the
+  /// region. Installed by the fault layer; a default-constructed space has
+  /// no hook.
+  using AllocationHook = std::function<Status(Allocation*)>;
+
   explicit PmemSpace(const SystemTopology& topology);
+
+  /// Installs (or clears, with nullptr) the allocation hook.
+  void set_allocation_hook(AllocationHook hook) {
+    allocation_hook_ = std::move(hook);
+  }
 
   /// Allocates `size` bytes on one socket's media. Fails with
   /// ResourceExhausted when the modeled capacity is exceeded.
@@ -110,9 +162,14 @@ class PmemSpace {
   uint64_t& UsedOf(MemPlacement placement);
   uint64_t UsedOf(MemPlacement placement) const;
 
+  /// Runs the hook on a fresh allocation; on veto, releases it and returns
+  /// the hook's error.
+  Result<Allocation> FinishAllocation(Allocation allocation);
+
   SystemTopology topology_;
   std::vector<uint64_t> pmem_used_;  // per socket
   std::vector<uint64_t> dram_used_;  // per socket
+  AllocationHook allocation_hook_;
 };
 
 }  // namespace pmemolap

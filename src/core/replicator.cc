@@ -2,6 +2,22 @@
 
 namespace pmemolap {
 
+Result<int> ReplicatedTable::HealthyCopyIndex(int socket, uint64_t offset,
+                                              uint64_t size) const {
+  if (copies_.empty()) {
+    return Status::FailedPrecondition("table has no replicas");
+  }
+  const int n = num_copies();
+  const int local = static_cast<int>(CopyIndexFor(socket));
+  for (int step = 0; step < n; ++step) {
+    int candidate = (local + step) % n;
+    if (!copies_[static_cast<size_t>(candidate)].IsPoisoned(offset, size)) {
+      return candidate;
+    }
+  }
+  return Status::DataLoss("all replicas poisoned over requested range");
+}
+
 Result<ReplicatedTable> DimensionReplicator::Replicate(const std::byte* data,
                                                        uint64_t bytes,
                                                        Media media) {

@@ -24,13 +24,33 @@ class ReplicatedTable {
 
   int num_copies() const { return static_cast<int>(copies_.size()); }
 
-  /// The replica local to `socket`.
+  /// The replica local to `socket`. Out-of-range sockets map onto an
+  /// existing copy (mirroring ReplicatedIndex::Near); an empty table
+  /// returns nullptr.
   const std::byte* LocalCopy(int socket) const {
-    return copies_[static_cast<size_t>(socket)].data();
+    if (copies_.empty()) return nullptr;
+    return copies_[CopyIndexFor(socket)].data();
   }
   uint64_t size() const { return copies_.empty() ? 0 : copies_[0].size(); }
 
+  Allocation& copy(int index) { return copies_[static_cast<size_t>(index)]; }
+  const Allocation& copy(int index) const {
+    return copies_[static_cast<size_t>(index)];
+  }
+
+  /// Index of the first replica whose bytes [offset, offset + size) are
+  /// free of poisoned lines, preferring `socket`'s local copy and failing
+  /// over round-robin (best practice #4's "near first" with a health
+  /// check). kDataLoss when every replica is poisoned over the range.
+  Result<int> HealthyCopyIndex(int socket, uint64_t offset,
+                               uint64_t size) const;
+
  private:
+  size_t CopyIndexFor(int socket) const {
+    int n = num_copies();
+    return static_cast<size_t>(((socket % n) + n) % n);
+  }
+
   std::vector<Allocation> copies_;
 };
 

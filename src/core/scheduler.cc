@@ -14,25 +14,23 @@ Result<ScheduleDecision> MixedWorkloadScheduler::Decide(
   ScheduleDecision decision;
   RunOptions options;
 
-  Result<GigabytesPerSecond> read_solo =
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      decision.read_solo_gbps,
       runner_.Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
                         Media::kPmem, jobs.access_size, jobs.read_threads,
-                        options);
-  if (!read_solo.ok()) return read_solo.status();
-  Result<GigabytesPerSecond> write_solo =
+                        options));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      decision.write_solo_gbps,
       runner_.Bandwidth(OpType::kWrite, Pattern::kSequentialIndividual,
                         Media::kPmem, jobs.access_size, jobs.write_threads,
-                        options);
-  if (!write_solo.ok()) return write_solo.status();
-  decision.read_solo_gbps = read_solo.value();
-  decision.write_solo_gbps = write_solo.value();
+                        options));
 
-  Result<BandwidthResult> mixed =
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      BandwidthResult mixed,
       runner_.Mixed(jobs.write_threads, jobs.read_threads, Media::kPmem,
-                    jobs.access_size);
-  if (!mixed.ok()) return mixed.status();
-  decision.write_mixed_gbps = mixed->per_class[0].gbps;
-  decision.read_mixed_gbps = mixed->per_class[1].gbps;
+                    jobs.access_size));
+  decision.write_mixed_gbps = mixed.per_class[0].gbps;
+  decision.read_mixed_gbps = mixed.per_class[1].gbps;
 
   double read_gb = static_cast<double>(jobs.read_bytes) / 1e9;
   double write_gb = static_cast<double>(jobs.write_bytes) / 1e9;
@@ -66,6 +64,35 @@ Result<ScheduleDecision> MixedWorkloadScheduler::Decide(
       decision.serial_seconds, decision.mixed_seconds,
       decision.read_solo_gbps, decision.read_mixed_gbps,
       decision.write_solo_gbps, decision.write_mixed_gbps);
+  decision.rationale = buf;
+  return decision;
+}
+
+Result<ScheduleDecision> MixedWorkloadScheduler::DecideDegraded(
+    const MixedJobs& jobs, const MemSystemModel* degraded_model) const {
+  if (degraded_model == nullptr) {
+    return Status::InvalidArgument("degraded model must not be null");
+  }
+  // Plan at the degraded rates: both the serialize-vs-mix call and the
+  // makespans must reflect what the throttled platform can actually serve.
+  MixedWorkloadScheduler degraded_scheduler(degraded_model);
+  PMEMOLAP_ASSIGN_OR_RETURN(ScheduleDecision decision,
+                            degraded_scheduler.Decide(jobs));
+  PMEMOLAP_ASSIGN_OR_RETURN(ScheduleDecision healthy, Decide(jobs));
+  decision.degraded_mode = true;
+  decision.healthy_seconds =
+      decision.serialize ? healthy.serial_seconds : healthy.mixed_seconds;
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "[degraded platform] %s; chosen plan takes %.2fs degraded "
+                "vs %.2fs healthy%s",
+                decision.rationale.c_str(),
+                decision.serialize ? decision.serial_seconds
+                                   : decision.mixed_seconds,
+                decision.healthy_seconds,
+                decision.serialize != healthy.serialize
+                    ? " (throttling flipped the serialize-vs-mix call)"
+                    : "");
   decision.rationale = buf;
   return decision;
 }

@@ -39,19 +39,35 @@ struct ScheduleDecision {
   GigabytesPerSecond write_solo_gbps = 0.0;
   GigabytesPerSecond read_mixed_gbps = 0.0;
   GigabytesPerSecond write_mixed_gbps = 0.0;
+  /// True when the plan was made against a degraded platform model (an
+  /// active thermal-throttle window or UPI degradation).
+  bool degraded_mode = false;
+  /// Makespan the chosen plan would have had on the healthy platform —
+  /// the cost of the fault, for reporting.
+  double healthy_seconds = 0.0;
   std::string rationale;
 };
 
 class MixedWorkloadScheduler {
  public:
   explicit MixedWorkloadScheduler(const MemSystemModel* model)
-      : runner_(model) {}
+      : model_(model), runner_(model) {}
 
   /// Decides whether to serialize the two jobs. Fails on empty jobs or
   /// invalid thread counts.
   Result<ScheduleDecision> Decide(const MixedJobs& jobs) const;
 
+  /// Degraded-bandwidth mode: re-plans against `degraded_model` (the
+  /// healthy model with an active throttle window / degraded UPI applied,
+  /// see FaultInjector::Degrade). The serialize-vs-mix call is re-made at
+  /// the degraded rates — a decision that was marginal when healthy can
+  /// flip under throttling — and the healthy makespan is reported
+  /// alongside for comparison.
+  Result<ScheduleDecision> DecideDegraded(
+      const MixedJobs& jobs, const MemSystemModel* degraded_model) const;
+
  private:
+  const MemSystemModel* model_;
   WorkloadRunner runner_;
 };
 

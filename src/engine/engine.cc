@@ -113,6 +113,10 @@ Status SsbEngine::Prepare() {
                          config_.numa_aware_placement
                      ? sockets_used
                      : 1;
+  // In fault mode the indexes map keys to dense positions; the payloads
+  // themselves live in guarded per-socket replicas built below, so every
+  // probe goes through the poison-aware failover path.
+  const bool guarded = config_.fault != nullptr;
   auto build = [&](ReplicatedIndex* index, auto&& fill) -> Status {
     index->copies.clear();
     for (int r = 0; r < replicas; ++r) {
@@ -122,37 +126,97 @@ Status SsbEngine::Prepare() {
     return Status::OK();
   };
   PMEMOLAP_RETURN_NOT_OK(build(&date_index_, [&](DimensionIndex* index) {
+    uint64_t pos = 0;
     for (const ssb::DateRow& d : db_->date) {
       PMEMOLAP_RETURN_NOT_OK(index->Insert(
-          static_cast<uint64_t>(d.datekey), EncodeDate(d)));
+          static_cast<uint64_t>(d.datekey),
+          guarded ? pos++ : EncodeDate(d)));
     }
     return Status::OK();
   }));
   PMEMOLAP_RETURN_NOT_OK(
       build(&customer_index_, [&](DimensionIndex* index) {
+        uint64_t pos = 0;
         for (const ssb::CustomerRow& c : db_->customer) {
-          PMEMOLAP_RETURN_NOT_OK(
-              index->Insert(static_cast<uint64_t>(c.custkey),
-                            EncodeGeo(c.nation, c.region, c.city)));
+          PMEMOLAP_RETURN_NOT_OK(index->Insert(
+              static_cast<uint64_t>(c.custkey),
+              guarded ? pos++ : EncodeGeo(c.nation, c.region, c.city)));
         }
         return Status::OK();
       }));
   PMEMOLAP_RETURN_NOT_OK(
       build(&supplier_index_, [&](DimensionIndex* index) {
+        uint64_t pos = 0;
         for (const ssb::SupplierRow& s : db_->supplier) {
-          PMEMOLAP_RETURN_NOT_OK(
-              index->Insert(static_cast<uint64_t>(s.suppkey),
-                            EncodeGeo(s.nation, s.region, s.city)));
+          PMEMOLAP_RETURN_NOT_OK(index->Insert(
+              static_cast<uint64_t>(s.suppkey),
+              guarded ? pos++ : EncodeGeo(s.nation, s.region, s.city)));
         }
         return Status::OK();
       }));
   PMEMOLAP_RETURN_NOT_OK(build(&part_index_, [&](DimensionIndex* index) {
+    uint64_t pos = 0;
     for (const ssb::PartRow& p : db_->part) {
       PMEMOLAP_RETURN_NOT_OK(index->Insert(
-          static_cast<uint64_t>(p.partkey), EncodePart(p)));
+          static_cast<uint64_t>(p.partkey),
+          guarded ? pos++ : EncodePart(p)));
     }
     return Status::OK();
   }));
+  guarded_fact_.reset();
+  guarded_date_.reset();
+  guarded_customer_.reset();
+  guarded_supplier_.reset();
+  guarded_part_.reset();
+  if (guarded) {
+    PmemSpace* space = config_.fault->space;
+    FaultInjector* injector = config_.fault->injector;
+    if (space == nullptr || injector == nullptr) {
+      return Status::InvalidArgument(
+          "fault domain needs a space and an injector");
+    }
+    auto guard_dimension = [&](std::vector<uint64_t> payloads) {
+      return GuardedDimension::Create(space, injector, std::move(payloads),
+                                      config_.media);
+    };
+    std::vector<uint64_t> payloads;
+    payloads.reserve(db_->date.size());
+    for (const ssb::DateRow& d : db_->date) {
+      payloads.push_back(EncodeDate(d));
+    }
+    PMEMOLAP_ASSIGN_OR_RETURN(guarded_date_,
+                              guard_dimension(std::move(payloads)));
+    payloads.clear();
+    payloads.reserve(db_->customer.size());
+    for (const ssb::CustomerRow& c : db_->customer) {
+      payloads.push_back(EncodeGeo(c.nation, c.region, c.city));
+    }
+    PMEMOLAP_ASSIGN_OR_RETURN(guarded_customer_,
+                              guard_dimension(std::move(payloads)));
+    payloads.clear();
+    payloads.reserve(db_->supplier.size());
+    for (const ssb::SupplierRow& s : db_->supplier) {
+      payloads.push_back(EncodeGeo(s.nation, s.region, s.city));
+    }
+    PMEMOLAP_ASSIGN_OR_RETURN(guarded_supplier_,
+                              guard_dimension(std::move(payloads)));
+    payloads.clear();
+    payloads.reserve(db_->part.size());
+    for (const ssb::PartRow& p : db_->part) {
+      payloads.push_back(EncodePart(p));
+    }
+    PMEMOLAP_ASSIGN_OR_RETURN(guarded_part_,
+                              guard_dimension(std::move(payloads)));
+    // The fact table's byte image, striped and CRC-chunked; db_ stays the
+    // repair source (the stand-in for reloading from primary storage).
+    PMEMOLAP_ASSIGN_OR_RETURN(
+        guarded_fact_,
+        GuardedTable::Create(
+            space, injector,
+            reinterpret_cast<const std::byte*>(db_->lineorder.data()),
+            db_->lineorder.size() * sizeof(ssb::LineorderRow),
+            config_.fault->fact_options));
+  }
   int workers_per_socket =
       std::max(1, config_.threads / std::max(1, sockets_used));
   Partitioner partitioner(topology);
@@ -180,33 +244,55 @@ Status SsbEngine::Prepare() {
   return Status::OK();
 }
 
-void SsbEngine::ExecuteRange(QueryId query, int socket,
-                             const TupleRange& range, ssb::QueryOutput* out,
-                             ProbeCounters* probes,
-                             uint64_t* qualifying) const {
+Status SsbEngine::ExecuteRange(QueryId query, int socket,
+                               const TupleRange& range,
+                               ssb::QueryOutput* out, ProbeCounters* probes,
+                               uint64_t* qualifying) const {
+  const bool guarded = guarded_fact_ != nullptr;
+  // Probe lambdas stay infallible for the 13-query switch below; a fault
+  // that survives failover and repair is parked in `fault_status` and
+  // aborts the range at the end of the row.
+  Status fault_status = Status::OK();
+  auto lookup = [&](const ReplicatedIndex& index, GuardedDimension* dim,
+                    int32_t key) -> uint64_t {
+    uint64_t value = *index.Near(socket).Get(static_cast<uint64_t>(key));
+    if (dim == nullptr) return value;
+    Result<uint64_t> payload = dim->Payload(socket, value);
+    if (!payload.ok()) {
+      if (fault_status.ok()) fault_status = payload.status();
+      return 0;
+    }
+    return payload.value();
+  };
   auto probe_date = [&](int32_t datekey) {
     ++probes->date;
-    return DecodeDate(
-        *date_index_.Near(socket).Get(static_cast<uint64_t>(datekey)));
+    return DecodeDate(lookup(date_index_, guarded_date_.get(), datekey));
   };
   auto probe_customer = [&](int32_t custkey) {
     ++probes->customer;
     return DecodeGeo(
-        *customer_index_.Near(socket).Get(static_cast<uint64_t>(custkey)));
+        lookup(customer_index_, guarded_customer_.get(), custkey));
   };
   auto probe_supplier = [&](int32_t suppkey) {
     ++probes->supplier;
     return DecodeGeo(
-        *supplier_index_.Near(socket).Get(static_cast<uint64_t>(suppkey)));
+        lookup(supplier_index_, guarded_supplier_.get(), suppkey));
   };
   auto probe_part = [&](int32_t partkey) {
     ++probes->part;
-    return DecodePart(
-        *part_index_.Near(socket).Get(static_cast<uint64_t>(partkey)));
+    return DecodePart(lookup(part_index_, guarded_part_.get(), partkey));
   };
 
+  ssb::LineorderRow scratch{};
   for (uint64_t i = range.begin; i < range.end; ++i) {
-    const ssb::LineorderRow& lo = db_->lineorder[i];
+    if (guarded) {
+      // The row comes off the guarded PMEM image — retried, scrubbed or
+      // repaired as needed — not out of the in-DRAM source vector.
+      PMEMOLAP_RETURN_NOT_OK(guarded_fact_->Read(
+          i * sizeof(ssb::LineorderRow), sizeof(ssb::LineorderRow),
+          reinterpret_cast<std::byte*>(&scratch)));
+    }
+    const ssb::LineorderRow& lo = guarded ? scratch : db_->lineorder[i];
     switch (query) {
       // --- Flight 1: cheap tuple filters first, then one date probe --------
       case QueryId::kQ1_1: {
@@ -349,7 +435,9 @@ void SsbEngine::ExecuteRange(QueryId query, int socket,
         break;
       }
     }
+    PMEMOLAP_RETURN_NOT_OK(fault_status);
   }
+  return Status::OK();
 }
 
 uint64_t SsbEngine::ScanBytesPerTuple(ssb::QueryId query) const {
@@ -531,16 +619,20 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
       std::vector<ssb::QueryOutput> outputs(workers);
       std::vector<ProbeCounters> counters(workers);
       std::vector<uint64_t> qualifying_counts(workers, 0);
+      std::vector<Status> statuses(workers);
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, w] {
-          ExecuteRange(query, partition.socket, partition.worker_ranges[w],
-                       &outputs[w],
-                       &counters[w], &qualifying_counts[w]);
+          statuses[w] = ExecuteRange(query, partition.socket,
+                                     partition.worker_ranges[w], &outputs[w],
+                                     &counters[w], &qualifying_counts[w]);
         });
       }
       for (std::thread& thread : threads) thread.join();
+      for (const Status& status : statuses) {
+        PMEMOLAP_RETURN_NOT_OK(status);
+      }
       for (size_t w = 0; w < workers; ++w) {
         if (outputs[w].scalar) {
           run.output.scalar = true;
@@ -556,9 +648,9 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
         qualifying += qualifying_counts[w];
       }
     } else {
-      ExecuteRange(query, partition.socket, partition.tuples,
-                   &run.output, &probes,
-                   &qualifying);
+      PMEMOLAP_RETURN_NOT_OK(ExecuteRange(query, partition.socket,
+                                          partition.tuples, &run.output,
+                                          &probes, &qualifying));
     }
     RecordSocketTraffic(query, partition.socket, partition.tuples.size(),
                         probes, qualifying, threads_per_socket,

@@ -26,6 +26,8 @@
 #include "core/profile.h"
 #include "engine/dimension_index.h"
 #include "engine/timer.h"
+#include "fault/fault_domain.h"
+#include "fault/guarded_table.h"
 #include "memsys/mem_system.h"
 #include "ssb/dbgen.h"
 #include "ssb/queries.h"
@@ -69,6 +71,11 @@ struct EngineConfig {
   /// The modeled runtime is unaffected; this exercises the engine's
   /// concurrency (thread-safe probes, disjoint ranges, result merging).
   bool parallel_execution = true;
+  /// Non-null switches the engine into fault mode: the fact table and the
+  /// dimension payloads are materialized on the domain's (armed) space as
+  /// guarded PMEM state, and every read goes through the recovery path
+  /// (retry, scrub, replica failover). Must outlive the engine.
+  FaultDomain* fault = nullptr;
   TimerConfig timer;
 };
 
@@ -108,10 +115,12 @@ class SsbEngine {
   };
 
   /// Runs the query over one contiguous tuple range (probing `socket`'s
-  /// index replicas), accumulating results and probe counts.
-  void ExecuteRange(ssb::QueryId query, int socket, const TupleRange& range,
-                    ssb::QueryOutput* out, ProbeCounters* probes,
-                    uint64_t* qualifying) const;
+  /// index replicas), accumulating results and probe counts. In fault
+  /// mode rows and dimension payloads come through the guarded read path
+  /// and an unrecoverable fault surfaces as the returned Status.
+  Status ExecuteRange(ssb::QueryId query, int socket,
+                      const TupleRange& range, ssb::QueryOutput* out,
+                      ProbeCounters* probes, uint64_t* qualifying) const;
 
   /// Emits the traffic records for one socket's share of the work.
   void RecordSocketTraffic(ssb::QueryId query, int socket, uint64_t tuples,
@@ -142,6 +151,14 @@ class SsbEngine {
   ReplicatedIndex supplier_index_;
   ReplicatedIndex part_index_;
   std::vector<SocketPartition> partitions_;
+  // Fault mode: the fact byte image lives in a CRC-guarded striped table
+  // and the indexes map keys to dense positions into these guarded
+  // payload arrays (instead of holding the payloads inline).
+  std::unique_ptr<GuardedTable> guarded_fact_;
+  std::unique_ptr<GuardedDimension> guarded_date_;
+  std::unique_ptr<GuardedDimension> guarded_customer_;
+  std::unique_ptr<GuardedDimension> guarded_supplier_;
+  std::unique_ptr<GuardedDimension> guarded_part_;
   bool prepared_ = false;
 };
 

@@ -240,10 +240,10 @@ Result<std::unique_ptr<AggregateOperator>> BuildPipeline(
 Result<ssb::QueryOutput> ExecutePlan(const QuerySpec& spec,
                                      const ssb::Database* db,
                                      const IndexSet& indexes) {
-  Result<std::unique_ptr<AggregateOperator>> pipeline =
-      BuildPipeline(spec, db, indexes, 0, db->lineorder.size());
-  if (!pipeline.ok()) return pipeline.status();
-  return (*pipeline)->Execute();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      std::unique_ptr<AggregateOperator> pipeline,
+      BuildPipeline(spec, db, indexes, 0, db->lineorder.size()));
+  return pipeline->Execute();
 }
 
 Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
@@ -261,10 +261,9 @@ Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
   for (int w = 0; w < workers; ++w) {
     uint64_t begin = per_worker * static_cast<uint64_t>(w);
     uint64_t end = w + 1 == workers ? total : begin + per_worker;
-    Result<std::unique_ptr<AggregateOperator>> pipeline =
-        BuildPipeline(spec, db, indexes, begin, end);
-    if (!pipeline.ok()) return pipeline.status();
-    pipelines.push_back(std::move(pipeline.value()));
+    PMEMOLAP_ASSIGN_OR_RETURN(std::unique_ptr<AggregateOperator> pipeline,
+                              BuildPipeline(spec, db, indexes, begin, end));
+    pipelines.push_back(std::move(pipeline));
   }
 
   std::vector<Result<ssb::QueryOutput>> outputs(

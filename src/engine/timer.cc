@@ -39,11 +39,11 @@ Result<AccessClass> QueryTimer::BuildClass(const TrafficRecord& record,
       record.worker_socket >= 0 ? record.worker_socket : record.data_socket;
 
   ThreadPlacer placer(model_->config().topology);
-  Result<ThreadPlacement> placement =
-      placer.Place(std::max(threads, 1), pinning, worker_socket);
-  if (!placement.ok()) return placement.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement placement,
+      placer.Place(std::max(threads, 1), pinning, worker_socket));
   if (pinning != PinningPolicy::kNone) {
-    for (ThreadSlot& slot : placement->slots) {
+    for (ThreadSlot& slot : placement.slots) {
       slot.near_data =
           SystemTopology::IsNear(slot.socket, record.data_socket);
     }
@@ -54,7 +54,7 @@ Result<AccessClass> QueryTimer::BuildClass(const TrafficRecord& record,
   klass.pattern = record.pattern;
   klass.media = record.media;
   klass.access_size = std::max<uint64_t>(record.access_size, 64);
-  klass.placement = std::move(placement.value());
+  klass.placement = std::move(placement);
   klass.data_socket = record.data_socket;
   klass.region_bytes = record.region_bytes;
   klass.run_index = 2;  // steady state: the directory is warm

@@ -20,16 +20,18 @@ double MemoryModeModel::HitRatio(Pattern pattern,
 Result<GigabytesPerSecond> MemoryModeModel::Bandwidth(
     OpType op, Pattern pattern, uint64_t access_size, int threads,
     const RunOptions& options) const {
-  Result<GigabytesPerSecond> pmem_bw = runner_.Bandwidth(
-      op, pattern, Media::kPmem, access_size, threads, options);
-  if (!pmem_bw.ok()) return pmem_bw.status();
-  Result<GigabytesPerSecond> dram_bw = runner_.Bandwidth(
-      op, pattern, Media::kDram, access_size, threads, options);
-  if (!dram_bw.ok()) return dram_bw.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      GigabytesPerSecond pmem_bw,
+      runner_.Bandwidth(op, pattern, Media::kPmem, access_size, threads,
+                        options));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      GigabytesPerSecond dram_bw,
+      runner_.Bandwidth(op, pattern, Media::kDram, access_size, threads,
+                        options));
 
   double hits = HitRatio(pattern, options.region_bytes);
-  double hit_rate = dram_bw.value() * spec_.dram_hit_efficiency;
-  double miss_rate = pmem_bw.value() * spec_.pmem_miss_efficiency;
+  double hit_rate = dram_bw * spec_.dram_hit_efficiency;
+  double miss_rate = pmem_bw * spec_.pmem_miss_efficiency;
   // Time-weighted blend (harmonic): each access is a hit or a miss.
   double blended =
       1.0 / (hits / hit_rate + (1.0 - hits) / miss_rate);

@@ -29,11 +29,11 @@ Result<AccessClass> WorkloadRunner::MakeClass(OpType op, Pattern pattern,
   // relative to the data socket.
   int thread_socket =
       options.thread_socket >= 0 ? options.thread_socket : options.data_socket;
-  Result<ThreadPlacement> placement =
-      placer.Place(threads, options.pinning, thread_socket);
-  if (!placement.ok()) return placement.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement placement,
+      placer.Place(threads, options.pinning, thread_socket));
   if (options.pinning != PinningPolicy::kNone) {
-    for (ThreadSlot& slot : placement->slots) {
+    for (ThreadSlot& slot : placement.slots) {
       slot.near_data =
           SystemTopology::IsNear(slot.socket, options.data_socket);
     }
@@ -44,7 +44,7 @@ Result<AccessClass> WorkloadRunner::MakeClass(OpType op, Pattern pattern,
   klass.pattern = pattern;
   klass.media = media;
   klass.access_size = access_size;
-  klass.placement = std::move(placement.value());
+  klass.placement = std::move(placement);
   klass.data_socket = options.data_socket;
   klass.region_bytes = options.region_bytes;
   klass.run_index = options.run_index;
@@ -56,11 +56,11 @@ Result<BandwidthResult> WorkloadRunner::Run(OpType op, Pattern pattern,
                                             Media media, uint64_t access_size,
                                             int threads,
                                             const RunOptions& options) const {
-  Result<AccessClass> klass =
-      MakeClass(op, pattern, media, access_size, threads, options);
-  if (!klass.ok()) return klass.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      AccessClass klass,
+      MakeClass(op, pattern, media, access_size, threads, options));
   WorkloadSpec spec;
-  spec.classes.push_back(std::move(klass.value()));
+  spec.classes.push_back(std::move(klass));
   spec.l2_prefetcher_enabled = options.l2_prefetcher_enabled;
   spec.devdax = options.devdax;
   return model_->EvaluateOnce(spec);
@@ -69,10 +69,10 @@ Result<BandwidthResult> WorkloadRunner::Run(OpType op, Pattern pattern,
 Result<GigabytesPerSecond> WorkloadRunner::Bandwidth(
     OpType op, Pattern pattern, Media media, uint64_t access_size,
     int threads, const RunOptions& options) const {
-  Result<BandwidthResult> result =
-      Run(op, pattern, media, access_size, threads, options);
-  if (!result.ok()) return result.status();
-  return result->total_gbps;
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      BandwidthResult result,
+      Run(op, pattern, media, access_size, threads, options));
+  return result.total_gbps;
 }
 
 namespace {
@@ -85,12 +85,12 @@ Result<AccessClass> MakeCrossClass(const MemSystemModel& model, OpType op,
                                    int data_socket, int region_id,
                                    int run_index) {
   ThreadPlacer placer(model.config().topology);
-  Result<ThreadPlacement> placement =
-      placer.Place(threads, PinningPolicy::kNumaRegion, thread_socket);
-  if (!placement.ok()) return placement.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement placement,
+      placer.Place(threads, PinningPolicy::kNumaRegion, thread_socket));
   // kNumaRegion pins to the thread socket; recompute near/far relative to
   // where the data actually is.
-  for (ThreadSlot& slot : placement->slots) {
+  for (ThreadSlot& slot : placement.slots) {
     slot.near_data = SystemTopology::IsNear(slot.socket, data_socket);
   }
   AccessClass klass;
@@ -98,7 +98,7 @@ Result<AccessClass> MakeCrossClass(const MemSystemModel& model, OpType op,
   klass.pattern = Pattern::kSequentialIndividual;
   klass.media = media;
   klass.access_size = access_size;
-  klass.placement = std::move(placement.value());
+  klass.placement = std::move(placement);
   klass.data_socket = data_socket;
   klass.region_id = region_id;
   klass.run_index = run_index;
@@ -115,11 +115,11 @@ Result<BandwidthResult> WorkloadRunner::MultiSocket(OpType op, Media media,
   WorkloadSpec spec;
   auto add = [&](int thread_socket, int data_socket,
                  int region_id) -> Status {
-    Result<AccessClass> klass =
+    PMEMOLAP_ASSIGN_OR_RETURN(
+        AccessClass klass,
         MakeCrossClass(*model_, op, media, access_size, threads_per_socket,
-                       thread_socket, data_socket, region_id, run_index);
-    if (!klass.ok()) return klass.status();
-    spec.classes.push_back(std::move(klass.value()));
+                       thread_socket, data_socket, region_id, run_index));
+    spec.classes.push_back(std::move(klass));
     return Status::OK();
   };
 
@@ -153,19 +153,19 @@ Result<BandwidthResult> WorkloadRunner::Mixed(int write_threads,
   WorkloadSpec spec;
   ThreadPlacer placer(model_->config().topology);
 
-  Result<ThreadPlacement> write_placement =
-      placer.Place(write_threads, PinningPolicy::kNumaRegion, 0);
-  if (!write_placement.ok()) return write_placement.status();
-  Result<ThreadPlacement> read_placement =
-      placer.Place(read_threads, PinningPolicy::kNumaRegion, 0);
-  if (!read_placement.ok()) return read_placement.status();
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement write_placement,
+      placer.Place(write_threads, PinningPolicy::kNumaRegion, 0));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement read_placement,
+      placer.Place(read_threads, PinningPolicy::kNumaRegion, 0));
 
   AccessClass writer;
   writer.op = OpType::kWrite;
   writer.pattern = Pattern::kSequentialIndividual;
   writer.media = media;
   writer.access_size = access_size;
-  writer.placement = std::move(write_placement.value());
+  writer.placement = std::move(write_placement);
   writer.data_socket = 0;
   writer.region_bytes = 40ULL * kGiB;
   writer.region_id = 0;
@@ -173,7 +173,7 @@ Result<BandwidthResult> WorkloadRunner::Mixed(int write_threads,
 
   AccessClass reader = writer;
   reader.op = OpType::kRead;
-  reader.placement = std::move(read_placement.value());
+  reader.placement = std::move(read_placement);
   reader.region_bytes = 40ULL * kGiB;
   reader.region_id = 1;  // disjoint data on the same DIMMs
   reader.label = "read";

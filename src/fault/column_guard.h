@@ -1,0 +1,59 @@
+// GuardedColumnStore — the ssb::ColumnStore projection materialized onto
+// guarded PMEM, one CRC-chunked GuardedTable per column. Scans run
+// chunk-wise through the guarded read path, so poisoned columns are
+// retried, scrubbed or repaired transparently and the scan result stays
+// bit-identical to the in-DRAM ColumnStore.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "core/pmem_space.h"
+#include "fault/fault_injector.h"
+#include "fault/guarded_table.h"
+#include "ssb/column_store.h"
+
+namespace pmemolap {
+
+class GuardedColumnStore {
+ public:
+  /// Materializes each of `store`'s nine columns as a GuardedTable on
+  /// `space`. `store` is the repair source and must outlive this object.
+  static Result<std::unique_ptr<GuardedColumnStore>> Create(
+      PmemSpace* space, FaultInjector* injector,
+      const ssb::ColumnStore* store,
+      const GuardedTable::Options& options = GuardedTable::Options());
+
+  size_t size() const { return rows_; }
+
+  /// ColumnStore::ScanDiscountedRevenue through the guarded read path —
+  /// touches the quantity, discount and extendedprice columns chunk-wise.
+  Result<int64_t> ScanDiscountedRevenue(int32_t discount_lo,
+                                        int32_t discount_hi,
+                                        int32_t quantity_below);
+
+  /// Scrubs every chunk of every column; returns chunks repaired.
+  Result<uint64_t> ScrubAll();
+
+  GuardedTable& quantity() { return *quantity_; }
+  GuardedTable& discount() { return *discount_; }
+  GuardedTable& extendedprice() { return *extendedprice_; }
+
+ private:
+  GuardedColumnStore() = default;
+
+  size_t rows_ = 0;
+  // Nine columns, same order as the ColumnStore accessors.
+  std::unique_ptr<GuardedTable> orderdate_;
+  std::unique_ptr<GuardedTable> custkey_;
+  std::unique_ptr<GuardedTable> partkey_;
+  std::unique_ptr<GuardedTable> suppkey_;
+  std::unique_ptr<GuardedTable> quantity_;
+  std::unique_ptr<GuardedTable> discount_;
+  std::unique_ptr<GuardedTable> extendedprice_;
+  std::unique_ptr<GuardedTable> revenue_;
+  std::unique_ptr<GuardedTable> supplycost_;
+};
+
+}  // namespace pmemolap

@@ -1,0 +1,21 @@
+// FaultDomain — the bundle the engine needs to run in fault mode: the
+// armed PmemSpace to materialize guarded state in, the injector that owns
+// the scenario, and the guard options for the fact table.
+#pragma once
+
+#include "core/pmem_space.h"
+#include "fault/fault_injector.h"
+#include "fault/guarded_table.h"
+
+namespace pmemolap {
+
+struct FaultDomain {
+  /// Space the guarded fact/dimension state is allocated from; the
+  /// injector should already be armed on it.
+  PmemSpace* space = nullptr;
+  FaultInjector* injector = nullptr;
+  /// Guard options for the fact-table byte image.
+  GuardedTable::Options fact_options;
+};
+
+}  // namespace pmemolap

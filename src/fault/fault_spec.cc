@@ -1,0 +1,65 @@
+#include "fault/fault_spec.h"
+
+namespace pmemolap {
+
+FaultSpec FaultSpec::Healthy() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::Preset(int intensity) {
+  FaultSpec spec;
+  spec.seed = 0xF001 + static_cast<uint64_t>(intensity);
+  switch (intensity) {
+    case 1:  // light: rare transient poisons, platform otherwise healthy
+      spec.poison_lines_per_mib = 0.1;
+      spec.transient_fraction = 0.75;
+      spec.transient_clear_attempts = 1;
+      break;
+    case 2:  // moderate: denser poison, one socket throttles, mild UPI loss
+      spec.poison_lines_per_mib = 0.5;
+      spec.transient_fraction = 0.5;
+      spec.transient_clear_attempts = 2;
+      spec.throttle_windows.push_back({0, 0.0, 3600.0, 0.8});
+      spec.upi_capacity_factor = 0.95;
+      break;
+    case 3:  // heavy: both sockets throttle, degraded UPI, alloc failures
+      spec.poison_lines_per_mib = 2.0;
+      spec.transient_fraction = 0.4;
+      spec.transient_clear_attempts = 2;
+      spec.throttle_windows.push_back({0, 0.0, 3600.0, 0.65});
+      spec.throttle_windows.push_back({1, 0.0, 3600.0, 0.75});
+      spec.upi_capacity_factor = 0.8;
+      spec.alloc_failure_period = 97;
+      break;
+    case 4:  // extreme: dense permanent poison, hard throttling, flaky
+             // allocations
+      spec.poison_lines_per_mib = 8.0;
+      spec.transient_fraction = 0.25;
+      spec.transient_clear_attempts = 3;
+      spec.throttle_windows.push_back({0, 0.0, 3600.0, 0.4});
+      spec.throttle_windows.push_back({1, 0.0, 3600.0, 0.5});
+      spec.upi_capacity_factor = 0.6;
+      spec.alloc_failure_period = 23;
+      spec.alloc_failure_rate = 0.02;
+      break;
+    default:  // 0 or out of range: healthy
+      break;
+  }
+  return spec;
+}
+
+const char* FaultIntensityName(int intensity) {
+  switch (intensity) {
+    case 0:
+      return "healthy";
+    case 1:
+      return "light";
+    case 2:
+      return "moderate";
+    case 3:
+      return "heavy";
+    case 4:
+      return "extreme";
+  }
+  return "unknown";
+}
+
+}  // namespace pmemolap

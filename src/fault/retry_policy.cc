@@ -1,0 +1,40 @@
+#include "fault/retry_policy.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmemolap {
+
+Status FaultAwareReader::Read(Allocation* region, uint64_t offset,
+                              uint64_t size, std::byte* dst) {
+  if (offset + size > region->size()) {
+    return Status::OutOfRange("read past end of region");
+  }
+  if (size == 0) return Status::OK();
+
+  bool counted = false;
+  double backoff_us = policy_.initial_backoff_us;
+  for (int attempt = 1;; ++attempt) {
+    if (!region->IsPoisoned(offset, size)) {
+      std::memcpy(dst, region->data() + offset, size);
+      return Status::OK();
+    }
+    if (!counted) {
+      injector_->CountPoisonedRead();
+      counted = true;
+    }
+    if (attempt >= policy_.max_attempts) {
+      return Status::DataLoss("poison survived " +
+                              std::to_string(policy_.max_attempts) +
+                              " read attempts");
+    }
+    injector_->CountRetry(backoff_us);
+    backoff_us *= policy_.backoff_multiplier;
+    for (uint64_t line : region->PoisonedLinesIn(offset, size)) {
+      if (region->RetryLine(line)) injector_->CountTransientClear();
+    }
+  }
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,52 @@
+// Bounded retry-with-backoff for reads of poisoned PMEM regions.
+//
+// Real platforms surface a poisoned line as a machine-check on load; a
+// robust engine catches it, backs off, and retries — transient errors
+// (ECC eventually corrects) clear after a few attempts, permanent ones do
+// not and must be repaired by the scrub layer. Backoff is *modeled*, not
+// slept: the accumulated microseconds are charged to the injector's
+// recovery-overhead account.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/pmem_space.h"
+#include "fault/fault_injector.h"
+
+namespace pmemolap {
+
+struct RetryPolicy {
+  /// Read attempts before giving up (the first read plus retries).
+  int max_attempts = 4;
+  /// Modeled backoff before the first retry, microseconds.
+  double initial_backoff_us = 2.0;
+  /// Exponential backoff multiplier per retry.
+  double backoff_multiplier = 2.0;
+};
+
+/// Reads bytes out of an Allocation with bounded retry on poisoned lines.
+/// Returns kDataLoss on exhaustion — the caller escalates to scrub/repair
+/// or failover. Not internally synchronized: callers serialize access to
+/// the region (GuardedTable / GuardedDimension hold their own mutexes).
+class FaultAwareReader {
+ public:
+  explicit FaultAwareReader(FaultInjector* injector,
+                            RetryPolicy policy = RetryPolicy())
+      : injector_(injector), policy_(policy) {}
+
+  const RetryPolicy& policy() const { return policy_; }
+
+  /// Copies [offset, offset + size) of `region` into `dst`. Retries
+  /// poisoned lines per the policy (transient poisons clear); fails with
+  /// kDataLoss when poison survives every attempt.
+  Status Read(Allocation* region, uint64_t offset, uint64_t size,
+              std::byte* dst);
+
+ private:
+  FaultInjector* injector_;
+  RetryPolicy policy_;
+};
+
+}  // namespace pmemolap

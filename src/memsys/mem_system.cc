@@ -40,6 +40,14 @@ MemSystemModel::MemSystemModel(MemSystemConfig config)
                                        config_.topology.dimms_per_socket())),
       directory_(config_.coherence) {}
 
+double MemSystemModel::PmemServiceFactor(int socket) const {
+  if (socket < 0 ||
+      socket >= static_cast<int>(config_.pmem_service_factor.size())) {
+    return 1.0;
+  }
+  return config_.pmem_service_factor[static_cast<size_t>(socket)];
+}
+
 GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
                                                int threads, bool near,
                                                bool warm,
@@ -48,6 +56,9 @@ GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
   const bool read = klass.op == OpType::kRead;
   const bool grouped = klass.pattern == Pattern::kSequentialGrouped;
   const int dimms = config_.topology.dimms_per_socket();
+  // Thermal throttling (fault layer): the DIMMs of a hot socket serve all
+  // PMEM traffic at a scaled rate.
+  const double throttle = PmemServiceFactor(klass.data_socket);
 
   if (klass.media == Media::kSsd) {
     return klass.pattern == Pattern::kRandom ? ssd_.RandomRate(read, size)
@@ -77,13 +88,14 @@ GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
     if (read) {
       double amp = optane_.ReadAmplification(size, /*sequential=*/false);
       diag->read_amplification = amp;
-      return optane_.spec().random_read_gbps * dimms * ramp / amp;
+      return optane_.spec().random_read_gbps * dimms * ramp * throttle / amp;
     }
     double combine = write_combining_.spec().random_combine;
     double amp = optane_.WriteAmplification(size, combine);
     diag->combine_fraction = combine;
     diag->write_amplification = amp;
-    double cap = optane_.spec().random_write_gbps * dimms * ramp / amp;
+    double cap =
+        optane_.spec().random_write_gbps * dimms * ramp * throttle / amp;
     cap *= queue_.WriteThreadFactor(threads, /*random=*/true);
     return cap;
   }
@@ -92,11 +104,14 @@ GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
     double cd = interleave_.ConcurrentDimms(threads, size, grouped);
     diag->concurrent_dimms = cd;
     diag->read_amplification = 1.0;
-    double cap = optane_.spec().seq_read_gbps * cd;
+    double cap = optane_.spec().seq_read_gbps * cd * throttle;
     if (!near && !warm) {
       // Cold coherence directory: address-space mappings are being
-      // reassigned; the far-read ceiling collapses (paper Fig. 5).
-      cap = std::min(cap, directory_.ColdFarReadCeiling(threads));
+      // reassigned; the far-read ceiling collapses (paper Fig. 5). The
+      // directory traffic rides the UPI link, so a degraded link lowers
+      // this ceiling proportionally.
+      cap = std::min(cap, directory_.ColdFarReadCeiling(threads) *
+                              config_.upi_capacity_factor);
     }
     return cap;
   }
@@ -127,7 +142,8 @@ GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
   diag->buffer_efficiency = wc.buffer_efficiency;
   diag->write_amplification = amp;
   double cap =
-      optane_.spec().seq_write_gbps * cd * wc.buffer_efficiency / amp;
+      optane_.spec().seq_write_gbps * cd * wc.buffer_efficiency * throttle /
+      amp;
   cap *= queue_.WriteThreadFactor(threads, /*random=*/false);
   // Writes that align with the 4 KB DIMM interleave target exactly one
   // DIMM per operation; line-multiple but stripe-misaligned sizes straddle
@@ -150,7 +166,8 @@ GigabytesPerSecond MemSystemModel::DeviceBound(const AccessClass& klass,
     // ntstore to far PMEM behaves like a read-modify-write over the UPI
     // (paper §4.4): a hard ceiling, reached only with ~6+ threads, with a
     // mild decline as more far writers amplify.
-    double ceiling = config_.pmem_far_write_ceiling;
+    double ceiling = config_.pmem_far_write_ceiling *
+                     config_.upi_capacity_factor;
     if (threads > 8) {
       ceiling *= std::max(
           0.6, 1.0 - config_.far_write_excess_penalty *
@@ -215,6 +232,10 @@ MemSystemModel::ClassEval MemSystemModel::EvaluateClass(
     issue_near /= placement.oversubscription;
     issue_far /= placement.oversubscription;
   }
+  // A degraded UPI link (retrained to a lower speed) stretches every far
+  // access's round trip, so the latency-bound far issue rate drops with
+  // the link capacity, not just the link's aggregate data ceiling.
+  issue_far *= config_.upi_capacity_factor;
 
   double demand_near = 0.0;
   double demand_far = 0.0;
@@ -380,7 +401,8 @@ BandwidthResult MemSystemModel::EvaluateOnce(const WorkloadSpec& spec) const {
       capacity = std::min(
           capacity,
           upi_.DataCapacity(both_active,
-                            spec.classes[i].media));
+                            spec.classes[i].media) *
+              config_.upi_capacity_factor);
     }
     if (payload > capacity && payload > 0.0) {
       double scale = capacity / payload;

@@ -72,6 +72,16 @@ struct MemSystemConfig {
   /// Cached sub-line stores merge in the L1/L2 before the write-back:
   /// combining succeeds regardless of thread interleaving.
   double cached_combine_fraction = 0.95;
+
+  // --- Platform degradation (fault layer) ----------------------------------
+  /// Per-socket multiplier on PMEM DIMM service rates, injected by the
+  /// fault layer to model thermal throttling (Optane DIMMs throttle their
+  /// media rates when hot). Empty (the default) means every socket is
+  /// healthy; missing trailing sockets default to 1.0.
+  std::vector<double> pmem_service_factor;
+  /// Multiplier on per-direction UPI payload capacity (degraded link:
+  /// fewer active lanes or a reduced transfer rate).
+  double upi_capacity_factor = 1.0;
 };
 
 /// The composed model. Stateful: far reads warm the coherence directory,
@@ -111,6 +121,10 @@ class MemSystemModel {
 
   ClassEval EvaluateClass(const AccessClass& klass, const WorkloadSpec& spec,
                           bool shared_region, bool warm) const;
+
+  /// Degradation multiplier on `socket`'s PMEM service rates (1.0 =
+  /// healthy).
+  double PmemServiceFactor(int socket) const;
 
   /// Device-side useful-bandwidth capacity for a homogeneous sub-group of
   /// `threads` threads of the class with the given locality.

@@ -254,34 +254,24 @@ Result<Database> ImportDatabase(const std::string& directory) {
   };
   std::ifstream in;
   PMEMOLAP_RETURN_NOT_OK(open("date", &in));
-  auto date = ReadDateCsv(in);
-  if (!date.ok()) return date.status();
-  db.date = std::move(date.value());
+  PMEMOLAP_ASSIGN_OR_RETURN(db.date, ReadDateCsv(in));
   in.close();
 
   std::ifstream cust;
   PMEMOLAP_RETURN_NOT_OK(open("customer", &cust));
-  auto customer = ReadCustomerCsv(cust);
-  if (!customer.ok()) return customer.status();
-  db.customer = std::move(customer.value());
+  PMEMOLAP_ASSIGN_OR_RETURN(db.customer, ReadCustomerCsv(cust));
 
   std::ifstream supp;
   PMEMOLAP_RETURN_NOT_OK(open("supplier", &supp));
-  auto supplier = ReadSupplierCsv(supp);
-  if (!supplier.ok()) return supplier.status();
-  db.supplier = std::move(supplier.value());
+  PMEMOLAP_ASSIGN_OR_RETURN(db.supplier, ReadSupplierCsv(supp));
 
   std::ifstream part;
   PMEMOLAP_RETURN_NOT_OK(open("part", &part));
-  auto parts = ReadPartCsv(part);
-  if (!parts.ok()) return parts.status();
-  db.part = std::move(parts.value());
+  PMEMOLAP_ASSIGN_OR_RETURN(db.part, ReadPartCsv(part));
 
   std::ifstream lo;
   PMEMOLAP_RETURN_NOT_OK(open("lineorder", &lo));
-  auto lineorder = ReadLineorderCsv(lo);
-  if (!lineorder.ok()) return lineorder.status();
-  db.lineorder = std::move(lineorder.value());
+  PMEMOLAP_ASSIGN_OR_RETURN(db.lineorder, ReadLineorderCsv(lo));
   return db;
 }
 

@@ -56,6 +56,51 @@ TEST_F(ReplicatorTest, RejectsEmptyPayload) {
   EXPECT_FALSE(replicator_.Replicate(&byte, 0, Media::kPmem).ok());
 }
 
+TEST_F(ReplicatorTest, EmptyTableIsInert) {
+  ReplicatedTable table;
+  EXPECT_EQ(table.num_copies(), 0);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.LocalCopy(0), nullptr);
+  Result<int> healthy = table.HealthyCopyIndex(0, 0, 8);
+  ASSERT_FALSE(healthy.ok());
+  EXPECT_EQ(healthy.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplicatorTest, OutOfRangeSocketMapsOntoExistingCopy) {
+  std::vector<std::byte> payload(256, std::byte{0x17});
+  auto table = replicator_.Replicate(payload.data(), payload.size(),
+                                     Media::kDram);
+  ASSERT_TRUE(table.ok());
+  // Sockets beyond (or below) the copy count wrap instead of walking off
+  // the copies vector.
+  EXPECT_EQ(table->LocalCopy(2), table->LocalCopy(0));
+  EXPECT_EQ(table->LocalCopy(5), table->LocalCopy(1));
+  EXPECT_EQ(table->LocalCopy(-1), table->LocalCopy(1));
+}
+
+TEST_F(ReplicatorTest, AllocationFailureSurfacesAsError) {
+  // A tiny-capacity platform where socket 1 cannot hold the second
+  // replica: the error must propagate and the socket-0 copy roll back.
+  SystemTopology::Config config = SystemTopology::PaperServer().config();
+  config.pmem_dimm_capacity = kMiB;
+  Result<SystemTopology> tiny = SystemTopology::Make(config);
+  ASSERT_TRUE(tiny.ok());
+  PmemSpace space(*tiny);
+  DimensionReplicator replicator(&space);
+  uint64_t per_socket = space.AvailableBytes({Media::kPmem, 1});
+  Result<Allocation> hog =
+      space.Allocate(per_socket - kMiB, {Media::kPmem, 1});
+  ASSERT_TRUE(hog.ok());
+  uint64_t socket0_before = space.AvailableBytes({Media::kPmem, 0});
+  std::vector<std::byte> payload(2 * kMiB, std::byte{0x3C});
+  Result<ReplicatedTable> table =
+      replicator.Replicate(payload.data(), payload.size(), Media::kPmem);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(space.AvailableBytes({Media::kPmem, 0}), socket0_before);
+  space.Release(hog.value());
+}
+
 TEST_F(ReplicatorTest, ShouldReplicateHeuristic) {
   // SSB dimensions (< 10% of the fact table) should be replicated.
   EXPECT_TRUE(DimensionReplicator::ShouldReplicate(kMiB, 100 * kMiB));

@@ -1,0 +1,158 @@
+// End-to-end graceful degradation: the PMEM-aware engine on guarded PMEM
+// state must return bit-identical SSB results under every fault preset,
+// and the scheduler must re-plan against the degraded platform model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scheduler.h"
+#include "engine/engine.h"
+#include "fault/fault_domain.h"
+#include "ssb/reference.h"
+
+namespace pmemolap {
+namespace {
+
+using ssb::Database;
+using ssb::QueryId;
+
+/// Shared database for the fault end-to-end tests (dbgen at sf 0.01).
+class FaultEnv {
+ public:
+  static FaultEnv& Get() {
+    static FaultEnv env;
+    return env;
+  }
+
+  const Database& db() const { return db_; }
+  const ssb::ReferenceExecutor& reference() const { return reference_; }
+
+ private:
+  FaultEnv() : db_(*ssb::Generate({.scale_factor = 0.01, .seed = 11})) {}
+
+  Database db_;
+  ssb::ReferenceExecutor reference_{&db_};
+};
+
+class FaultEngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultEngineTest, AllQueriesBitIdenticalUnderFaults) {
+  const int intensity = GetParam();
+  FaultEnv& env = FaultEnv::Get();
+
+  FaultInjector injector(FaultSpec::Preset(intensity));
+  injector.AdvanceTo(5.0);  // inside every preset's throttle window
+  MemSystemModel model(injector.Degrade(MemSystemConfig()));
+  PmemSpace space(model.config().topology);
+  injector.Arm(&space);
+  FaultDomain domain{&space, &injector, GuardedTable::Options()};
+
+  EngineConfig config;
+  config.mode = EngineMode::kPmemAware;
+  config.media = Media::kPmem;
+  config.threads = 8;
+  config.fault = &domain;
+  SsbEngine engine(&env.db(), &model, config);
+  ASSERT_TRUE(engine.Prepare().ok())
+      << "bounded allocation retry must ride out injected failures";
+
+  for (QueryId query : ssb::AllQueries()) {
+    Result<SsbEngine::QueryRun> run = engine.Execute(query);
+    ASSERT_TRUE(run.ok()) << ssb::QueryName(query) << ": "
+                          << run.status().ToString();
+    EXPECT_EQ(run->output, env.reference().Execute(query))
+        << ssb::QueryName(query) << " at intensity " << intensity;
+    EXPECT_GT(run->seconds, 0.0);
+  }
+  // Light's density (0.1 lines/MiB) legitimately rounds to zero poisoned
+  // lines over the few MiB of sf-0.01 state; from moderate up the
+  // expected counts are >> 1 so the draw cannot come up empty.
+  if (intensity >= 2) {
+    EXPECT_GT(injector.counters().lines_poisoned, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIntensities, FaultEngineTest,
+                         ::testing::Range(0, kNumFaultIntensities),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::string(
+                               FaultIntensityName(info.param));
+                         });
+
+TEST(FaultEngineQueriesTest, ThrottledPlatformSlowsQueriesDown) {
+  FaultEnv& env = FaultEnv::Get();
+  auto query_seconds = [&](const MemSystemModel& model, QueryId query) {
+    EngineConfig config;
+    config.mode = EngineMode::kPmemAware;
+    config.media = Media::kPmem;
+    config.threads = 8;
+    config.project_to_sf = 100.0;
+    SsbEngine engine(&env.db(), &model, config);
+    EXPECT_TRUE(engine.Prepare().ok());
+    Result<SsbEngine::QueryRun> run = engine.Execute(query);
+    EXPECT_TRUE(run.ok());
+    return run.ok() ? run->seconds : 0.0;
+  };
+  MemSystemModel healthy;
+  FaultInjector injector(FaultSpec::Preset(4));
+  injector.AdvanceTo(5.0);
+  MemSystemModel degraded(injector.Degrade(healthy.config()));
+  // Q1.1 is scan-dominated, so the halved DIMM service rate shows up
+  // almost fully; the join flights are probe-latency-bound and only feel
+  // the throttle in their scan phases.
+  double healthy_q11 = query_seconds(healthy, QueryId::kQ1_1);
+  double degraded_q11 = query_seconds(degraded, QueryId::kQ1_1);
+  EXPECT_GT(degraded_q11, healthy_q11 * 1.3)
+      << "hard throttling must cost modeled scan bandwidth";
+  for (QueryId query :
+       {QueryId::kQ2_1, QueryId::kQ3_1, QueryId::kQ4_1}) {
+    double healthy_seconds = query_seconds(healthy, query);
+    double degraded_seconds = query_seconds(degraded, query);
+    EXPECT_GT(degraded_seconds, healthy_seconds * 1.02)
+        << ssb::QueryName(query)
+        << ": a throttled platform cannot run a join faster";
+  }
+}
+
+TEST(SchedulerDegradedTest, RePlansAgainstDegradedModel) {
+  MemSystemModel healthy;
+  FaultSpec spec;
+  spec.throttle_windows.push_back({0, 0.0, 100.0, 0.5});
+  spec.upi_capacity_factor = 0.8;
+  FaultInjector injector(spec);
+  injector.AdvanceTo(10.0);
+  MemSystemModel degraded(injector.Degrade(healthy.config()));
+
+  MixedJobs jobs;
+  jobs.read_bytes = 64 * kGiB;
+  jobs.write_bytes = 16 * kGiB;
+  MixedWorkloadScheduler scheduler(&healthy);
+  Result<ScheduleDecision> plan = scheduler.Decide(jobs);
+  Result<ScheduleDecision> replan = scheduler.DecideDegraded(jobs, &degraded);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(replan.ok()) << replan.status().ToString();
+  EXPECT_FALSE(plan->degraded_mode);
+  EXPECT_TRUE(replan->degraded_mode);
+  double chosen_healthy =
+      plan->serialize ? plan->serial_seconds : plan->mixed_seconds;
+  double chosen_degraded =
+      replan->serialize ? replan->serial_seconds : replan->mixed_seconds;
+  EXPECT_GT(chosen_degraded, chosen_healthy)
+      << "a throttled DIMM cannot be faster";
+  EXPECT_GT(replan->healthy_seconds, 0.0);
+  EXPECT_GT(chosen_degraded, replan->healthy_seconds)
+      << "the degraded decision reports the healthy makespan it lost";
+  EXPECT_NE(replan->rationale.find("degraded"), std::string::npos);
+}
+
+TEST(SchedulerDegradedTest, NullDegradedModelIsRejected) {
+  MemSystemModel healthy;
+  MixedWorkloadScheduler scheduler(&healthy);
+  MixedJobs jobs;
+  jobs.read_bytes = kGiB;
+  jobs.write_bytes = kGiB;
+  EXPECT_FALSE(scheduler.DecideDegraded(jobs, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace pmemolap
