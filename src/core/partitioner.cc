@@ -105,6 +105,16 @@ Result<std::vector<SocketPartition>> Partitioner::PartitionWeighted(
   return partitions;
 }
 
+MorselPlan Partitioner::ToMorsels(
+    const std::vector<SocketPartition>& partitions, uint64_t morsel_tuples) {
+  MorselPlan plan;
+  for (const SocketPartition& partition : partitions) {
+    AppendMorsels(partition.tuples.begin, partition.tuples.end,
+                  partition.socket, morsel_tuples, &plan);
+  }
+  return plan;
+}
+
 int Partitioner::SocketOfTuple(uint64_t tuple, uint64_t num_tuples) const {
   const int sockets = topology_.sockets();
   uint64_t per_socket = num_tuples / static_cast<uint64_t>(sockets);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/morsel.h"
 #include "topo/topology.h"
 
 namespace pmemolap {
@@ -57,6 +58,13 @@ class Partitioner {
 
   /// The socket owning a given tuple under Partition()'s layout.
   int SocketOfTuple(uint64_t tuple, uint64_t num_tuples) const;
+
+  /// Feeds a socket partitioning to the work-stealing executor: each
+  /// socket's tuple share becomes one per-socket run queue of morsels
+  /// (<= morsel_tuples tuples each, 0 = default). Morsel order within a
+  /// queue preserves the socket's sequential scan direction.
+  static MorselPlan ToMorsels(const std::vector<SocketPartition>& partitions,
+                              uint64_t morsel_tuples);
 
  private:
   SystemTopology topology_;

@@ -1,0 +1,19 @@
+#include "engine/agg_table.h"
+
+#include <utility>
+
+namespace pmemolap {
+
+void AggTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (!slot.used) continue;
+    size_t at = Hash(slot.key) & mask_;
+    while (slots_[at].used) at = (at + 1) & mask_;
+    slots_[at] = slot;
+  }
+}
+
+}  // namespace pmemolap

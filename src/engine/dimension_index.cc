@@ -24,6 +24,21 @@ std::optional<uint64_t> DimensionIndex::Get(uint64_t key) const {
   return it->second;
 }
 
+void DimensionIndex::ProbeBatch(const uint64_t* keys, size_t n,
+                                uint64_t* out) const {
+  probes_.fetch_add(n, std::memory_order_relaxed);
+  if (kind_ == IndexKind::kDash) {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = dash_->Get(keys[i]).value_or(0);
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto it = chained_.find(keys[i]);
+    out[i] = it == chained_.end() ? 0 : it->second;
+  }
+}
+
 uint64_t DimensionIndex::size() const {
   return kind_ == IndexKind::kDash ? dash_->size() : chained_.size();
 }

@@ -42,6 +42,12 @@ class DimensionIndex {
   Status Insert(uint64_t key, uint64_t payload);
   std::optional<uint64_t> Get(uint64_t key) const;
 
+  /// Batched probe for the vectorized kernels: looks up `n` keys into
+  /// `out` (0 for absent keys) and counts the n probes with a single
+  /// atomic add — per-row counter increments from 36 workers turn the
+  /// shared probe counter into a coherence hot spot.
+  void ProbeBatch(const uint64_t* keys, size_t n, uint64_t* out) const;
+
   uint64_t size() const;
   /// Bytes of index storage (the random-probe region size).
   uint64_t StorageBytes() const;

@@ -16,65 +16,6 @@ constexpr int kRegionAmerica = 1;
 constexpr int kRegionAsia = 2;
 constexpr int kRegionEurope = 3;
 
-// --- Dimension payload encodings -------------------------------------------
-
-uint64_t EncodeDate(const ssb::DateRow& d) {
-  return (static_cast<uint64_t>(d.year) << 40) |
-         (static_cast<uint64_t>(d.yearmonthnum) << 16) |
-         (static_cast<uint64_t>(static_cast<uint8_t>(d.weeknuminyear)) << 8) |
-         static_cast<uint64_t>(static_cast<uint8_t>(d.monthnuminyear));
-}
-
-struct DateAttrs {
-  int year;
-  int yearmonthnum;
-  int week;
-};
-
-DateAttrs DecodeDate(uint64_t payload) {
-  return DateAttrs{static_cast<int>(payload >> 40),
-                   static_cast<int>((payload >> 16) & 0xFFFFFF),
-                   static_cast<int>((payload >> 8) & 0xFF)};
-}
-
-uint64_t EncodeGeo(int nation, int region, int city) {
-  return (static_cast<uint64_t>(nation) << 16) |
-         (static_cast<uint64_t>(region) << 8) | static_cast<uint64_t>(city);
-}
-
-struct GeoAttrs {
-  int nation;
-  int region;
-  int city_id;
-};
-
-GeoAttrs DecodeGeo(uint64_t payload) {
-  int nation = static_cast<int>(payload >> 16);
-  int city = static_cast<int>(payload & 0xFF);
-  return GeoAttrs{nation, static_cast<int>((payload >> 8) & 0xFF),
-                  ssb::CityId(nation, city)};
-}
-
-uint64_t EncodePart(const ssb::PartRow& p) {
-  return (static_cast<uint64_t>(p.mfgr) << 16) |
-         (static_cast<uint64_t>(p.category) << 8) |
-         static_cast<uint64_t>(p.brand);
-}
-
-struct PartAttrs {
-  int mfgr;
-  int category_id;
-  int brand_id;
-};
-
-PartAttrs DecodePart(uint64_t payload) {
-  int mfgr = static_cast<int>(payload >> 16);
-  int category = static_cast<int>((payload >> 8) & 0xFF);
-  int brand = static_cast<int>(payload & 0xFF);
-  return PartAttrs{mfgr, ssb::CategoryId(mfgr, category),
-                   ssb::BrandId(mfgr, category, brand)};
-}
-
 }  // namespace
 
 const char* EngineModeName(EngineMode mode) {
@@ -85,6 +26,18 @@ const char* EngineModeName(EngineMode mode) {
       return "PMEM-unaware";
   }
   return "Unknown";
+}
+
+const char* ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kStaticThreads:
+      return "static-threads";
+    case ExecutorKind::kMorselStealing:
+      return "morsel-stealing";
+  }
+  return "unknown";
 }
 
 SsbEngine::SsbEngine(const ssb::Database* db, const MemSystemModel* model,
@@ -219,6 +172,14 @@ Status SsbEngine::Prepare() {
   }
   int workers_per_socket =
       std::max(1, config_.threads / std::max(1, sockets_used));
+  // Degenerate shapes (threads > lineorder rows): per_worker would
+  // truncate to 0, leaving all-but-one range empty while threads still
+  // spawn — clamp the effective worker count to the tuple count.
+  const uint64_t tuples_per_socket = std::max<uint64_t>(
+      1, db_->lineorder.size() / static_cast<uint64_t>(sockets_used));
+  if (static_cast<uint64_t>(workers_per_socket) > tuples_per_socket) {
+    workers_per_socket = static_cast<int>(tuples_per_socket);
+  }
   Partitioner partitioner(topology);
   Result<std::vector<SocketPartition>> partitions =
       partitioner.Partition(db_->lineorder.size(), workers_per_socket);
@@ -239,6 +200,49 @@ Status SsbEngine::Prepare() {
       begin = end;
     }
     partitions_ = {std::move(all)};
+  }
+  // Host-execution structures: the columnar projection + dense date map
+  // for the vectorized kernels (fault mode always reads through the
+  // guarded scalar path), and the persistent work-stealing pool.
+  if (config_.vectorized && !guarded) {
+    columns_ = ssb::ColumnStore(db_->lineorder);
+    date_dense_.Build(db_->date);
+    std::vector<int32_t> keys;
+    std::vector<uint64_t> payloads;
+    auto reset = [&](size_t n) {
+      keys.clear();
+      payloads.clear();
+      keys.reserve(n);
+      payloads.reserve(n);
+    };
+    reset(db_->customer.size());
+    for (const ssb::CustomerRow& c : db_->customer) {
+      keys.push_back(c.custkey);
+      payloads.push_back(EncodeGeo(c.nation, c.region, c.city));
+    }
+    customer_dense_.Build(keys, payloads);
+    reset(db_->supplier.size());
+    for (const ssb::SupplierRow& s : db_->supplier) {
+      keys.push_back(s.suppkey);
+      payloads.push_back(EncodeGeo(s.nation, s.region, s.city));
+    }
+    supplier_dense_.Build(keys, payloads);
+    reset(db_->part.size());
+    for (const ssb::PartRow& p : db_->part) {
+      keys.push_back(p.partkey);
+      payloads.push_back(EncodePart(p));
+    }
+    part_dense_.Build(keys, payloads);
+  }
+  pool_.reset();
+  if (config_.parallel_execution &&
+      config_.executor == ExecutorKind::kMorselStealing) {
+    // The clamp above also bounds the pool: no point spawning more host
+    // threads than there are effective workers.
+    pool_ = std::make_unique<WorkStealingPool>(
+        std::min(config_.threads,
+                 workers_per_socket * static_cast<int>(partitions_.size())),
+        static_cast<int>(partitions_.size()));
   }
   prepared_ = true;
   return Status::OK();
@@ -599,6 +603,47 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
   }
 }
 
+Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
+                                   const TupleRange& range, bool vectorized,
+                                   WorkerState* state) const {
+  if (state->probes.size() < partitions_.size()) {
+    state->probes.resize(partitions_.size());
+    state->qualifying.resize(partitions_.size(), 0);
+  }
+  const SocketPartition& partition = partitions_[slot];
+  if (!vectorized) {
+    return ExecuteRange(query, partition.socket, range, &state->output,
+                        &state->probes[slot], &state->qualifying[slot]);
+  }
+  KernelContext ctx;
+  ctx.columns = &columns_;
+  ctx.date = &date_dense_;
+  ctx.customer = &customer_dense_;
+  ctx.supplier = &supplier_dense_;
+  ctx.part = &part_dense_;
+  KernelCounters counters;
+  ExecuteMorselKernel(query, ctx, range.begin, range.end, &state->scratch,
+                      &state->groups, &state->scalar_sum, &state->scalar,
+                      &counters);
+  ProbeCounters& probes = state->probes[slot];
+  probes.date += counters.date_probes;
+  probes.customer += counters.customer_probes;
+  probes.supplier += counters.supplier_probes;
+  probes.part += counters.part_probes;
+  state->qualifying[slot] += counters.qualifying;
+  return Status::OK();
+}
+
+ssb::QueryOutput SsbEngine::DrainWorkerOutput(WorkerState* state) {
+  ssb::QueryOutput out = std::move(state->output);
+  if (state->scalar) {
+    out.scalar = true;
+    out.value += state->scalar_sum;
+  }
+  state->groups.MergeInto(&out.groups);
+  return out;
+}
+
 Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare() before Execute()");
@@ -608,56 +653,95 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
       1, config_.threads / std::max<int>(1, static_cast<int>(
                                                 partitions_.size())));
 
-  for (const SocketPartition& partition : partitions_) {
-    ProbeCounters probes;
-    uint64_t qualifying = 0;
-    if (config_.parallel_execution && partition.worker_ranges.size() > 1) {
-      // One real thread per worker range; disjoint ranges, private
-      // accumulators, merged afterwards (the indexes are read-only and
-      // their probe counters are atomic).
-      size_t workers = partition.worker_ranges.size();
-      std::vector<ssb::QueryOutput> outputs(workers);
-      std::vector<ProbeCounters> counters(workers);
-      std::vector<uint64_t> qualifying_counts(workers, 0);
+  const bool guarded = guarded_fact_ != nullptr;
+  const bool vectorized = config_.vectorized && !guarded;
+  const ExecutorKind executor = config_.parallel_execution
+                                    ? config_.executor
+                                    : ExecutorKind::kSerial;
+  const size_t slots = partitions_.size();
+  std::vector<WorkerState> states;
+
+  if (executor == ExecutorKind::kMorselStealing && pool_ != nullptr) {
+    // Morsel-granular dispatch on the persistent pool: per-socket run
+    // queues, idle workers steal across sockets, first failure cancels.
+    MorselPlan plan =
+        Partitioner::ToMorsels(partitions_, config_.morsel_tuples);
+    std::vector<size_t> slot_of_socket(plan.queues.size(), 0);
+    for (size_t slot = 0; slot < slots; ++slot) {
+      const size_t socket = static_cast<size_t>(partitions_[slot].socket);
+      if (socket < slot_of_socket.size()) slot_of_socket[socket] = slot;
+    }
+    states.resize(static_cast<size_t>(pool_->threads()));
+    PMEMOLAP_RETURN_NOT_OK(pool_->Run(
+        plan, [&](const Morsel& morsel, int worker) {
+          return ExecuteRangeInto(
+              query, slot_of_socket[static_cast<size_t>(morsel.socket)],
+              {morsel.begin, morsel.end}, vectorized,
+              &states[static_cast<size_t>(worker)]);
+        }));
+  } else if (executor == ExecutorKind::kStaticThreads) {
+    // The legacy path: one fresh std::thread per static worker range,
+    // joined per socket. Kept as the wall-clock baseline.
+    for (size_t slot = 0; slot < slots; ++slot) {
+      const SocketPartition& partition = partitions_[slot];
+      const size_t workers = partition.worker_ranges.size();
+      if (workers <= 1) {
+        states.emplace_back();
+        PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
+            query, slot, partition.tuples, vectorized, &states.back()));
+        continue;
+      }
+      const size_t base = states.size();
+      states.resize(base + workers);
       std::vector<Status> statuses(workers);
       std::vector<std::thread> threads;
       threads.reserve(workers);
       for (size_t w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w] {
-          statuses[w] = ExecuteRange(query, partition.socket,
-                                     partition.worker_ranges[w], &outputs[w],
-                                     &counters[w], &qualifying_counts[w]);
+        threads.emplace_back([&, slot, w, base] {
+          statuses[w] =
+              ExecuteRangeInto(query, slot, partitions_[slot].worker_ranges[w],
+                               vectorized, &states[base + w]);
         });
       }
       for (std::thread& thread : threads) thread.join();
       for (const Status& status : statuses) {
         PMEMOLAP_RETURN_NOT_OK(status);
       }
-      for (size_t w = 0; w < workers; ++w) {
-        if (outputs[w].scalar) {
-          run.output.scalar = true;
-          run.output.value += outputs[w].value;
-        }
-        for (const auto& [key, value] : outputs[w].groups) {
-          run.output.groups[key] += value;
-        }
-        probes.date += counters[w].date;
-        probes.customer += counters[w].customer;
-        probes.supplier += counters[w].supplier;
-        probes.part += counters[w].part;
-        qualifying += qualifying_counts[w];
-      }
-    } else {
-      PMEMOLAP_RETURN_NOT_OK(ExecuteRange(query, partition.socket,
-                                          partition.tuples, &run.output,
-                                          &probes, &qualifying));
     }
+  } else {
+    states.emplace_back();
+    for (size_t slot = 0; slot < slots; ++slot) {
+      PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
+          query, slot, partitions_[slot].tuples, vectorized, &states[0]));
+    }
+  }
+
+  // Fold worker states: outputs merge commutatively; probe/qualifying
+  // counts roll up per partition slot for the traffic records.
+  std::vector<ProbeCounters> slot_probes(slots);
+  std::vector<uint64_t> slot_qualifying(slots, 0);
+  std::vector<ssb::QueryOutput> partials;
+  partials.reserve(states.size());
+  for (WorkerState& state : states) {
+    for (size_t slot = 0; slot < state.probes.size(); ++slot) {
+      slot_probes[slot].date += state.probes[slot].date;
+      slot_probes[slot].customer += state.probes[slot].customer;
+      slot_probes[slot].supplier += state.probes[slot].supplier;
+      slot_probes[slot].part += state.probes[slot].part;
+      slot_qualifying[slot] += state.qualifying[slot];
+    }
+    partials.push_back(DrainWorkerOutput(&state));
+  }
+  run.output = ssb::MergeOutputs(partials);
+
+  for (size_t slot = 0; slot < slots; ++slot) {
+    const SocketPartition& partition = partitions_[slot];
     RecordSocketTraffic(query, partition.socket, partition.tuples.size(),
-                        probes, qualifying, threads_per_socket,
-                        &run.profile);
+                        slot_probes[slot], slot_qualifying[slot],
+                        threads_per_socket, &run.profile);
     run.cpu.tuples_scanned += partition.tuples.size();
-    run.cpu.probes += probes.total();
-    run.cpu.agg_updates += qualifying;
+    run.cpu.probes += slot_probes[slot].total();
+    run.cpu.agg_updates += slot_qualifying[slot];
   }
 
   // Project to the paper's scale factor if requested. Traffic volumes all

@@ -25,10 +25,13 @@
 #include "core/partitioner.h"
 #include "core/profile.h"
 #include "engine/dimension_index.h"
+#include "engine/kernels.h"
 #include "engine/timer.h"
+#include "exec/pool.h"
 #include "fault/fault_domain.h"
 #include "fault/guarded_table.h"
 #include "memsys/mem_system.h"
+#include "ssb/column_store.h"
 #include "ssb/dbgen.h"
 #include "ssb/queries.h"
 
@@ -40,6 +43,20 @@ enum class EngineMode {
 };
 
 const char* EngineModeName(EngineMode mode);
+
+/// How worker parallelism is realized on the host.
+enum class ExecutorKind {
+  /// No threads: each socket's range executes inline.
+  kSerial,
+  /// The legacy path: one fresh std::thread per static worker range,
+  /// spawned and joined per query.
+  kStaticThreads,
+  /// The persistent work-stealing pool with per-socket run queues and
+  /// morsel-granular dispatch.
+  kMorselStealing,
+};
+
+const char* ExecutorKindName(ExecutorKind kind);
 
 struct EngineConfig {
   EngineMode mode = EngineMode::kPmemAware;
@@ -67,10 +84,18 @@ struct EngineConfig {
   double project_to_sf = 0.0;
   /// The handcrafted SSB runs on fsdax (Dash needs a filesystem, §6.2).
   bool devdax = false;
-  /// Execute worker ranges on real std::threads (one per worker range).
-  /// The modeled runtime is unaffected; this exercises the engine's
-  /// concurrency (thread-safe probes, disjoint ranges, result merging).
+  /// Execute worker ranges on real host threads. The modeled runtime is
+  /// unaffected; this exercises the engine's concurrency (thread-safe
+  /// probes, disjoint ranges, result merging). False forces kSerial.
   bool parallel_execution = true;
+  /// Host execution strategy when parallel_execution is on.
+  ExecutorKind executor = ExecutorKind::kMorselStealing;
+  /// Use the vectorized columnar kernels (selection vectors, batched
+  /// probes, flat per-worker aggregation) instead of the row-at-a-time
+  /// interpreter. Fault mode always takes the scalar guarded read path.
+  bool vectorized = true;
+  /// Tuples per morsel for the work-stealing executor (0 = default).
+  uint64_t morsel_tuples = kDefaultMorselTuples;
   /// Non-null switches the engine into fault mode: the fact table and the
   /// dimension payloads are materialized on the domain's (armed) space as
   /// guarded PMEM state, and every read goes through the recovery path
@@ -122,6 +147,30 @@ class SsbEngine {
                       const TupleRange& range, ssb::QueryOutput* out,
                       ProbeCounters* probes, uint64_t* qualifying) const;
 
+  /// Accumulator of one host worker. A worker may execute morsels of
+  /// several sockets (stealing), so probe/qualifying counts are kept per
+  /// partition slot — the per-socket traffic records stay deterministic
+  /// under any steal schedule.
+  struct WorkerState {
+    ssb::QueryOutput output;  ///< scalar-path partial result
+    AggTable groups;          ///< vectorized grouped sums
+    int64_t scalar_sum = 0;   ///< vectorized flight-1 sum
+    bool scalar = false;
+    std::vector<ProbeCounters> probes;  ///< per partition slot
+    std::vector<uint64_t> qualifying;   ///< per partition slot
+    KernelScratch scratch;
+  };
+
+  /// Executes tuples [range) of partition slot `slot` into `state`,
+  /// through the vectorized kernels or the scalar (guarded-capable) path.
+  Status ExecuteRangeInto(ssb::QueryId query, size_t slot,
+                          const TupleRange& range, bool vectorized,
+                          WorkerState* state) const;
+
+  /// The partial QueryOutput a worker contributed (merges the flat agg
+  /// table into the ordered map for the vectorized path).
+  static ssb::QueryOutput DrainWorkerOutput(WorkerState* state);
+
   /// Emits the traffic records for one socket's share of the work.
   void RecordSocketTraffic(ssb::QueryId query, int socket, uint64_t tuples,
                            const ProbeCounters& probes, uint64_t qualifying,
@@ -151,6 +200,16 @@ class SsbEngine {
   ReplicatedIndex supplier_index_;
   ReplicatedIndex part_index_;
   std::vector<SocketPartition> partitions_;
+  /// Columnar projection + dense dimension maps for the vectorized
+  /// kernels (built in Prepare unless running in fault mode).
+  ssb::ColumnStore columns_;
+  DenseDimMap date_dense_;
+  DenseDimMap customer_dense_;
+  DenseDimMap supplier_dense_;
+  DenseDimMap part_dense_;
+  /// The persistent work-stealing executor (kMorselStealing only):
+  /// spawned once in Prepare, reused by every Execute.
+  std::unique_ptr<WorkStealingPool> pool_;
   // Fault mode: the fact byte image lives in a CRC-guarded striped table
   // and the indexes map keys to dense positions into these guarded
   // payload arrays (instead of holding the payloads inline).

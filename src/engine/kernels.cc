@@ -1,0 +1,381 @@
+#include "engine/kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pmemolap {
+
+namespace {
+
+using ssb::QueryId;
+
+constexpr int kUnitedStates = 9;
+constexpr int kUnitedKingdom = 19;
+constexpr int kRegionAmerica = 1;
+constexpr int kRegionAsia = 2;
+constexpr int kRegionEurope = 3;
+
+/// Loads sel with every tuple of the morsel (stage-1 "probe all rows").
+void SelectAll(uint64_t begin, uint64_t end, KernelScratch* s) {
+  s->sel.resize(end - begin);
+  for (uint64_t i = begin; i < end; ++i) s->sel[i - begin] = i;
+}
+
+/// Gathers `col` at the sel positions through the dense dimension map,
+/// leaving payloads aligned with sel. Counts |sel| probes into `count`.
+void ProbeSelected(const DenseDimMap& dim, const std::vector<int32_t>& col,
+                   KernelScratch* s, uint64_t* count) {
+  const size_t n = s->sel.size();
+  *count += n;
+  s->payloads.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    s->payloads[i] = dim.Lookup(col[s->sel[i]]);
+  }
+}
+
+/// Compacts sel by keep(payload). An existing carried attribute
+/// (`keep_attr`) is compacted alongside; when `out_attr` is non-null,
+/// carry(payload) is recorded for every survivor.
+template <typename Keep, typename Carry>
+void CompactStage(KernelScratch* s, std::vector<int32_t>* keep_attr,
+                  std::vector<int32_t>* out_attr, Keep keep, Carry carry) {
+  const size_t n = s->sel.size();
+  if (out_attr != nullptr) out_attr->resize(n);
+  size_t out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t payload = s->payloads[i];
+    if (!keep(payload)) continue;
+    s->sel[out] = s->sel[i];
+    if (keep_attr != nullptr) (*keep_attr)[out] = (*keep_attr)[i];
+    if (out_attr != nullptr) {
+      (*out_attr)[out] = static_cast<int32_t>(carry(payload));
+    }
+    ++out;
+  }
+  s->sel.resize(out);
+  if (keep_attr != nullptr) keep_attr->resize(out);
+  if (out_attr != nullptr) out_attr->resize(out);
+}
+
+constexpr auto kNoCarry = [](uint64_t) { return 0; };
+
+/// Final stage of the join flights: dense date lookup per survivor,
+/// year filter, group-aggregate update.
+template <typename Keep, typename Key, typename Value>
+void DateAggregate(const KernelContext& ctx, KernelScratch* s,
+                   AggTable* groups, KernelCounters* counters, Keep keep,
+                   Key key, Value value) {
+  const std::vector<int32_t>& orderdate = ctx.columns->orderdate();
+  counters->date_probes += s->sel.size();
+  for (size_t i = 0; i < s->sel.size(); ++i) {
+    const uint64_t idx = s->sel[i];
+    const DateAttrs d = DecodeDate(ctx.date->Lookup(orderdate[idx]));
+    if (!keep(d)) continue;
+    groups->Add(key(d, i), value(idx));
+    ++counters->qualifying;
+  }
+}
+
+void Flight1(QueryId query, const KernelContext& ctx, uint64_t begin,
+             uint64_t end, KernelScratch* s, int64_t* scalar_sum,
+             KernelCounters* counters) {
+  const std::vector<int32_t>& discount = ctx.columns->discount();
+  const std::vector<int32_t>& quantity = ctx.columns->quantity();
+  const std::vector<int32_t>& orderdate = ctx.columns->orderdate();
+  const std::vector<int32_t>& price = ctx.columns->extendedprice();
+
+  s->sel.clear();
+  switch (query) {
+    case QueryId::kQ1_1:
+      for (uint64_t i = begin; i < end; ++i) {
+        if (discount[i] >= 1 && discount[i] <= 3 && quantity[i] < 25) {
+          s->sel.push_back(i);
+        }
+      }
+      break;
+    case QueryId::kQ1_2:
+      for (uint64_t i = begin; i < end; ++i) {
+        if (discount[i] >= 4 && discount[i] <= 6 && quantity[i] >= 26 &&
+            quantity[i] <= 35) {
+          s->sel.push_back(i);
+        }
+      }
+      break;
+    default:  // kQ1_3
+      for (uint64_t i = begin; i < end; ++i) {
+        if (discount[i] >= 5 && discount[i] <= 7 && quantity[i] >= 26 &&
+            quantity[i] <= 35) {
+          s->sel.push_back(i);
+        }
+      }
+      break;
+  }
+
+  counters->date_probes += s->sel.size();
+  int64_t sum = 0;
+  uint64_t qualifying = 0;
+  for (uint64_t idx : s->sel) {
+    const uint64_t payload = ctx.date->Lookup(orderdate[idx]);
+    bool keep;
+    if (query == QueryId::kQ1_1) {
+      keep = (payload >> 40) == 1993;
+    } else if (query == QueryId::kQ1_2) {
+      keep = ((payload >> 16) & 0xFFFFFF) == 199401;
+    } else {
+      const DateAttrs d = DecodeDate(payload);
+      keep = d.week == 6 && d.year == 1994;
+    }
+    if (!keep) continue;
+    sum += static_cast<int64_t>(price[idx]) * discount[idx];
+    ++qualifying;
+  }
+  *scalar_sum += sum;
+  counters->qualifying += qualifying;
+}
+
+void Flight2(QueryId query, const KernelContext& ctx, uint64_t begin,
+             uint64_t end, KernelScratch* s, AggTable* groups,
+             KernelCounters* counters) {
+  SelectAll(begin, end, s);
+  ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
+                &counters->part_probes);
+  auto brand = [](uint64_t payload) {
+    return DecodePart(payload).brand_id;
+  };
+  if (query == QueryId::kQ2_1) {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodePart(p).category_id == 12; },
+                 brand);
+  } else if (query == QueryId::kQ2_2) {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [&](uint64_t p) {
+                   const int b = DecodePart(p).brand_id;
+                   return b >= 2221 && b <= 2228;
+                 },
+                 brand);
+  } else {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [&](uint64_t p) { return DecodePart(p).brand_id == 2239; },
+                 brand);
+  }
+
+  const int wanted_region = query == QueryId::kQ2_1   ? kRegionAmerica
+                            : query == QueryId::kQ2_2 ? kRegionAsia
+                                                      : kRegionEurope;
+  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
+                &counters->supplier_probes);
+  CompactStage(s, &s->attr_a, nullptr,
+               [&](uint64_t p) { return DecodeGeo(p).region == wanted_region; },
+               kNoCarry);
+
+  const std::vector<int32_t>& revenue = ctx.columns->revenue();
+  DateAggregate(
+      ctx, s, groups, counters, [](const DateAttrs&) { return true; },
+      [&](const DateAttrs& d, size_t i) {
+        return ssb::GroupKey{d.year, s->attr_a[i], 0};
+      },
+      [&](uint64_t idx) { return static_cast<int64_t>(revenue[idx]); });
+}
+
+void Flight3(QueryId query, const KernelContext& ctx, uint64_t begin,
+             uint64_t end, KernelScratch* s, AggTable* groups,
+             KernelCounters* counters) {
+  SelectAll(begin, end, s);
+  ProbeSelected(*ctx.customer, ctx.columns->custkey(), s,
+                &counters->customer_probes);
+  auto is_uk_city = [](int city_id) {
+    return city_id == ssb::CityId(kUnitedKingdom, 1) ||
+           city_id == ssb::CityId(kUnitedKingdom, 5);
+  };
+  // Customer stage: filter + carry the grouping attribute (attr_a).
+  if (query == QueryId::kQ3_1) {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAsia; },
+                 [](uint64_t p) { return DecodeGeo(p).nation; });
+  } else if (query == QueryId::kQ3_2) {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodeGeo(p).nation == kUnitedStates; },
+                 [](uint64_t p) { return DecodeGeo(p).city_id; });
+  } else {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [&](uint64_t p) { return is_uk_city(DecodeGeo(p).city_id); },
+                 [](uint64_t p) { return DecodeGeo(p).city_id; });
+  }
+
+  // Supplier stage: filter + carry the second grouping attribute.
+  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
+                &counters->supplier_probes);
+  if (query == QueryId::kQ3_1) {
+    CompactStage(s, &s->attr_a, &s->attr_b,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAsia; },
+                 [](uint64_t p) { return DecodeGeo(p).nation; });
+  } else if (query == QueryId::kQ3_2) {
+    CompactStage(s, &s->attr_a, &s->attr_b,
+                 [](uint64_t p) { return DecodeGeo(p).nation == kUnitedStates; },
+                 [](uint64_t p) { return DecodeGeo(p).city_id; });
+  } else {
+    CompactStage(s, &s->attr_a, &s->attr_b,
+                 [&](uint64_t p) { return is_uk_city(DecodeGeo(p).city_id); },
+                 [](uint64_t p) { return DecodeGeo(p).city_id; });
+  }
+
+  const std::vector<int32_t>& revenue = ctx.columns->revenue();
+  auto keep_date = [&](const DateAttrs& d) {
+    if (query == QueryId::kQ3_4) return d.yearmonthnum == 199712;
+    return d.year >= 1992 && d.year <= 1997;
+  };
+  DateAggregate(
+      ctx, s, groups, counters, keep_date,
+      [&](const DateAttrs& d, size_t i) {
+        return ssb::GroupKey{s->attr_a[i], s->attr_b[i], d.year};
+      },
+      [&](uint64_t idx) { return static_cast<int64_t>(revenue[idx]); });
+}
+
+void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
+             uint64_t end, KernelScratch* s, AggTable* groups,
+             KernelCounters* counters) {
+  SelectAll(begin, end, s);
+  const std::vector<int32_t>& revenue = ctx.columns->revenue();
+  const std::vector<int32_t>& supplycost = ctx.columns->supplycost();
+  auto profit = [&](uint64_t idx) {
+    return static_cast<int64_t>(revenue[idx]) - supplycost[idx];
+  };
+
+  if (query == QueryId::kQ4_3) {
+    // supplier (nation, carry city) -> part (category, carry brand) -> date
+    ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
+                  &counters->supplier_probes);
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodeGeo(p).nation == kUnitedStates; },
+                 [](uint64_t p) { return DecodeGeo(p).city_id; });
+    ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
+                  &counters->part_probes);
+    CompactStage(s, &s->attr_a, &s->attr_b,
+                 [](uint64_t p) { return DecodePart(p).category_id == 14; },
+                 [](uint64_t p) { return DecodePart(p).brand_id; });
+    DateAggregate(
+        ctx, s, groups, counters,
+        [](const DateAttrs& d) { return d.year == 1997 || d.year == 1998; },
+        [&](const DateAttrs& d, size_t i) {
+          return ssb::GroupKey{d.year, s->attr_a[i], s->attr_b[i]};
+        },
+        profit);
+    return;
+  }
+
+  // Q4.1 / Q4.2: customer -> supplier -> part -> date.
+  ProbeSelected(*ctx.customer, ctx.columns->custkey(), s,
+                &counters->customer_probes);
+  if (query == QueryId::kQ4_1) {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
+                 [](uint64_t p) { return DecodeGeo(p).nation; });
+  } else {
+    CompactStage(s, nullptr, nullptr,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
+                 kNoCarry);
+  }
+
+  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
+                &counters->supplier_probes);
+  if (query == QueryId::kQ4_1) {
+    CompactStage(s, &s->attr_a, nullptr,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
+                 kNoCarry);
+  } else {
+    CompactStage(s, nullptr, &s->attr_a,
+                 [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
+                 [](uint64_t p) { return DecodeGeo(p).nation; });
+  }
+
+  ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
+                &counters->part_probes);
+  if (query == QueryId::kQ4_1) {
+    CompactStage(s, &s->attr_a, nullptr,
+                 [](uint64_t p) {
+                   const int mfgr = DecodePart(p).mfgr;
+                   return mfgr == 1 || mfgr == 2;
+                 },
+                 kNoCarry);
+    DateAggregate(
+        ctx, s, groups, counters, [](const DateAttrs&) { return true; },
+        [&](const DateAttrs& d, size_t i) {
+          return ssb::GroupKey{d.year, s->attr_a[i], 0};
+        },
+        profit);
+  } else {
+    CompactStage(s, &s->attr_a, &s->attr_b,
+                 [](uint64_t p) {
+                   const int mfgr = DecodePart(p).mfgr;
+                   return mfgr == 1 || mfgr == 2;
+                 },
+                 [](uint64_t p) { return DecodePart(p).category_id; });
+    DateAggregate(
+        ctx, s, groups, counters,
+        [](const DateAttrs& d) { return d.year == 1997 || d.year == 1998; },
+        [&](const DateAttrs& d, size_t i) {
+          return ssb::GroupKey{d.year, s->attr_a[i], s->attr_b[i]};
+        },
+        profit);
+  }
+}
+
+}  // namespace
+
+void DenseDimMap::Build(const std::vector<int32_t>& keys,
+                        const std::vector<uint64_t>& payloads) {
+  payloads_.clear();
+  if (keys.empty()) return;
+  int32_t lo = std::numeric_limits<int32_t>::max();
+  int32_t hi = std::numeric_limits<int32_t>::min();
+  for (int32_t key : keys) {
+    lo = std::min(lo, key);
+    hi = std::max(hi, key);
+  }
+  base_ = lo;
+  payloads_.assign(static_cast<size_t>(hi - lo) + 1, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    payloads_[static_cast<size_t>(keys[i] - lo)] = payloads[i];
+  }
+}
+
+void DenseDimMap::Build(const std::vector<ssb::DateRow>& dates) {
+  payloads_.clear();
+  if (dates.empty()) return;
+  int32_t lo = std::numeric_limits<int32_t>::max();
+  int32_t hi = std::numeric_limits<int32_t>::min();
+  for (const ssb::DateRow& d : dates) {
+    lo = std::min(lo, d.datekey);
+    hi = std::max(hi, d.datekey);
+  }
+  base_ = lo;
+  payloads_.assign(static_cast<size_t>(hi - lo) + 1, 0);
+  for (const ssb::DateRow& d : dates) {
+    payloads_[static_cast<size_t>(d.datekey - lo)] = EncodeDate(d);
+  }
+}
+
+void ExecuteMorselKernel(ssb::QueryId query, const KernelContext& ctx,
+                         uint64_t begin, uint64_t end, KernelScratch* scratch,
+                         AggTable* groups, int64_t* scalar_sum, bool* scalar,
+                         KernelCounters* counters) {
+  if (begin >= end) return;
+  switch (ssb::FlightOf(query)) {
+    case 1:
+      *scalar = true;
+      Flight1(query, ctx, begin, end, scratch, scalar_sum, counters);
+      break;
+    case 2:
+      Flight2(query, ctx, begin, end, scratch, groups, counters);
+      break;
+    case 3:
+      Flight3(query, ctx, begin, end, scratch, groups, counters);
+      break;
+    default:
+      Flight4(query, ctx, begin, end, scratch, groups, counters);
+      break;
+  }
+}
+
+}  // namespace pmemolap

@@ -1,6 +1,9 @@
 #include "engine/plans.h"
 
+#include <algorithm>
 #include <thread>
+
+#include "exec/pool.h"
 
 namespace pmemolap {
 
@@ -254,41 +257,53 @@ Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
     return Status::InvalidArgument("workers must be >= 1");
   }
   const uint64_t total = db->lineorder.size();
-  uint64_t per_worker = total / static_cast<uint64_t>(workers);
-
-  // Build all pipelines up front so setup errors surface before spawning.
-  std::vector<std::unique_ptr<AggregateOperator>> pipelines;
-  for (int w = 0; w < workers; ++w) {
-    uint64_t begin = per_worker * static_cast<uint64_t>(w);
-    uint64_t end = w + 1 == workers ? total : begin + per_worker;
+  // More workers than tuples would split into degenerate empty ranges;
+  // clamp to one tuple per worker.
+  if (static_cast<uint64_t>(workers) > total) {
+    workers = static_cast<int>(std::max<uint64_t>(1, total));
+  }
+  if (total == 0) {
     PMEMOLAP_ASSIGN_OR_RETURN(std::unique_ptr<AggregateOperator> pipeline,
-                              BuildPipeline(spec, db, indexes, begin, end));
+                              BuildPipeline(spec, db, indexes, 0, 0));
+    return pipeline->Execute();
+  }
+
+  // Morsel granularity: small enough that every requested worker gets
+  // work, capped at the default so stealing can rebalance long scans.
+  const uint64_t morsel_tuples = std::max<uint64_t>(
+      1, std::min<uint64_t>(
+             kDefaultMorselTuples,
+             (total + static_cast<uint64_t>(workers) - 1) /
+                 static_cast<uint64_t>(workers)));
+  MorselPlan plan = MorselsForRange(total, morsel_tuples);
+
+  // One pipeline per morsel, built up front so setup errors surface
+  // before dispatch. Morsel begins are multiples of morsel_tuples, so
+  // begin / morsel_tuples recovers the pipeline slot inside the task.
+  std::vector<std::unique_ptr<AggregateOperator>> pipelines;
+  for (const Morsel& morsel : plan.queues.front()) {
+    PMEMOLAP_ASSIGN_OR_RETURN(
+        std::unique_ptr<AggregateOperator> pipeline,
+        BuildPipeline(spec, db, indexes, morsel.begin, morsel.end));
     pipelines.push_back(std::move(pipeline));
   }
 
-  std::vector<Result<ssb::QueryOutput>> outputs(
-      static_cast<size_t>(workers), Status::Internal("not executed"));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] { outputs[static_cast<size_t>(w)] =
-                                      pipelines[static_cast<size_t>(w)]
-                                          ->Execute(); });
-  }
-  for (std::thread& thread : threads) thread.join();
+  // The plan-level executor shares one persistent process-wide pool;
+  // `workers` caps how many of its threads participate in this run.
+  static WorkStealingPool pool(
+      std::max(4, static_cast<int>(std::thread::hardware_concurrency())),
+      /*queues=*/1);
 
-  ssb::QueryOutput merged;
-  for (Result<ssb::QueryOutput>& output : outputs) {
-    if (!output.ok()) return output.status();
-    if (output->scalar) {
-      merged.scalar = true;
-      merged.value += output->value;
-    }
-    for (const auto& [key, value] : output->groups) {
-      merged.groups[key] += value;
-    }
-  }
-  return merged;
+  std::vector<ssb::QueryOutput> outputs(pipelines.size());
+  PMEMOLAP_RETURN_NOT_OK(pool.Run(
+      plan,
+      [&](const Morsel& morsel, int /*worker*/) -> Status {
+        const size_t slot = static_cast<size_t>(morsel.begin / morsel_tuples);
+        PMEMOLAP_ASSIGN_OR_RETURN(outputs[slot], pipelines[slot]->Execute());
+        return Status::OK();
+      },
+      /*max_workers=*/workers));
+  return ssb::MergeOutputs(outputs);
 }
 
 }  // namespace pmemolap

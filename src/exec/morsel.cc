@@ -1,0 +1,30 @@
+#include "exec/morsel.h"
+
+#include <cstddef>
+
+namespace pmemolap {
+
+void AppendMorsels(uint64_t begin, uint64_t end, int socket,
+                   uint64_t morsel_tuples, MorselPlan* plan) {
+  if (morsel_tuples == 0) morsel_tuples = kDefaultMorselTuples;
+  if (plan->queues.size() <= static_cast<size_t>(socket)) {
+    plan->queues.resize(static_cast<size_t>(socket) + 1);
+  }
+  auto& queue = plan->queues[static_cast<size_t>(socket)];
+  for (uint64_t at = begin; at < end; at += morsel_tuples) {
+    Morsel morsel;
+    morsel.begin = at;
+    morsel.end = at + morsel_tuples < end ? at + morsel_tuples : end;
+    morsel.socket = socket;
+    queue.push_back(morsel);
+  }
+}
+
+MorselPlan MorselsForRange(uint64_t num_tuples, uint64_t morsel_tuples) {
+  MorselPlan plan;
+  plan.queues.resize(1);
+  AppendMorsels(0, num_tuples, 0, morsel_tuples, &plan);
+  return plan;
+}
+
+}  // namespace pmemolap

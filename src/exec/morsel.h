@@ -1,0 +1,59 @@
+// Morsel — the unit of work the work-stealing executor dispatches: a small
+// contiguous tuple range (default ~100k tuples) tagged with the socket
+// that stores it. Morsel-driven scheduling (Leis et al., "Morsel-Driven
+// Parallelism") keeps workers NUMA-local as long as their own socket has
+// work and lets idle workers steal across sockets instead of waiting at a
+// static range barrier — exactly the elasticity the paper's pinned
+// many-worker SSB execution needs when ranges are skewed or a worker is
+// slowed down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pmemolap {
+
+/// Default morsel granularity in tuples. Small enough that stealing can
+/// rebalance tail latency, large enough that queue operations are noise.
+inline constexpr uint64_t kDefaultMorselTuples = 100'000;
+
+/// One unit of dispatch: tuples [begin, end) stored on `socket`.
+struct Morsel {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  /// Home socket (= run-queue index). Workers of this socket pop the
+  /// morsel near-first; others may steal it.
+  int socket = 0;
+
+  uint64_t size() const { return end - begin; }
+};
+
+/// A query's full work list, split into per-socket run queues.
+struct MorselPlan {
+  /// One queue per socket (index = socket id). Queues may be empty.
+  std::vector<std::vector<Morsel>> queues;
+
+  uint64_t total_morsels() const {
+    uint64_t n = 0;
+    for (const auto& q : queues) n += q.size();
+    return n;
+  }
+  uint64_t total_tuples() const {
+    uint64_t n = 0;
+    for (const auto& q : queues) {
+      for (const Morsel& m : q) n += m.size();
+    }
+    return n;
+  }
+};
+
+/// Slices [begin, end) into morsels of at most `morsel_tuples` tuples and
+/// appends them to `plan`'s queue for `socket` (growing the queue vector
+/// as needed). A zero `morsel_tuples` falls back to the default.
+void AppendMorsels(uint64_t begin, uint64_t end, int socket,
+                   uint64_t morsel_tuples, MorselPlan* plan);
+
+/// Convenience: a single-socket plan over [0, num_tuples).
+MorselPlan MorselsForRange(uint64_t num_tuples, uint64_t morsel_tuples);
+
+}  // namespace pmemolap

@@ -1,0 +1,124 @@
+#include "exec/pool.h"
+
+#include <algorithm>
+
+namespace pmemolap {
+
+WorkStealingPool::WorkStealingPool(int threads, int queues)
+    : queues_(std::max(1, queues)) {
+  int n = std::max(1, threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkStealingPool::WorkStealingPool(const SystemTopology& topology,
+                                   int threads)
+    : WorkStealingPool(threads, topology.sockets()) {}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool WorkStealingPool::PopMorsel(int worker, Morsel* morsel, bool* steal) {
+  const size_t num_queues = run_queues_.size();
+  const size_t home = static_cast<size_t>(worker) % num_queues;
+  if (!run_queues_[home].empty()) {
+    *morsel = run_queues_[home].front();
+    run_queues_[home].pop_front();
+    *steal = false;
+    return true;
+  }
+  // Steal from the fullest other queue, back-first: the victim's workers
+  // keep consuming their sequential prefix undisturbed.
+  size_t victim = num_queues;
+  size_t victim_size = 0;
+  for (size_t q = 0; q < num_queues; ++q) {
+    if (q == home) continue;
+    if (run_queues_[q].size() > victim_size) {
+      victim_size = run_queues_[q].size();
+      victim = q;
+    }
+  }
+  if (victim == num_queues) return false;
+  *morsel = run_queues_[victim].back();
+  run_queues_[victim].pop_back();
+  *steal = true;
+  return true;
+}
+
+void WorkStealingPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || generation_ != seen_generation;
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    if (worker >= active_workers_) continue;
+    Morsel morsel;
+    bool steal = false;
+    // The generation check keeps a worker that raced past the end of one
+    // run from popping the next run's morsels under a stale worker cap.
+    while (generation_ == seen_generation && !stop_ &&
+           PopMorsel(worker, &morsel, &steal)) {
+      if (cancelled_) {
+        // A prior morsel failed: drain without executing.
+        if (--pending_ == 0) done_cv_.notify_all();
+        continue;
+      }
+      lock.unlock();
+      Status status = (*task_)(morsel, worker);
+      lock.lock();
+      if (status.ok()) {
+        ++stats_.executed;
+        if (steal) ++stats_.stolen;
+      } else {
+        if (run_status_.ok()) run_status_ = std::move(status);
+        cancelled_ = true;
+      }
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status WorkStealingPool::Run(const MorselPlan& plan, const MorselTask& task,
+                             int max_workers) {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  run_queues_.clear();
+  run_queues_.resize(std::max<size_t>(1, plan.queues.size()));
+  uint64_t total = 0;
+  for (size_t s = 0; s < plan.queues.size(); ++s) {
+    run_queues_[s].assign(plan.queues[s].begin(), plan.queues[s].end());
+    total += run_queues_[s].size();
+  }
+  if (total == 0) return Status::OK();
+  task_ = &task;
+  pending_ = total;
+  cancelled_ = false;
+  run_status_ = Status::OK();
+  stats_ = Stats{};
+  active_workers_ = max_workers <= 0
+                        ? threads()
+                        : std::min(max_workers, threads());
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  task_ = nullptr;
+  return run_status_;
+}
+
+WorkStealingPool::Stats WorkStealingPool::last_run_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace pmemolap

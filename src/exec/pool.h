@@ -1,0 +1,97 @@
+// WorkStealingPool — a persistent, NUMA-topology-aware worker pool with
+// per-socket run queues and morsel-granular work stealing.
+//
+// The paper's handcrafted SSB engine (§6.2) wins by keeping many pinned
+// workers busy on near data; a static split of the fact table achieves
+// that only when every worker makes identical progress. This pool keeps
+// the placement property — each worker drains its home socket's queue
+// first, front-to-back, preserving the sequential near scan — and adds
+// elasticity: a worker whose home queue is empty steals from the fullest
+// other queue (back-first, so the victim keeps its sequential prefix).
+//
+// Workers are spawned once and reused across queries ("persistent"): a
+// query submits a MorselPlan through Run(), which blocks until every
+// morsel has executed and returns the first non-OK Status any morsel task
+// produced (remaining morsels of a failed run are drained unexecuted).
+// Result determinism is the caller's contract: tasks accumulate into
+// per-worker (or per-socket) state whose merge is commutative, so any
+// steal schedule produces bit-identical results.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/morsel.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+
+class WorkStealingPool {
+ public:
+  /// A morsel task: executes one morsel as worker `worker` (0-based,
+  /// < threads()). Must be safe to call concurrently from pool threads.
+  using MorselTask = std::function<Status(const Morsel& morsel, int worker)>;
+
+  /// Spawns `threads` persistent workers serving `queues` run queues
+  /// (both clamped to >= 1). Worker w's home queue is w % queues.
+  WorkStealingPool(int threads, int queues);
+  /// Topology-keyed pool: one run queue per socket of `topology`.
+  WorkStealingPool(const SystemTopology& topology, int threads);
+  /// Joins all workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Executes every morsel of `plan` on the pool and blocks until done.
+  /// At most `max_workers` workers participate (0 = all). Returns the
+  /// first failure Status; on failure the remaining morsels are dropped
+  /// (drained without executing). Thread-safe: concurrent Run() calls
+  /// serialize.
+  Status Run(const MorselPlan& plan, const MorselTask& task,
+             int max_workers = 0);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  int queues() const { return queues_; }
+
+  /// Dispatch evidence of the most recent Run().
+  struct Stats {
+    uint64_t executed = 0;  ///< morsels that ran to completion
+    uint64_t stolen = 0;    ///< executed morsels taken from a non-home queue
+  };
+  Stats last_run_stats() const;
+
+ private:
+  void WorkerLoop(int worker);
+  /// Pops the next morsel for `worker` (home queue front first, else the
+  /// fullest other queue's back). Caller holds mutex_. Returns false when
+  /// every queue is empty.
+  bool PopMorsel(int worker, Morsel* morsel, bool* steal);
+
+  const int queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+
+  // --- State of the in-flight run (guarded by mutex_) ---
+  std::mutex run_mutex_;  ///< serializes Run() callers
+  uint64_t generation_ = 0;
+  std::vector<std::deque<Morsel>> run_queues_;
+  const MorselTask* task_ = nullptr;
+  int active_workers_ = 0;
+  uint64_t pending_ = 0;  ///< morsels not yet fully executed
+  bool cancelled_ = false;
+  Status run_status_;
+  Stats stats_;
+};
+
+}  // namespace pmemolap

@@ -66,6 +66,20 @@ const std::vector<QueryId>& AllQueries() {
   return kAll;
 }
 
+QueryOutput MergeOutputs(const std::vector<QueryOutput>& parts) {
+  QueryOutput merged;
+  for (const QueryOutput& part : parts) {
+    if (part.scalar) {
+      merged.scalar = true;
+      merged.value += part.value;
+    }
+    for (const auto& [key, value] : part.groups) {
+      merged.groups[key] += value;
+    }
+  }
+  return merged;
+}
+
 int64_t QueryOutput::Checksum() const {
   if (scalar) return value;
   int64_t checksum = 0;

@@ -61,4 +61,10 @@ struct QueryOutput {
   int64_t Checksum() const;
 };
 
+/// Merges per-worker partial results into one output: scalar sums add,
+/// group sums add per key. Aggregation is commutative, so the merge is
+/// independent of worker/steal order — any parallel schedule produces the
+/// same output.
+QueryOutput MergeOutputs(const std::vector<QueryOutput>& parts);
+
 }  // namespace pmemolap::ssb

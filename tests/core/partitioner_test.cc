@@ -94,5 +94,36 @@ TEST_F(PartitionerTest, TupleRangeHelpers) {
   EXPECT_TRUE((TupleRange{5, 5}).empty());
 }
 
+TEST_F(PartitionerTest, ToMorselsCoversPartitionsPerSocket) {
+  const uint64_t n = 10'000;
+  auto partitions = partitioner_.Partition(n, 4);
+  ASSERT_TRUE(partitions.ok());
+
+  MorselPlan plan = Partitioner::ToMorsels(*partitions, /*morsel_tuples=*/768);
+  EXPECT_EQ(plan.total_tuples(), n);
+  for (const SocketPartition& partition : *partitions) {
+    const auto& queue = plan.queues[static_cast<size_t>(partition.socket)];
+    ASSERT_FALSE(queue.empty()) << partition.socket;
+    // Morsels tile the partition's tuple range contiguously, front first.
+    uint64_t at = partition.tuples.begin;
+    for (const Morsel& morsel : queue) {
+      EXPECT_EQ(morsel.begin, at);
+      EXPECT_LE(morsel.size(), 768u);
+      EXPECT_EQ(morsel.socket, partition.socket);
+      at = morsel.end;
+    }
+    EXPECT_EQ(at, partition.tuples.end);
+  }
+}
+
+TEST_F(PartitionerTest, ToMorselsZeroGranularityUsesDefault) {
+  auto partitions = partitioner_.Partition(1000, 2);
+  ASSERT_TRUE(partitions.ok());
+  MorselPlan plan = Partitioner::ToMorsels(*partitions, 0);
+  // 1000 tuples < one default morsel: one morsel per socket partition.
+  EXPECT_EQ(plan.total_morsels(), partitions->size());
+  EXPECT_EQ(plan.total_tuples(), 1000u);
+}
+
 }  // namespace
 }  // namespace pmemolap

@@ -46,6 +46,24 @@ TEST_P(DimensionIndexTest, StorageGrowsWithEntries) {
   EXPECT_EQ(index.size(), 100000u);
 }
 
+TEST_P(DimensionIndexTest, ProbeBatchMatchesGetAndCountsOnce) {
+  DimensionIndex index(GetParam());
+  for (uint64_t key = 1; key <= 64; ++key) {
+    ASSERT_TRUE(index.Insert(key, key * 10).ok());
+  }
+  std::vector<uint64_t> keys = {1, 64, 7, 1000 /* absent */, 32};
+  std::vector<uint64_t> out(keys.size(), ~0ull);
+  index.ResetStats();
+  index.ProbeBatch(keys.data(), keys.size(), out.data());
+  EXPECT_EQ(out[0], 10u);
+  EXPECT_EQ(out[1], 640u);
+  EXPECT_EQ(out[2], 70u);
+  EXPECT_EQ(out[3], 0u) << "absent keys yield 0";
+  EXPECT_EQ(out[4], 320u);
+  // One batched counter update covering all n probes.
+  EXPECT_EQ(index.probes(), keys.size());
+}
+
 INSTANTIATE_TEST_SUITE_P(Kinds, DimensionIndexTest,
                          ::testing::Values(IndexKind::kDash,
                                            IndexKind::kChained),

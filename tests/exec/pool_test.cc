@@ -1,0 +1,159 @@
+#include "exec/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/morsel.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+namespace {
+
+TEST(MorselTest, AppendSlicesRange) {
+  MorselPlan plan;
+  AppendMorsels(0, 250, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  ASSERT_EQ(plan.queues.size(), 1u);
+  ASSERT_EQ(plan.queues[0].size(), 3u);
+  EXPECT_EQ(plan.queues[0][0].begin, 0u);
+  EXPECT_EQ(plan.queues[0][0].end, 100u);
+  EXPECT_EQ(plan.queues[0][1].begin, 100u);
+  EXPECT_EQ(plan.queues[0][1].end, 200u);
+  EXPECT_EQ(plan.queues[0][2].begin, 200u);
+  EXPECT_EQ(plan.queues[0][2].end, 250u);
+  EXPECT_EQ(plan.total_tuples(), 250u);
+}
+
+TEST(MorselTest, AppendGrowsQueuesAndTagsSocket) {
+  MorselPlan plan;
+  AppendMorsels(10, 20, /*socket=*/2, /*morsel_tuples=*/100, &plan);
+  ASSERT_EQ(plan.queues.size(), 3u);
+  EXPECT_TRUE(plan.queues[0].empty());
+  EXPECT_TRUE(plan.queues[1].empty());
+  ASSERT_EQ(plan.queues[2].size(), 1u);
+  EXPECT_EQ(plan.queues[2][0].socket, 2);
+  EXPECT_EQ(plan.queues[2][0].size(), 10u);
+}
+
+TEST(MorselTest, ZeroMorselTuplesFallsBackToDefault) {
+  MorselPlan plan = MorselsForRange(kDefaultMorselTuples + 1, 0);
+  EXPECT_EQ(plan.total_morsels(), 2u);
+  EXPECT_EQ(plan.total_tuples(), kDefaultMorselTuples + 1);
+}
+
+TEST(MorselTest, EmptyRangeYieldsNoMorsels) {
+  MorselPlan plan = MorselsForRange(0, 64);
+  EXPECT_EQ(plan.total_morsels(), 0u);
+}
+
+TEST(PoolTest, ExecutesEveryMorselExactlyOnce) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/64, &plan);
+  AppendMorsels(1000, 2000, /*socket=*/1, /*morsel_tuples=*/64, &plan);
+
+  std::atomic<uint64_t> tuples{0};
+  std::atomic<uint64_t> calls{0};
+  Status status = pool.Run(plan, [&](const Morsel& m, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, pool.threads());
+    tuples.fetch_add(m.size());
+    calls.fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(tuples.load(), 2000u);
+  EXPECT_EQ(calls.load(), plan.total_morsels());
+  EXPECT_EQ(pool.last_run_stats().executed, plan.total_morsels());
+}
+
+TEST(PoolTest, TopologyConstructorMatchesSockets) {
+  SystemTopology topo = SystemTopology::PaperServer();
+  WorkStealingPool pool(topo, /*threads=*/2);
+  EXPECT_EQ(pool.queues(), topo.sockets());
+  EXPECT_EQ(pool.threads(), 2);
+}
+
+TEST(PoolTest, PropagatesFirstFailureAndDropsRest) {
+  WorkStealingPool pool(/*threads=*/2, /*queues=*/1);
+  MorselPlan plan = MorselsForRange(100, 10);
+  std::atomic<uint64_t> executed{0};
+  Status status = pool.Run(plan, [&](const Morsel& m, int) {
+    if (m.begin == 30) {
+      return Status::DataLoss("injected morsel failure");
+    }
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  // The failed morsel and at least the not-yet-dispatched tail were dropped.
+  EXPECT_LT(executed.load(), plan.total_morsels());
+  EXPECT_LT(pool.last_run_stats().executed, plan.total_morsels());
+}
+
+TEST(PoolTest, ReusableAcrossRuns) {
+  WorkStealingPool pool(/*threads=*/3, /*queues=*/1);
+  for (int run = 0; run < 5; ++run) {
+    MorselPlan plan = MorselsForRange(500, 50);
+    std::atomic<uint64_t> tuples{0};
+    ASSERT_TRUE(pool.Run(plan, [&](const Morsel& m, int) {
+                      tuples.fetch_add(m.size());
+                      return Status::OK();
+                    })
+                    .ok());
+    EXPECT_EQ(tuples.load(), 500u);
+  }
+}
+
+TEST(PoolTest, MaxWorkersCapsWorkerIds) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/1);
+  MorselPlan plan = MorselsForRange(200, 10);
+  std::atomic<int> max_seen{-1};
+  ASSERT_TRUE(pool.Run(
+                      plan,
+                      [&](const Morsel&, int worker) {
+                        int seen = max_seen.load();
+                        while (worker > seen &&
+                               !max_seen.compare_exchange_weak(seen, worker)) {
+                        }
+                        return Status::OK();
+                      },
+                      /*max_workers=*/2)
+                  .ok());
+  EXPECT_LT(max_seen.load(), 2);
+}
+
+// Work-stealing stress: queue 0's first morsel stalls its worker while the
+// rest of queue 0 still holds work; the queue-1 worker must steal it.
+// Requires at least 2 host threads to be meaningful, which the pool
+// provides regardless of hardware_concurrency.
+TEST(PoolTest, IdleWorkerStealsFromStalledQueue) {
+  WorkStealingPool pool(/*threads=*/2, /*queues=*/2);
+  MorselPlan plan;
+  AppendMorsels(0, 640, /*socket=*/0, /*morsel_tuples=*/64, &plan);
+  // Queue 1 exists but is empty: worker 1 (home queue 1) can only make
+  // progress by stealing from queue 0.
+  plan.queues.resize(2);
+
+  std::atomic<uint64_t> tuples{0};
+  Status status = pool.Run(plan, [&](const Morsel& m, int) {
+    if (m.begin == 0) {
+      // Stall the first home morsel so the other worker drains the rest.
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    tuples.fetch_add(m.size());
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(tuples.load(), 640u);
+  EXPECT_EQ(pool.last_run_stats().executed, plan.total_morsels());
+  // Worker 1 (home queue 1, empty) must have stolen from queue 0.
+  EXPECT_GT(pool.last_run_stats().stolen, 0u);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -186,6 +186,52 @@ TEST_F(ReferenceSemanticsTest, Q4_2RestrictsYears) {
   }
 }
 
+TEST(MergeOutputsTest, EmptyAndSingle) {
+  EXPECT_EQ(MergeOutputs({}), QueryOutput{});
+  QueryOutput scalar;
+  scalar.scalar = true;
+  scalar.value = 42;
+  EXPECT_EQ(MergeOutputs({scalar}), scalar);
+}
+
+TEST(MergeOutputsTest, SumsScalarsAndGroups) {
+  QueryOutput a;
+  a.scalar = true;
+  a.value = 10;
+  QueryOutput b;
+  b.scalar = true;
+  b.value = -3;
+  QueryOutput merged = MergeOutputs({a, b});
+  EXPECT_TRUE(merged.scalar);
+  EXPECT_EQ(merged.value, 7);
+
+  QueryOutput g1;
+  g1.groups[{1993, 12, 0}] = 5;
+  g1.groups[{1994, 12, 0}] = 1;
+  QueryOutput g2;
+  g2.groups[{1993, 12, 0}] = 2;
+  g2.groups[{1993, 13, 0}] = 9;
+  QueryOutput groups = MergeOutputs({g1, g2, QueryOutput{}});
+  EXPECT_FALSE(groups.scalar);
+  GroupMap expected;
+  expected[{1993, 12, 0}] = 7;
+  expected[{1993, 13, 0}] = 9;
+  expected[{1994, 12, 0}] = 1;
+  EXPECT_EQ(groups.groups, expected);
+}
+
+TEST(MergeOutputsTest, OrderIndependent) {
+  QueryOutput a;
+  a.groups[{1, 2, 3}] = 100;
+  a.groups[{4, 5, 6}] = -1;
+  QueryOutput b;
+  b.groups[{4, 5, 6}] = 11;
+  QueryOutput c;
+  c.scalar = true;
+  c.value = 2;
+  EXPECT_EQ(MergeOutputs({a, b, c}), MergeOutputs({c, b, a}));
+}
+
 TEST_F(ReferenceSemanticsTest, Q4_3RestrictsToUsCitiesAndCategory14) {
   for (const auto& [key, profit] : ref_->Execute(QueryId::kQ4_3).groups) {
     (void)profit;
