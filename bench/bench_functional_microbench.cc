@@ -6,7 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "engine/engine.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "ssb/column_store.h"
 #include "ssb/reference.h"
 

@@ -9,7 +9,7 @@
 
 #include "common/table_printer.h"
 #include "common/units.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 namespace pmemolap::bench {

@@ -23,7 +23,7 @@
 #include <cstring>
 #include <string>
 
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 using namespace pmemolap;

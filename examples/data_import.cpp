@@ -6,7 +6,7 @@
 
 #include "core/advisor.h"
 #include "engine/engine.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "ssb/csv.h"
 #include "ssb/format.h"
 #include "ssb/reference.h"

@@ -11,7 +11,7 @@
 #include "core/advisor.h"
 #include "core/partitioner.h"
 #include "core/replicator.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 using namespace pmemolap;

@@ -12,7 +12,7 @@
 #include "core/advisor.h"
 #include "core/chunked_io.h"
 #include "core/pmem_space.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 using namespace pmemolap;

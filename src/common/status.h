@@ -36,7 +36,12 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The OK status carries no message and no allocation. Error statuses carry a
 /// code and a message describing what went wrong.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures the fault
+/// path depends on. Route results through PMEMOLAP_RETURN_NOT_OK /
+/// PMEMOLAP_ASSIGN_OR_RETURN; a genuinely ignorable call must cast to
+/// void with a `// lint:allow(discarded-status): <reason>` comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,8 +100,9 @@ class Status {
 
 /// A value-or-error wrapper. Holds either a T (status is OK) or an error
 /// Status. Accessing the value of an errored Result aborts in debug builds.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in functions returning
   /// Result<T>.

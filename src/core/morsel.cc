@@ -1,4 +1,4 @@
-#include "exec/morsel.h"
+#include "core/morsel.h"
 
 #include <cstddef>
 

@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "exec/morsel.h"
+#include "core/morsel.h"
 #include "topo/topology.h"
 
 namespace pmemolap {

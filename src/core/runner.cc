@@ -1,4 +1,4 @@
-#include "exec/runner.h"
+#include "core/runner.h"
 
 namespace pmemolap {
 

@@ -15,7 +15,7 @@
 #include <string>
 
 #include "common/status.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 namespace pmemolap {

@@ -16,7 +16,7 @@
 #pragma once
 
 #include "common/status.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 namespace pmemolap {

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "device/optane_dimm.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 
 namespace pmemolap {
 namespace {

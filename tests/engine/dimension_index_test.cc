@@ -26,8 +26,8 @@ TEST_P(DimensionIndexTest, ProbeCounting) {
   DimensionIndex index(GetParam());
   ASSERT_TRUE(index.Insert(1, 10).ok());
   index.ResetStats();
-  (void)index.Get(1);
-  (void)index.Get(2);
+  EXPECT_TRUE(index.Get(1).has_value());
+  EXPECT_FALSE(index.Get(2).has_value());  // key 2 was never inserted
   EXPECT_EQ(index.probes(), 2u);
   index.ResetStats();
   EXPECT_EQ(index.probes(), 0u);

@@ -39,16 +39,16 @@ class OperatorEnv {
         set[i] = std::make_unique<DimensionIndex>(kind);
       }
       // Same payload encodings as the engine (date, geo, geo, part).
+      // Generated keys are unique, so every insert must succeed.
       for (const ssb::DateRow& d : db_.date) {
-        (void)set[0]->Insert(
-            static_cast<uint64_t>(d.datekey),
+        uint64_t payload =
             (static_cast<uint64_t>(d.year) << 40) |
-                (static_cast<uint64_t>(d.yearmonthnum) << 16) |
-                (static_cast<uint64_t>(static_cast<uint8_t>(
-                     d.weeknuminyear))
-                 << 8) |
-                static_cast<uint64_t>(
-                    static_cast<uint8_t>(d.monthnuminyear)));
+            (static_cast<uint64_t>(d.yearmonthnum) << 16) |
+            (static_cast<uint64_t>(static_cast<uint8_t>(d.weeknuminyear))
+             << 8) |
+            static_cast<uint64_t>(static_cast<uint8_t>(d.monthnuminyear));
+        EXPECT_TRUE(
+            set[0]->Insert(static_cast<uint64_t>(d.datekey), payload).ok());
       }
       auto geo = [](int nation, int region, int city) {
         return (static_cast<uint64_t>(nation) << 16) |
@@ -56,18 +56,23 @@ class OperatorEnv {
                static_cast<uint64_t>(city);
       };
       for (const ssb::CustomerRow& c : db_.customer) {
-        (void)set[1]->Insert(static_cast<uint64_t>(c.custkey),
-                             geo(c.nation, c.region, c.city));
+        EXPECT_TRUE(set[1]
+                        ->Insert(static_cast<uint64_t>(c.custkey),
+                                 geo(c.nation, c.region, c.city))
+                        .ok());
       }
       for (const ssb::SupplierRow& s : db_.supplier) {
-        (void)set[2]->Insert(static_cast<uint64_t>(s.suppkey),
-                             geo(s.nation, s.region, s.city));
+        EXPECT_TRUE(set[2]
+                        ->Insert(static_cast<uint64_t>(s.suppkey),
+                                 geo(s.nation, s.region, s.city))
+                        .ok());
       }
       for (const ssb::PartRow& p : db_.part) {
-        (void)set[3]->Insert(static_cast<uint64_t>(p.partkey),
-                             (static_cast<uint64_t>(p.mfgr) << 16) |
-                                 (static_cast<uint64_t>(p.category) << 8) |
-                                 static_cast<uint64_t>(p.brand));
+        uint64_t payload = (static_cast<uint64_t>(p.mfgr) << 16) |
+                           (static_cast<uint64_t>(p.category) << 8) |
+                           static_cast<uint64_t>(p.brand);
+        EXPECT_TRUE(
+            set[3]->Insert(static_cast<uint64_t>(p.partkey), payload).ok());
       }
     }
   }

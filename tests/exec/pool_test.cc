@@ -7,47 +7,11 @@
 #include <thread>
 #include <vector>
 
-#include "exec/morsel.h"
+#include "core/morsel.h"
 #include "topo/topology.h"
 
 namespace pmemolap {
 namespace {
-
-TEST(MorselTest, AppendSlicesRange) {
-  MorselPlan plan;
-  AppendMorsels(0, 250, /*socket=*/0, /*morsel_tuples=*/100, &plan);
-  ASSERT_EQ(plan.queues.size(), 1u);
-  ASSERT_EQ(plan.queues[0].size(), 3u);
-  EXPECT_EQ(plan.queues[0][0].begin, 0u);
-  EXPECT_EQ(plan.queues[0][0].end, 100u);
-  EXPECT_EQ(plan.queues[0][1].begin, 100u);
-  EXPECT_EQ(plan.queues[0][1].end, 200u);
-  EXPECT_EQ(plan.queues[0][2].begin, 200u);
-  EXPECT_EQ(plan.queues[0][2].end, 250u);
-  EXPECT_EQ(plan.total_tuples(), 250u);
-}
-
-TEST(MorselTest, AppendGrowsQueuesAndTagsSocket) {
-  MorselPlan plan;
-  AppendMorsels(10, 20, /*socket=*/2, /*morsel_tuples=*/100, &plan);
-  ASSERT_EQ(plan.queues.size(), 3u);
-  EXPECT_TRUE(plan.queues[0].empty());
-  EXPECT_TRUE(plan.queues[1].empty());
-  ASSERT_EQ(plan.queues[2].size(), 1u);
-  EXPECT_EQ(plan.queues[2][0].socket, 2);
-  EXPECT_EQ(plan.queues[2][0].size(), 10u);
-}
-
-TEST(MorselTest, ZeroMorselTuplesFallsBackToDefault) {
-  MorselPlan plan = MorselsForRange(kDefaultMorselTuples + 1, 0);
-  EXPECT_EQ(plan.total_morsels(), 2u);
-  EXPECT_EQ(plan.total_tuples(), kDefaultMorselTuples + 1);
-}
-
-TEST(MorselTest, EmptyRangeYieldsNoMorsels) {
-  MorselPlan plan = MorselsForRange(0, 64);
-  EXPECT_EQ(plan.total_morsels(), 0u);
-}
 
 TEST(PoolTest, ExecutesEveryMorselExactlyOnce) {
   WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
@@ -153,6 +117,49 @@ TEST(PoolTest, IdleWorkerStealsFromStalledQueue) {
   EXPECT_EQ(pool.last_run_stats().executed, plan.total_morsels());
   // Worker 1 (home queue 1, empty) must have stolen from queue 0.
   EXPECT_GT(pool.last_run_stats().stolen, 0u);
+}
+
+// Steal stress: one persistent pool hammered with back-to-back runs whose
+// work all sits in queue 0, submitted from two racing threads (Run()
+// serializes internally), with a failing run mixed in every fourth
+// iteration. Exercises stealing, cancellation draining, stats accounting
+// and cross-run generation handoff — the surfaces the TSan CI job watches.
+TEST(PoolStressTest, RacingSubmittersWithStealsAndCancellations) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  constexpr int kRunsPerSubmitter = 20;
+  constexpr uint64_t kTuplesPerRun = 2000;
+  std::atomic<uint64_t> completed_runs{0};
+  std::vector<std::thread> submitters;
+  for (int submitter = 0; submitter < 2; ++submitter) {
+    submitters.emplace_back([&, submitter] {
+      for (int run = 0; run < kRunsPerSubmitter; ++run) {
+        MorselPlan plan;
+        // Imbalanced on purpose: queue 1's workers can only steal.
+        AppendMorsels(0, kTuplesPerRun, /*socket=*/0, /*morsel_tuples=*/50,
+                      &plan);
+        plan.queues.resize(2);
+        const bool inject_failure = run % 4 == 3;
+        std::atomic<uint64_t> tuples{0};
+        Status status = pool.Run(plan, [&](const Morsel& m, int) {
+          if (inject_failure && m.begin >= kTuplesPerRun / 2) {
+            return Status::Unavailable("stress-injected failure");
+          }
+          tuples.fetch_add(m.size());
+          return Status::OK();
+        });
+        if (inject_failure) {
+          EXPECT_FALSE(status.ok()) << "submitter " << submitter;
+          EXPECT_LT(tuples.load(), kTuplesPerRun);
+        } else {
+          EXPECT_TRUE(status.ok()) << status.ToString();
+          EXPECT_EQ(tuples.load(), kTuplesPerRun);
+          completed_runs.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  EXPECT_EQ(completed_runs.load(), 2u * (kRunsPerSubmitter - 5));
 }
 
 }  // namespace

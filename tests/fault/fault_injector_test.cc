@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/replicator.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "fault/fault_spec.h"
 
 namespace pmemolap {

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "ssb/reference.h"
 
 namespace pmemolap {

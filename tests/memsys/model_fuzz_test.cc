@@ -6,7 +6,7 @@
 #include <cmath>
 
 #include "common/rng.h"
-#include "exec/runner.h"
+#include "core/runner.h"
 #include "memsys/mem_system.h"
 
 namespace pmemolap {

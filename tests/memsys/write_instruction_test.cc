@@ -4,7 +4,7 @@
 // crossover at ~256 B).
 #include <gtest/gtest.h>
 
-#include "exec/runner.h"
+#include "core/runner.h"
 
 namespace pmemolap {
 namespace {

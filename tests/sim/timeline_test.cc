@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "exec/runner.h"
+#include "core/runner.h"
 
 namespace pmemolap {
 namespace {

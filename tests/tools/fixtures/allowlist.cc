@@ -1,0 +1,15 @@
+// Audited exceptions: the same-line form and the comment-block-above
+// form must both silence their rule, and only that rule.
+namespace pmemolap {
+
+volatile int g_mmio_register = 0;  // lint:allow(volatile-sync): MMIO poke
+
+int Fallible();
+
+void Audited() {
+  // lint:allow(discarded-status): fire-and-forget probe; failure here
+  // only means the optional warmup was skipped.
+  (void)Fallible();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,20 @@
+// Linted as src/device/<file>.cc: seeded project RNG and time taken as
+// an input are both reproducible. Words that merely *contain* banned
+// tokens (runtime, timeline, mtime) must not trip the matcher, nor may
+// mentions in comments (steady_clock) or strings.
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace pmemolap {
+
+// A comment may discuss std::chrono::steady_clock::now() freely.
+double ModeledSeconds(double runtime, uint64_t seed) {
+  Rng rng(seed);
+  const char* label = "time(nullptr) inside a string literal";
+  (void)label;
+  double timeline = runtime * rng.NextDouble();
+  return timeline;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,21 @@
+// Linted as src/device/<file>.cc: ambient entropy and host clocks have
+// no business in a deterministic device model.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+namespace pmemolap {
+
+unsigned AmbientEntropy() {
+  std::random_device entropy;
+  return entropy();
+}
+
+long AmbientClock() {
+  long stamp = time(nullptr);
+  auto tick = std::chrono::steady_clock::now();
+  (void)tick;
+  return stamp;
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,15 @@
+// The unused-variable idiom, (void) in declarator position and void*
+// casts are not result discards.
+namespace pmemolap {
+
+int Fallible();
+
+int Handles(int argc) {
+  (void)argc;
+  int checked = Fallible();
+  void* erased = (void*)&checked;
+  (void)erased;
+  return checked;
+}
+
+}  // namespace pmemolap

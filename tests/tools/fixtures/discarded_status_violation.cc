@@ -1,0 +1,14 @@
+// Casting a call's result to void silences [[nodiscard]] without a
+// justification — exactly what the rule exists to catch.
+#include <tuple>
+
+namespace pmemolap {
+
+int Fallible();
+
+void DropsResults() {
+  (void)Fallible();
+  std::ignore = Fallible();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,25 @@
+// Constants, class statics and static member function declarations are
+// all fine in headers — only mutable namespace-scope statics are not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmemolap {
+
+static constexpr uint64_t kChunkBytes = 4096;
+static const int kRetries = 3;
+
+class Sample {
+ public:
+  static std::string Render(double value, int precision = 1);
+  static constexpr int kMaxThreads = 36;
+
+ private:
+  static Sample FromParts(uint64_t lo,
+                          uint64_t hi);
+};
+
+inline uint64_t Twice(uint64_t v) { return 2 * v; }
+
+}  // namespace pmemolap

@@ -1,0 +1,14 @@
+// A mutable static in a header is one copy per translation unit (ODR
+// trap) and an unsynchronized shared variable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pmemolap {
+
+static uint64_t g_call_count = 0;
+
+static std::string g_last_error;
+
+}  // namespace pmemolap

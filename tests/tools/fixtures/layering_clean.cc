@@ -1,0 +1,12 @@
+// Linted as src/memsys/<file>.cc: memsys may use its own layer and
+// anything below it (common, topo, device), plus system headers.
+#include <cstdint>
+
+#include "common/status.h"
+#include "device/dram.h"
+#include "memsys/queue_model.h"
+#include "topo/topology.h"
+
+namespace pmemolap {
+int MemsysUsesLowerLayers() { return 0; }
+}  // namespace pmemolap

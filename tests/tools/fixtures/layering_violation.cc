@@ -1,0 +1,8 @@
+// Linted as src/memsys/<file>.cc: a model layer reaching up into the
+// engine inverts the declared DAG.
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace pmemolap {
+int MemsysMustNotSeeEngine() { return 1; }
+}  // namespace pmemolap

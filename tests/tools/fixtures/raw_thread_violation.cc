@@ -1,0 +1,11 @@
+// Linted as src/core/<file>.cc: thread spawning belongs to src/exec/.
+#include <thread>
+
+namespace pmemolap {
+
+void SpawnSomewhereForbidden() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace pmemolap

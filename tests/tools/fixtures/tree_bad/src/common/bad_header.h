@@ -1,0 +1,8 @@
+// One seeded violation: the tree walk over this root must exit 1.
+#pragma once
+
+namespace pmemolap {
+
+volatile int g_flag = 0;
+
+}  // namespace pmemolap

@@ -1,0 +1,9 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pmemolap {
+
+inline constexpr uint64_t kAnswer = 42;
+
+}  // namespace pmemolap

@@ -1,0 +1,7 @@
+// Lives under a fixtures/ directory, so the tree walk must skip it;
+// were it scanned, the volatile below would dirty the clean tree.
+namespace pmemolap {
+
+volatile int g_should_never_be_scanned = 0;
+
+}  // namespace pmemolap

@@ -1,0 +1,12 @@
+// Explicitly seeded engines are reproducible.
+#include <random>
+
+namespace pmemolap {
+
+double Draw(unsigned seed) {
+  std::mt19937 gen(seed);
+  std::mt19937_64 wide{0x9E3779B97F4A7C15ULL};
+  return static_cast<double>(gen()) + static_cast<double>(wide());
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,14 @@
+// Default-constructed standard engines hide an implementation-defined
+// seed; results then differ across standard libraries.
+#include <random>
+
+namespace pmemolap {
+
+double Draw() {
+  std::mt19937 gen;
+  std::mt19937_64 wide{};
+  std::default_random_engine eng();
+  return static_cast<double>(gen()) + static_cast<double>(wide());
+}
+
+}  // namespace pmemolap

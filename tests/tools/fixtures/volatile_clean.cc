@@ -1,0 +1,12 @@
+#include <atomic>
+
+namespace pmemolap {
+
+std::atomic<bool> g_done{false};
+
+void Spin() {
+  while (!g_done.load(std::memory_order_acquire)) {
+  }
+}
+
+}  // namespace pmemolap

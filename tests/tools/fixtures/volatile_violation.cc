@@ -1,0 +1,11 @@
+// volatile does not order memory accesses; it is not a sync primitive.
+namespace pmemolap {
+
+volatile bool g_done = false;
+
+void Spin() {
+  while (!g_done) {
+  }
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,255 @@
+// pmemolap_lint rule tests: each rule has a violating and a clean
+// fixture; the allowlist fixtures prove audited exceptions are honored;
+// the tree fixtures pin the CLI's exit codes.
+//
+// PMEMOLAP_LINT_FIXTURES and PMEMOLAP_LINT_BIN are injected by CMake.
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace pmemolap::lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(PMEMOLAP_LINT_FIXTURES) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints fixture `name` as if it lived at repo path `as_path`.
+Report LintFixtureAs(const std::string& name, const std::string& as_path) {
+  Report report;
+  LintFileContent(as_path, ReadFixture(name), &report);
+  return report;
+}
+
+std::set<std::string> RulesHit(const Report& report) {
+  std::set<std::string> rules;
+  for (const auto& diagnostic : report.diagnostics) {
+    rules.insert(diagnostic.rule);
+  }
+  return rules;
+}
+
+int RunBinary(const std::string& args) {
+  std::string command = std::string(PMEMOLAP_LINT_BIN) + " " + args +
+                        " > /dev/null 2>&1";
+  int raw = std::system(command.c_str());
+  return WEXITSTATUS(raw);
+}
+
+// --- layering --------------------------------------------------------------
+
+TEST(LintLayering, FlagsUpwardInclude) {
+  Report report =
+      LintFixtureAs("layering_violation.cc", "src/memsys/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "layering");
+  EXPECT_EQ(report.diagnostics[0].line, 4);  // the engine/ include
+  EXPECT_EQ(report.diagnostics[0].file, "src/memsys/fixture.cc");
+}
+
+TEST(LintLayering, AcceptsDownwardIncludes) {
+  Report report =
+      LintFixtureAs("layering_clean.cc", "src/memsys/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintLayering, SameFileIsExemptOutsideSrc) {
+  // tests/ files may include anything; layering is a src/ property.
+  Report report =
+      LintFixtureAs("layering_violation.cc", "tests/memsys/fixture.cc");
+  EXPECT_FALSE(RulesHit(report).count("layering"));
+}
+
+TEST(LintLayering, IntraTierEdgeRequiresDeclaration) {
+  Report report;
+  LintFileContent("src/ssb/fixture.cc", "#include \"dash/dash_table.h\"\n",
+                  &report);
+  ASSERT_EQ(report.diagnostics.size(), 1u);  // ssb -> dash is not declared
+  EXPECT_EQ(report.diagnostics[0].rule, "layering");
+
+  Report declared;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"dash/dash_table.h\"\n", &declared);
+  EXPECT_TRUE(declared.clean());  // engine -> dash is declared
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(LintDeterminism, FlagsEntropyAndClocksInModelLayer) {
+  Report report =
+      LintFixtureAs("determinism_violation.cc", "src/device/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+  EXPECT_EQ(report.diagnostics.size(), 3u);  // random_device, time, clock
+}
+
+TEST(LintDeterminism, CleanFixtureHasNoFalsePositives) {
+  // Substrings (runtime, timeline), comments and string literals must
+  // not trip the token matcher.
+  Report report =
+      LintFixtureAs("determinism_clean.cc", "src/device/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintDeterminism, EngineLayerMayReadClocks) {
+  // engine/timer measures host wall-clock by design.
+  Report report =
+      LintFixtureAs("determinism_violation.cc", "src/engine/fixture.cc");
+  EXPECT_FALSE(RulesHit(report).count("determinism"));
+}
+
+// --- raw-thread ------------------------------------------------------------
+
+TEST(LintRawThread, FlagsThreadConstructionOutsideExec) {
+  Report report =
+      LintFixtureAs("raw_thread_violation.cc", "src/core/fixture.cc");
+  ASSERT_FALSE(report.clean());
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"raw-thread"});
+}
+
+TEST(LintRawThread, AllowsHardwareConcurrencyAndExecLayer) {
+  Report clean =
+      LintFixtureAs("raw_thread_clean.cc", "src/core/fixture.cc");
+  EXPECT_TRUE(clean.clean()) << clean.diagnostics[0].ToString();
+  Report exec =
+      LintFixtureAs("raw_thread_violation.cc", "src/exec/fixture.cc");
+  EXPECT_TRUE(exec.clean());
+  Report tests =
+      LintFixtureAs("raw_thread_violation.cc", "tests/core/fixture.cc");
+  EXPECT_TRUE(tests.clean());
+}
+
+// --- volatile-sync ---------------------------------------------------------
+
+TEST(LintVolatile, FlagsVolatileEverywhere) {
+  Report in_src =
+      LintFixtureAs("volatile_violation.cc", "src/ssb/fixture.cc");
+  EXPECT_EQ(RulesHit(in_src), std::set<std::string>{"volatile-sync"});
+  Report in_tests =
+      LintFixtureAs("volatile_violation.cc", "tests/ssb/fixture.cc");
+  EXPECT_EQ(RulesHit(in_tests), std::set<std::string>{"volatile-sync"});
+}
+
+TEST(LintVolatile, AtomicIsClean) {
+  Report report =
+      LintFixtureAs("volatile_clean.cc", "src/ssb/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+// --- header-static ---------------------------------------------------------
+
+TEST(LintHeaderStatic, FlagsMutableStaticsInHeaders) {
+  Report report =
+      LintFixtureAs("header_static_violation.h", "src/common/fixture.h");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"header-static"});
+  EXPECT_EQ(report.diagnostics.size(), 2u);
+}
+
+TEST(LintHeaderStatic, ConstantsAndFunctionsAreClean) {
+  Report report =
+      LintFixtureAs("header_static_clean.h", "src/common/fixture.h");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintHeaderStatic, SameContentInSourceFileIsClean) {
+  // .cc-internal statics are fine; the rule is about headers.
+  Report report =
+      LintFixtureAs("header_static_violation.h", "src/common/fixture.cc");
+  EXPECT_TRUE(report.clean());
+}
+
+// --- discarded-status ------------------------------------------------------
+
+TEST(LintDiscardedStatus, FlagsVoidCastOfCallAndStdIgnore) {
+  Report report = LintFixtureAs("discarded_status_violation.cc",
+                                "src/core/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"discarded-status"});
+  EXPECT_EQ(report.diagnostics.size(), 2u);
+}
+
+TEST(LintDiscardedStatus, UnusedVariableIdiomIsClean) {
+  Report report =
+      LintFixtureAs("discarded_status_clean.cc", "src/core/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+// --- unseeded-rng ----------------------------------------------------------
+
+TEST(LintUnseededRng, FlagsDefaultConstructedEngines) {
+  Report report =
+      LintFixtureAs("unseeded_rng_violation.cc", "src/ssb/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"unseeded-rng"});
+  EXPECT_EQ(report.diagnostics.size(), 3u);
+}
+
+TEST(LintUnseededRng, SeededEnginesAreClean) {
+  Report report =
+      LintFixtureAs("unseeded_rng_clean.cc", "src/ssb/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+// --- allowlist -------------------------------------------------------------
+
+TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {
+  Report report = LintFixtureAs("allowlist.cc", "src/core/fixture.cc");
+  EXPECT_TRUE(report.clean())
+      << report.diagnostics[0].ToString();
+  EXPECT_EQ(report.allowed, 2);
+}
+
+TEST(LintAllowlist, AllowOnlySilencesItsOwnRule) {
+  Report report;
+  LintFileContent(
+      "src/core/fixture.cc",
+      "volatile int v = 0;  // lint:allow(raw-thread): wrong rule\n",
+      &report);
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "volatile-sync");
+  EXPECT_EQ(report.allowed, 0);
+}
+
+// --- CLI exit codes --------------------------------------------------------
+
+TEST(LintCli, ExitCodesMatchContract) {
+  std::string fixtures(PMEMOLAP_LINT_FIXTURES);
+  EXPECT_EQ(RunBinary("--root " + fixtures + "/tree_clean"), 0);
+  EXPECT_EQ(RunBinary("--root " + fixtures + "/tree_bad"), 1);
+  EXPECT_EQ(RunBinary("--root /nonexistent-root"), 2);
+  EXPECT_EQ(RunBinary("--bogus-flag"), 2);
+  EXPECT_EQ(RunBinary("--list-rules"), 0);
+}
+
+TEST(LintCli, FixtureDirectoriesAreExcludedFromTreeWalks) {
+  // tree_clean seeds a violation under tests/tools/fixtures/; a clean
+  // exit proves the walker skipped it.
+  std::string fixtures(PMEMOLAP_LINT_FIXTURES);
+  EXPECT_EQ(RunBinary("--root " + fixtures + "/tree_clean"), 0);
+  // Naming the excluded file explicitly must still lint it.
+  EXPECT_EQ(
+      RunBinary("--root " + fixtures + "/tree_clean " +
+                "tests/tools/fixtures/excluded_violation.cc"),
+      1);
+}
+
+TEST(LintReport, DiagnosticFormatIsFileLineRule) {
+  Diagnostic diagnostic{"src/core/x.cc", 12, "layering", "boom"};
+  EXPECT_EQ(diagnostic.ToString(),
+            "src/core/x.cc:12: error: [layering] boom");
+}
+
+TEST(LintReport, RuleNamesAreStable) {
+  EXPECT_EQ(RuleNames().size(), 7u);
+}
+
+}  // namespace
+}  // namespace pmemolap::lint

@@ -1,0 +1,609 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pmemolap::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The declared layer DAG.
+//
+//   common <- topo <- device <- memsys <- sim <- core/fault
+//          <- exec/engine/ssb/dash
+//
+// A layer may include itself and any layer of strictly lower rank. Layers
+// sharing a rank are independent unless an explicit intra-tier edge is
+// declared below (the edge set must stay acyclic by inspection).
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0}, {"topo", 1}, {"device", 2}, {"memsys", 3},
+      {"sim", 4},    {"core", 5}, {"fault", 5},  {"exec", 6},
+      {"engine", 6}, {"ssb", 6},  {"dash", 6},
+  };
+  return kRanks;
+}
+
+/// Audited same-rank dependencies (from -> to).
+const std::set<std::pair<std::string, std::string>>& IntraTierEdges() {
+  static const std::set<std::pair<std::string, std::string>> kEdges = {
+      {"fault", "core"},
+      {"engine", "exec"},
+      {"engine", "ssb"},
+      {"engine", "dash"},
+  };
+  return kEdges;
+}
+
+/// Layers whose code must be deterministic: everything that produces or
+/// feeds modeled numbers. Only `exec` (host scheduling) and `engine`
+/// (wall-clock timing lives in engine/timer) may touch host time.
+const std::set<std::string>& DeterministicLayers() {
+  static const std::set<std::string> kLayers = {
+      "common", "topo", "device", "memsys", "sim",
+      "core",   "fault", "ssb",   "dash",
+  };
+  return kLayers;
+}
+
+// ---------------------------------------------------------------------------
+// Lexical scanning: split a translation unit into per-line code text with
+// comments and literal contents blanked out, plus per-line lint:allow
+// annotations harvested from the comments.
+// ---------------------------------------------------------------------------
+
+struct ScannedFile {
+  /// Line i (0-based) with comment bodies and string/char literal
+  /// contents replaced by spaces; preprocessor and code tokens survive.
+  std::vector<std::string> code;
+  /// Rules allowed on line i (annotations apply to their own line and,
+  /// for comment-only lines, to the line below; we conservatively apply
+  /// every annotation to both).
+  std::vector<std::set<std::string>> allows;
+};
+
+void ParseAllowAnnotations(const std::string& comment, int line,
+                           ScannedFile* out) {
+  size_t pos = 0;
+  while ((pos = comment.find("lint:allow(", pos)) != std::string::npos) {
+    pos += 11;  // strlen("lint:allow(")
+    size_t close = comment.find(')', pos);
+    if (close == std::string::npos) break;
+    std::string rules = comment.substr(pos, close - pos);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      rule.erase(0, rule.find_first_not_of(" \t"));
+      rule.erase(rule.find_last_not_of(" \t") + 1);
+      if (rule.empty()) continue;
+      out->allows[static_cast<size_t>(line)].insert(rule);
+    }
+    pos = close;
+  }
+}
+
+ScannedFile ScanFile(const std::string& content) {
+  ScannedFile out;
+  // Pre-split into physical lines so annotations can index them.
+  size_t num_lines = 1 + static_cast<size_t>(std::count(
+                             content.begin(), content.end(), '\n'));
+  out.code.assign(num_lines, std::string());
+  out.allows.assign(num_lines, {});
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  int line = 0;
+  std::string comment_text;   // accumulates the current comment
+  std::string raw_delimiter;  // delimiter of the current raw string
+
+  const size_t n = content.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = content[i];
+    char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        ParseAllowAnnotations(comment_text, line, &out);
+        comment_text.clear();
+        state = State::kCode;
+      } else if (state == State::kBlockComment) {
+        ParseAllowAnnotations(comment_text, line, &out);
+        comment_text.clear();
+      }
+      ++line;
+      continue;
+    }
+    std::string& code_line = out.code[static_cast<size_t>(line)];
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal: R"delim( ... )delim"
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !(std::isalnum(static_cast<unsigned char>(
+                              content[i - 2])) ||
+                          content[i - 2] == '_'))) {
+            size_t open = content.find('(', i);
+            if (open != std::string::npos) {
+              raw_delimiter =
+                  ")" + content.substr(i + 1, open - i - 1) + "\"";
+              state = State::kRawString;
+              code_line += '"';
+              i = open;  // skip delimiter; contents blanked from here
+              break;
+            }
+          }
+          state = State::kString;
+          code_line += '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += '\'';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_text += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          ParseAllowAnnotations(comment_text, line, &out);
+          comment_text.clear();
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_text += c;
+        }
+        break;
+      case State::kString: {
+        // Keep the literal's contents on preprocessor lines so the
+        // layering rule can read #include paths; blank it elsewhere.
+        size_t hash = code_line.find_first_not_of(" \t");
+        bool preprocessor =
+            hash != std::string::npos && code_line[hash] == '#';
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          code_line += '"';
+          state = State::kCode;
+        } else if (preprocessor) {
+          code_line += c;
+        }
+        break;
+      }
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          code_line += '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (content.compare(i, raw_delimiter.size(), raw_delimiter) == 0) {
+          i += raw_delimiter.size() - 1;
+          code_line += '"';
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment || state == State::kBlockComment) {
+    ParseAllowAnnotations(comment_text, line, &out);
+  }
+  // An annotation on a comment-only (or blank) line covers the next code
+  // line, however many comment lines the justification takes; cascading
+  // forward merges each such line's allows into its successor.
+  for (size_t i = 0; i + 1 < out.code.size(); ++i) {
+    if (out.allows[i].empty()) continue;
+    if (out.code[i].find_first_not_of(" \t") != std::string::npos) continue;
+    out.allows[i + 1].insert(out.allows[i].begin(), out.allows[i].end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Small token matchers (cheaper and more predictable than std::regex).
+// ---------------------------------------------------------------------------
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Position of `word` in `code` with identifier boundaries on both
+/// sides, starting at `from`; npos if absent.
+size_t FindWord(const std::string& code, const std::string& word,
+                size_t from = 0) {
+  size_t pos = from;
+  while ((pos = code.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsWordChar(code[pos - 1]);
+    size_t end = pos + word.size();
+    bool right_ok = end >= code.size() || !IsWordChar(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string::npos;
+}
+
+bool HasWord(const std::string& code, const std::string& word) {
+  return FindWord(code, word) != std::string::npos;
+}
+
+/// True if `word` appears as an identifier immediately invoked: `word (`.
+bool CallsFunction(const std::string& code, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = FindWord(code, word, pos)) != std::string::npos) {
+    size_t after = pos + word.size();
+    while (after < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[after]))) {
+      ++after;
+    }
+    if (after < code.size() && code[after] == '(') return true;
+    pos += word.size();
+  }
+  return false;
+}
+
+std::string PathLayer(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  std::string layer = path.substr(4, slash - 4);
+  return LayerRanks().count(layer) ? layer : "";
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule context and emission.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  std::string path;    // repo-relative
+  std::string layer;   // "" when not under a known src/<layer>/
+  bool in_tests = false;
+  const ScannedFile* scan = nullptr;
+  Report* report = nullptr;
+};
+
+void Emit(const FileContext& ctx, int line_index, const std::string& rule,
+          const std::string& message) {
+  const auto& allows = ctx.scan->allows[static_cast<size_t>(line_index)];
+  if (allows.count(rule) || allows.count("*")) {
+    ++ctx.report->allowed;
+    return;
+  }
+  ctx.report->diagnostics.push_back(
+      Diagnostic{ctx.path, line_index + 1, rule, message});
+}
+
+// --- Rule: layering --------------------------------------------------------
+
+void CheckLayering(const FileContext& ctx) {
+  if (ctx.layer.empty()) return;  // only src/<layer>/ files are ranked
+  const auto& ranks = LayerRanks();
+  int own_rank = ranks.at(ctx.layer);
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    size_t inc = code.find("#include \"");
+    if (inc == std::string::npos) continue;
+    size_t start = inc + 10;
+    size_t slash = code.find('/', start);
+    size_t quote = code.find('"', start);
+    if (slash == std::string::npos || quote == std::string::npos ||
+        slash > quote) {
+      continue;  // includes like "lint.h" carry no layer
+    }
+    std::string dep = code.substr(start, slash - start);
+    auto it = ranks.find(dep);
+    if (it == ranks.end()) continue;
+    if (dep == ctx.layer) continue;
+    bool ok = it->second < own_rank ||
+              (it->second == own_rank &&
+               IntraTierEdges().count({ctx.layer, dep}) > 0);
+    if (!ok) {
+      Emit(ctx, static_cast<int>(i), "layering",
+           "layer '" + ctx.layer + "' must not include layer '" + dep +
+               "' (declared DAG: common <- topo <- device <- memsys <- "
+               "sim <- core/fault <- exec/engine/ssb/dash)");
+    }
+  }
+}
+
+// --- Rule: determinism -----------------------------------------------------
+
+void CheckDeterminism(const FileContext& ctx) {
+  if (ctx.in_tests || ctx.layer.empty()) return;
+  if (!DeterministicLayers().count(ctx.layer)) return;
+  struct Banned {
+    const char* what;
+    bool call_only;  // must be followed by '(' to count
+    const char* why;
+  };
+  static const Banned kBanned[] = {
+      {"rand", true, "ambient libc RNG"},
+      {"srand", true, "ambient libc RNG seeding"},
+      {"rand_r", true, "ambient libc RNG"},
+      {"drand48", true, "ambient libc RNG"},
+      {"random_device", false, "hardware entropy source"},
+      {"time", true, "host clock read"},
+      {"clock", true, "host clock read"},
+      {"gettimeofday", true, "host clock read"},
+      {"clock_gettime", true, "host clock read"},
+      {"steady_clock", false, "host clock"},
+      {"system_clock", false, "host clock"},
+      {"high_resolution_clock", false, "host clock"},
+  };
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    for (const Banned& banned : kBanned) {
+      bool hit = banned.call_only ? CallsFunction(code, banned.what)
+                                  : HasWord(code, banned.what);
+      if (hit) {
+        Emit(ctx, static_cast<int>(i), "determinism",
+             std::string("'") + banned.what + "' (" + banned.why +
+                 ") in deterministic model layer '" + ctx.layer +
+                 "'; modeled results must be reproducible — use the "
+                 "seeded pmemolap::Rng or take time as an input");
+      }
+    }
+  }
+}
+
+// --- Rule: raw-thread ------------------------------------------------------
+
+void CheckRawThread(const FileContext& ctx) {
+  if (ctx.in_tests) return;  // tests may orchestrate threads directly
+  if (ctx.path.rfind("src/exec/", 0) == 0) return;
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    size_t pos = code.find("std::thread");
+    if (pos == std::string::npos) {
+      pos = code.find("std::jthread");
+      if (pos == std::string::npos) continue;
+    }
+    // Querying the host's core count is not thread creation.
+    if (code.find("hardware_concurrency", pos) != std::string::npos) {
+      continue;
+    }
+    Emit(ctx, static_cast<int>(i), "raw-thread",
+         "std::thread outside src/exec/ — route parallelism through "
+         "WorkStealingPool so cancellation, stats and TSan coverage "
+         "stay centralized");
+  }
+}
+
+// --- Rule: volatile-sync ---------------------------------------------------
+
+void CheckVolatile(const FileContext& ctx) {
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    if (HasWord(ctx.scan->code[i], "volatile")) {
+      Emit(ctx, static_cast<int>(i), "volatile-sync",
+           "volatile is not a synchronization primitive; use "
+           "std::atomic or a mutex");
+    }
+  }
+}
+
+// --- Rule: header-static ---------------------------------------------------
+
+void CheckHeaderStatic(const FileContext& ctx) {
+  if (!IsHeader(ctx.path)) return;
+  const auto& code = ctx.scan->code;
+  for (size_t i = 0; i < code.size(); ++i) {
+    size_t pos = FindWord(code[i], "static");
+    if (pos == std::string::npos) continue;
+    // Only declarations that *start* at `static` (optionally after
+    // `inline`): mid-expression matches are casts or sizeofs.
+    std::string before = code[i].substr(0, pos);
+    size_t nonspace = before.find_last_not_of(" \t");
+    if (nonspace != std::string::npos) {
+      std::string prefix = before.substr(0, nonspace + 1);
+      if (prefix.size() < 6 ||
+          prefix.compare(prefix.size() - 6, 6, "inline") != 0) {
+        continue;
+      }
+    }
+    // Gather the declaration until its first structural terminator.
+    std::string decl = code[i].substr(pos);
+    size_t j = i;
+    while (decl.find_first_of(";={(") == std::string::npos &&
+           j + 1 < code.size() && j - i < 4) {
+      ++j;
+      decl += " " + code[j];
+    }
+    size_t term = decl.find_first_of(";={(");
+    if (term == std::string::npos) continue;
+    if (decl[term] == '(') continue;  // function declaration
+    std::string head = decl.substr(0, term);
+    if (HasWord(head, "const") || HasWord(head, "constexpr") ||
+        HasWord(head, "constinit") || HasWord(head, "static_assert")) {
+      continue;
+    }
+    Emit(ctx, static_cast<int>(i), "header-static",
+         "mutable static storage in a header (ODR hazard and an "
+         "unsynchronized shared variable); make it constexpr, or move "
+         "it behind a function in a .cc file");
+  }
+}
+
+// --- Rule: discarded-status ------------------------------------------------
+
+void CheckDiscardedStatus(const FileContext& ctx) {
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    size_t pos = 0;
+    bool flagged = false;
+    while (!flagged && (pos = code.find("(void)", pos)) != std::string::npos) {
+      size_t after = pos + 6;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after]))) {
+        ++after;
+      }
+      // `(void)call(...)` silences [[nodiscard]]. `(void)name;` is the
+      // unused-variable idiom, `(void)` in a parameter list and
+      // `(void*)` casts are not discards — only call expressions count.
+      size_t stmt_end = code.find(';', after);
+      std::string expr = code.substr(
+          after, stmt_end == std::string::npos ? std::string::npos
+                                               : stmt_end - after);
+      if (after < code.size() &&
+          (IsWordChar(code[after]) || code[after] == ':') &&
+          expr.find('(') != std::string::npos) {
+        Emit(ctx, static_cast<int>(i), "discarded-status",
+             "(void)-discarding a result; Status and Result<T> are "
+             "[[nodiscard]] — handle the error, or justify with "
+             "// lint:allow(discarded-status): <reason>");
+        flagged = true;
+      }
+      pos = after;
+    }
+    if (!flagged && code.find("std::ignore") != std::string::npos &&
+        code.find('=', code.find("std::ignore")) != std::string::npos) {
+      Emit(ctx, static_cast<int>(i), "discarded-status",
+           "assigning to std::ignore discards a result; handle the "
+           "error, or justify with // lint:allow(discarded-status)");
+    }
+  }
+}
+
+// --- Rule: unseeded-rng ----------------------------------------------------
+
+void CheckUnseededRng(const FileContext& ctx) {
+  static const char* kEngines[] = {
+      "mt19937",      "mt19937_64", "default_random_engine",
+      "minstd_rand",  "minstd_rand0", "ranlux24", "ranlux48",
+      "knuth_b",
+  };
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    for (const char* engine : kEngines) {
+      size_t pos = FindWord(code, engine);
+      if (pos == std::string::npos) continue;
+      size_t after = pos + std::string(engine).size();
+      // Skip an identifier name: `std::mt19937 gen ...`
+      while (after < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[after])) ||
+              IsWordChar(code[after]))) {
+        ++after;
+      }
+      bool unseeded = false;
+      if (after >= code.size() || code[after] == ';') {
+        unseeded = true;  // default-constructed
+      } else if (code[after] == '(' || code[after] == '{') {
+        char close = code[after] == '(' ? ')' : '}';
+        size_t k = after + 1;
+        while (k < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[k]))) {
+          ++k;
+        }
+        unseeded = k < code.size() && code[k] == close;
+      }
+      if (unseeded) {
+        Emit(ctx, static_cast<int>(i), "unseeded-rng",
+             std::string("std::") + engine +
+                 " constructed without an explicit seed; results must "
+                 "be reproducible across runs and platforms (prefer "
+                 "the project Rng)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": error: [" + rule + "] " +
+         message;
+}
+
+std::vector<std::string> RuleNames() {
+  return {"layering",      "determinism",      "raw-thread",
+          "volatile-sync", "header-static",    "discarded-status",
+          "unseeded-rng"};
+}
+
+void LintFileContent(const std::string& path, const std::string& content,
+                     Report* report) {
+  ScannedFile scan = ScanFile(content);
+  FileContext ctx;
+  ctx.path = path;
+  ctx.layer = PathLayer(path);
+  ctx.in_tests = path.rfind("tests/", 0) == 0;
+  ctx.scan = &scan;
+  ctx.report = report;
+  CheckLayering(ctx);
+  CheckDeterminism(ctx);
+  CheckRawThread(ctx);
+  CheckVolatile(ctx);
+  CheckHeaderStatic(ctx);
+  CheckDiscardedStatus(ctx);
+  CheckUnseededRng(ctx);
+  ++report->files_scanned;
+}
+
+bool LintFile(const std::string& fs_path, const std::string& repo_relative,
+              Report* report) {
+  std::ifstream in(fs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  LintFileContent(repo_relative, buffer.str(), report);
+  return true;
+}
+
+int LintTree(const std::string& root, Report* report) {
+  namespace fs = std::filesystem;
+  fs::path base(root);
+  if (!fs::is_directory(base / "src")) return -1;
+  std::vector<std::string> files;
+  for (const char* top : {"src", "tests"}) {
+    fs::path dir = base / top;
+    if (!fs::is_directory(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && it->path().filename() == "fixtures") {
+        // Lint-rule fixtures violate on purpose; they are linted
+        // explicitly by the test suite, never by a tree walk.
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file()) continue;
+      std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  int scanned = 0;
+  for (const std::string& file : files) {
+    std::string relative =
+        fs::relative(fs::path(file), base).generic_string();
+    if (LintFile(file, relative, report)) ++scanned;
+  }
+  return scanned;
+}
+
+int ExitCode(const Report& report) { return report.clean() ? 0 : 1; }
+
+}  // namespace pmemolap::lint

@@ -1,0 +1,72 @@
+// pmemolap_lint CLI.
+//
+//   pmemolap_lint [--root DIR]            lint DIR/src and DIR/tests
+//   pmemolap_lint [--root DIR] PATH...    lint exactly the given files
+//                                         (PATHs are repo-relative;
+//                                         fixture exclusions do not apply)
+//   pmemolap_lint --list-rules            print rule names, one per line
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const std::string& rule : pmemolap::lint::RuleNames()) {
+        std::printf("%s\n", rule.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pmemolap_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pmemolap_lint: unknown flag '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  pmemolap::lint::Report report;
+  if (paths.empty()) {
+    int scanned = pmemolap::lint::LintTree(root, &report);
+    if (scanned < 0) {
+      std::fprintf(stderr,
+                   "pmemolap_lint: no src/ under '%s' (use --root to "
+                   "point at the repository)\n",
+                   root.c_str());
+      return 2;
+    }
+  } else {
+    for (const std::string& path : paths) {
+      std::string fs_path =
+          path.rfind('/', 0) == 0 ? path : root + "/" + path;
+      if (!pmemolap::lint::LintFile(fs_path, path, &report)) {
+        std::fprintf(stderr, "pmemolap_lint: cannot read '%s'\n",
+                     fs_path.c_str());
+        return 2;
+      }
+    }
+  }
+
+  for (const auto& diagnostic : report.diagnostics) {
+    std::printf("%s\n", diagnostic.ToString().c_str());
+  }
+  std::printf("pmemolap_lint: %d file(s), %zu violation(s), %d audited "
+              "exception(s) honored\n",
+              report.files_scanned, report.diagnostics.size(),
+              report.allowed);
+  return pmemolap::lint::ExitCode(report);
+}
