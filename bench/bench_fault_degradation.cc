@@ -54,7 +54,9 @@ void RunSweep(const ssb::Database& db,
     MemSystemModel model(injector.Degrade(base_config));
     PmemSpace space(model.config().topology);
     injector.Arm(&space);
-    FaultDomain domain{&space, &injector, GuardedTable::Options()};
+    FaultDomain domain;
+  domain.space = &space;
+  domain.injector = &injector;
 
     EngineConfig config;
     config.mode = EngineMode::kPmemAware;

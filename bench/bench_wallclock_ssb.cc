@@ -88,7 +88,9 @@ bool FaultMorselCheck(const ssb::Database& db,
   MemSystemModel model(injector.Degrade(MemSystemConfig()));
   PmemSpace space(model.config().topology);
   injector.Arm(&space);
-  FaultDomain domain{&space, &injector, GuardedTable::Options()};
+  FaultDomain domain;
+  domain.space = &space;
+  domain.injector = &injector;
 
   EngineConfig config;
   config.mode = EngineMode::kPmemAware;

@@ -27,6 +27,9 @@ enum class StatusCode {
   /// The resource is temporarily unusable (e.g. a DIMM in a thermal
   /// throttle window, a degraded UPI link); retrying later may succeed.
   kUnavailable,
+  /// The operation's deadline expired before it completed (a query
+  /// cancelled between morsels; partial-progress stats accompany it).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -80,6 +83,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -27,4 +27,44 @@ MorselPlan MorselsForRange(uint64_t num_tuples, uint64_t morsel_tuples) {
   return plan;
 }
 
+uint64_t ReassignQuarantinedQueues(MorselPlan* plan,
+                                   const std::vector<bool>& healthy) {
+  auto is_healthy = [&healthy](size_t socket) {
+    return socket >= healthy.size() || healthy[socket];
+  };
+  bool any_healthy = false;
+  for (size_t s = 0; s < plan->queues.size(); ++s) {
+    if (is_healthy(s)) {
+      any_healthy = true;
+      break;
+    }
+  }
+  if (!any_healthy) return 0;
+
+  uint64_t moved = 0;
+  for (size_t s = 0; s < plan->queues.size(); ++s) {
+    if (is_healthy(s)) continue;
+    auto& queue = plan->queues[s];
+    for (Morsel& morsel : queue) {
+      // Least-loaded healthy queue keeps the re-planned load balanced
+      // instead of piling everything onto socket 0.
+      size_t target = plan->queues.size();
+      size_t target_size = 0;
+      for (size_t q = 0; q < plan->queues.size(); ++q) {
+        if (q == s || !is_healthy(q)) continue;
+        if (target == plan->queues.size() ||
+            plan->queues[q].size() < target_size) {
+          target = q;
+          target_size = plan->queues[q].size();
+        }
+      }
+      // any_healthy guarantees a target exists (s itself is unhealthy).
+      plan->queues[target].push_back(morsel);
+      ++moved;
+    }
+    queue.clear();
+  }
+  return moved;
+}
+
 }  // namespace pmemolap

@@ -56,4 +56,16 @@ void AppendMorsels(uint64_t begin, uint64_t end, int socket,
 /// Convenience: a single-socket plan over [0, num_tuples).
 MorselPlan MorselsForRange(uint64_t num_tuples, uint64_t morsel_tuples);
 
+/// Quarantine re-plan: moves every morsel queued on a socket with
+/// healthy[socket] == false onto the least-loaded healthy queue, so
+/// workers of a quarantined fault domain are not handed its morsels as
+/// "near" work. Morsel::socket is preserved — it still names where the
+/// data lives (slot mapping and result identity depend on it); only the
+/// run-queue placement changes, which the executor treats like a steal.
+/// Sockets beyond healthy.size() are considered healthy; when no socket
+/// is healthy the plan is left untouched (degraded beats deadlocked).
+/// Returns the number of morsels moved.
+uint64_t ReassignQuarantinedQueues(MorselPlan* plan,
+                                   const std::vector<bool>& healthy);
+
 }  // namespace pmemolap

@@ -169,6 +169,14 @@ Status SsbEngine::Prepare() {
             reinterpret_cast<const std::byte*>(db_->lineorder.data()),
             db_->lineorder.size() * sizeof(ssb::LineorderRow),
             config_.fault->fact_options));
+    if (config_.fault->breakers != nullptr) {
+      BreakerBoard* breakers = config_.fault->breakers;
+      guarded_fact_->AttachBreakers(breakers);
+      guarded_date_->AttachBreakers(breakers);
+      guarded_customer_->AttachBreakers(breakers);
+      guarded_supplier_->AttachBreakers(breakers);
+      guarded_part_->AttachBreakers(breakers);
+    }
   }
   int workers_per_socket =
       std::max(1, config_.threads / std::max(1, sockets_used));
@@ -645,9 +653,70 @@ ssb::QueryOutput SsbEngine::DrainWorkerOutput(WorkerState* state) {
 }
 
 Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
+  return Execute(query, qos::QueryOptions());
+}
+
+Result<SsbEngine::QueryRun> SsbEngine::Execute(
+    ssb::QueryId query, const qos::QueryOptions& options) const {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare() before Execute()");
   }
+  // Progress is published on every exit path — a deadline-killed query
+  // still reports how far it got.
+  qos::QueryProgress progress;
+  struct ProgressPublisher {
+    const qos::QueryOptions& options;
+    qos::QueryProgress& progress;
+    ~ProgressPublisher() {
+      // Units a run never reached (early return between slots) count as
+      // dropped; the pool path accounts for all its morsels itself.
+      if (progress.units_total >
+          progress.units_executed + progress.units_dropped) {
+        progress.units_dropped =
+            progress.units_total - progress.units_executed;
+      }
+      if (options.progress != nullptr) *options.progress = progress;
+    }
+  } publisher{options, progress};
+
+  FaultInjector* injector =
+      config_.fault != nullptr ? config_.fault->injector : nullptr;
+
+  // Arm the lifecycle token: wall/modeled deadlines from the options
+  // (modeled time defaults to the fault domain's platform clock), plus
+  // the fault-layer retry budget.
+  qos::CancelToken token;
+  std::function<double()> default_clock;
+  if (injector != nullptr) {
+    default_clock = [injector] { return injector->now(); };
+  }
+  qos::ArmFromOptions(&token, options, default_clock);
+  if (options.retry_budget >= 0 && injector != nullptr) {
+    token.ArmRetryBudget(
+        static_cast<uint64_t>(options.retry_budget),
+        [injector] { return injector->counters().retries; });
+  }
+
+  // Admission gate: publish fresh backpressure (executor depth plus the
+  // platform degradation estimate), then admit at the query's priority.
+  // A shed submission never touches the executor.
+  qos::AdmissionTicket ticket;
+  if (config_.admission != nullptr) {
+    qos::LoadSignal signal;
+    signal.executor_depth = pool_ != nullptr ? pool_->inflight_runs() : 0;
+    signal.degradation =
+        injector != nullptr ? qos::DegradationEstimate(*injector) : 1.0;
+    config_.admission->SetLoadSignal(signal);
+    Result<qos::AdmissionTicket> admitted =
+        config_.admission->Admit(options.priority, &token);
+    if (!admitted.ok()) return admitted.status();
+    ticket = std::move(admitted.value());
+  }
+  progress.admitted = true;
+  // An already-expired deadline (budget 0) aborts before any work — the
+  // same guarantee the between-morsel checks give mid-run.
+  PMEMOLAP_RETURN_NOT_OK(token.Check());
+
   QueryRun run;
   int threads_per_socket = std::max(
       1, config_.threads / std::max<int>(1, static_cast<int>(
@@ -666,29 +735,52 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
     // queues, idle workers steal across sockets, first failure cancels.
     MorselPlan plan =
         Partitioner::ToMorsels(partitions_, config_.morsel_tuples);
+    if (config_.fault != nullptr && config_.fault->breakers != nullptr) {
+      // Quarantined fault domains don't get "near" work: their queued
+      // morsels move to healthy queues (Morsel::socket — and with it the
+      // partition slot and result identity — is preserved).
+      ReassignQuarantinedQueues(&plan,
+                                config_.fault->breakers->HealthySockets());
+    }
     std::vector<size_t> slot_of_socket(plan.queues.size(), 0);
     for (size_t slot = 0; slot < slots; ++slot) {
       const size_t socket = static_cast<size_t>(partitions_[slot].socket);
       if (socket < slot_of_socket.size()) slot_of_socket[socket] = slot;
     }
     states.resize(static_cast<size_t>(pool_->threads()));
-    PMEMOLAP_RETURN_NOT_OK(pool_->Run(
-        plan, [&](const Morsel& morsel, int worker) {
+    progress.units_total = plan.total_morsels();
+    WorkStealingPool::RunControl control;
+    control.cancel = [&token] { return token.Check(); };
+    WorkStealingPool::Stats stats;
+    control.stats = &stats;
+    Status pool_status = pool_->RunWithControl(
+        plan,
+        [&](const Morsel& morsel, int worker) {
           return ExecuteRangeInto(
               query, slot_of_socket[static_cast<size_t>(morsel.socket)],
               {morsel.begin, morsel.end}, vectorized,
               &states[static_cast<size_t>(worker)]);
-        }));
+        },
+        control);
+    progress.units_executed = stats.executed;
+    progress.units_stolen = stats.stolen;
+    progress.units_dropped = stats.dropped;
+    PMEMOLAP_RETURN_NOT_OK(pool_status);
   } else if (executor == ExecutorKind::kStaticThreads) {
     // The legacy path: one fresh std::thread per static worker range,
-    // joined per socket. Kept as the wall-clock baseline.
+    // joined per socket. Kept as the wall-clock baseline. Deadlines are
+    // checked between sockets (the coarsest cancellation granularity of
+    // the three executors — static ranges can't stop mid-socket).
+    progress.units_total = slots;
     for (size_t slot = 0; slot < slots; ++slot) {
+      PMEMOLAP_RETURN_NOT_OK(token.Check());
       const SocketPartition& partition = partitions_[slot];
       const size_t workers = partition.worker_ranges.size();
       if (workers <= 1) {
         states.emplace_back();
         PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
             query, slot, partition.tuples, vectorized, &states.back()));
+        ++progress.units_executed;
         continue;
       }
       const size_t base = states.size();
@@ -711,12 +803,17 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
       for (const Status& status : statuses) {
         PMEMOLAP_RETURN_NOT_OK(status);
       }
+      ++progress.units_executed;
     }
   } else {
+    // Serial: one socket range at a time, deadline checked between them.
+    progress.units_total = slots;
     states.emplace_back();
     for (size_t slot = 0; slot < slots; ++slot) {
+      PMEMOLAP_RETURN_NOT_OK(token.Check());
       PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
           query, slot, partitions_[slot].tuples, vectorized, &states[0]));
+      ++progress.units_executed;
     }
   }
 
@@ -794,6 +891,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
   run.seconds = timer.EstimateSeconds(projected, projected_cpu,
                                       config_.threads, config_.pinning,
                                       &run.phase_seconds);
+  run.progress = progress;
   return run;
 }
 

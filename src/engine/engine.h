@@ -31,6 +31,9 @@
 #include "fault/fault_domain.h"
 #include "fault/guarded_table.h"
 #include "memsys/mem_system.h"
+#include "qos/admission.h"
+#include "qos/cancel_token.h"
+#include "qos/query_options.h"
 #include "ssb/column_store.h"
 #include "ssb/dbgen.h"
 #include "ssb/queries.h"
@@ -99,8 +102,17 @@ struct EngineConfig {
   /// Non-null switches the engine into fault mode: the fact table and the
   /// dimension payloads are materialized on the domain's (armed) space as
   /// guarded PMEM state, and every read goes through the recovery path
-  /// (retry, scrub, replica failover). Must outlive the engine.
+  /// (retry, scrub, replica failover). When the domain carries a breaker
+  /// board, Prepare attaches it to the guarded state and Execute
+  /// re-plans morsels away from quarantined sockets. Must outlive the
+  /// engine.
   FaultDomain* fault = nullptr;
+  /// Non-null gates every Execute through this admission controller:
+  /// the engine publishes its load signal (pool depth + fault-domain
+  /// degradation), admits at the query's priority, and fails fast with
+  /// kResourceExhausted when the class's queue is full. Must outlive the
+  /// engine.
+  qos::AdmissionController* admission = nullptr;
   TimerConfig timer;
 };
 
@@ -121,10 +133,23 @@ class SsbEngine {
     /// Projected seconds per phase ("scan", "probe-part", ..., "cpu") —
     /// where the query's time goes at the projected scale.
     std::map<std::string, double> phase_seconds;
+    /// How far execution got (morsels for the stealing executor, ranges
+    /// otherwise). Meaningful mostly when a deadline cut the run short.
+    qos::QueryProgress progress;
   };
 
   /// Executes one query functionally and projects its runtime.
   Result<QueryRun> Execute(ssb::QueryId query) const;
+
+  /// Execute under query-lifecycle controls: the query is admitted
+  /// through config().admission (if set) at options.priority, its
+  /// deadline/retry budget is armed on a cancel token checked *between*
+  /// morsels (a kernel never tears mid-morsel), and partial progress is
+  /// reported through options.progress and QueryRun::progress. Expired
+  /// deadlines return kDeadlineExceeded; shed admissions return
+  /// kResourceExhausted.
+  Result<QueryRun> Execute(ssb::QueryId query,
+                           const qos::QueryOptions& options) const;
 
   const EngineConfig& config() const { return config_; }
   /// Scale factor of the loaded database (lineorder rows / 6M).

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "exec/pool.h"
+#include "qos/cancel_token.h"
 
 namespace pmemolap {
 
@@ -253,6 +254,13 @@ Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
                                              const ssb::Database* db,
                                              const IndexSet& indexes,
                                              int workers) {
+  return ExecutePlanParallel(spec, db, indexes, workers,
+                             qos::QueryOptions());
+}
+
+Result<ssb::QueryOutput> ExecutePlanParallel(
+    const QuerySpec& spec, const ssb::Database* db, const IndexSet& indexes,
+    int workers, const qos::QueryOptions& options) {
   if (workers < 1) {
     return Status::InvalidArgument("workers must be >= 1");
   }
@@ -295,14 +303,29 @@ Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
       /*queues=*/1);
 
   std::vector<ssb::QueryOutput> outputs(pipelines.size());
-  PMEMOLAP_RETURN_NOT_OK(pool.Run(
+  qos::CancelToken token;
+  qos::ArmFromOptions(&token, options);
+  WorkStealingPool::RunControl control;
+  control.max_workers = workers;
+  control.cancel = [&token] { return token.Check(); };
+  WorkStealingPool::Stats stats;
+  control.stats = &stats;
+  Status status = pool.RunWithControl(
       plan,
       [&](const Morsel& morsel, int /*worker*/) -> Status {
         const size_t slot = static_cast<size_t>(morsel.begin / morsel_tuples);
         PMEMOLAP_ASSIGN_OR_RETURN(outputs[slot], pipelines[slot]->Execute());
         return Status::OK();
       },
-      /*max_workers=*/workers));
+      control);
+  if (options.progress != nullptr) {
+    options.progress->admitted = true;
+    options.progress->units_total = plan.total_morsels();
+    options.progress->units_executed = stats.executed;
+    options.progress->units_dropped = stats.dropped;
+    options.progress->units_stolen = stats.stolen;
+  }
+  PMEMOLAP_RETURN_NOT_OK(status);
   return ssb::MergeOutputs(outputs);
 }
 

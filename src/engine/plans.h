@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "engine/operators.h"
+#include "qos/query_options.h"
 
 namespace pmemolap {
 
@@ -75,5 +76,16 @@ Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
                                              const ssb::Database* db,
                                              const IndexSet& indexes,
                                              int workers);
+
+/// ExecutePlanParallel under query-lifecycle controls: the options'
+/// deadline is armed on a cancel token checked between morsels, so an
+/// expired query aborts with kDeadlineExceeded (partial progress in
+/// options.progress, never a torn morsel) instead of running to
+/// completion.
+Result<ssb::QueryOutput> ExecutePlanParallel(const QuerySpec& spec,
+                                             const ssb::Database* db,
+                                             const IndexSet& indexes,
+                                             int workers,
+                                             const qos::QueryOptions& options);
 
 }  // namespace pmemolap

@@ -70,9 +70,29 @@ void WorkStealingPool::WorkerLoop(int worker) {
     while (generation_ == seen_generation && !stop_ &&
            PopMorsel(worker, &morsel, &steal)) {
       if (cancelled_) {
-        // A prior morsel failed: drain without executing.
+        // A prior morsel failed or the run was cancelled: drain without
+        // executing.
+        ++stats_.dropped;
         if (--pending_ == 0) done_cv_.notify_all();
         continue;
+      }
+      if (cancel_ != nullptr) {
+        // Between-morsel cancellation point: evaluated outside the lock
+        // (the hook may read clocks or counters), never mid-task. The
+        // popped morsel is charged as dropped, and cancelled_ makes every
+        // later pop — including racing stealers — take the drain branch.
+        lock.unlock();
+        Status cancel_status = (*cancel_)();
+        lock.lock();
+        if (!cancel_status.ok() || cancelled_) {
+          if (run_status_.ok() && !cancel_status.ok()) {
+            run_status_ = std::move(cancel_status);
+          }
+          cancelled_ = true;
+          ++stats_.dropped;
+          if (--pending_ == 0) done_cv_.notify_all();
+          continue;
+        }
       }
       lock.unlock();
       Status status = (*task_)(morsel, worker);
@@ -91,6 +111,24 @@ void WorkStealingPool::WorkerLoop(int worker) {
 
 Status WorkStealingPool::Run(const MorselPlan& plan, const MorselTask& task,
                              int max_workers) {
+  RunControl control;
+  control.max_workers = max_workers;
+  return RunWithControl(plan, task, control);
+}
+
+Status WorkStealingPool::RunWithControl(const MorselPlan& plan,
+                                        const MorselTask& task,
+                                        const RunControl& control) {
+  // Depth signal for admission control: counted from submission (a run
+  // queued on run_mutex_ is load the executor has already accepted).
+  struct InflightGuard {
+    std::atomic<int>& counter;
+    explicit InflightGuard(std::atomic<int>& c) : counter(c) {
+      counter.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~InflightGuard() { counter.fetch_sub(1, std::memory_order_relaxed); }
+  } inflight(inflight_runs_);
+
   std::lock_guard<std::mutex> run_lock(run_mutex_);
   std::unique_lock<std::mutex> lock(mutex_);
   run_queues_.clear();
@@ -100,19 +138,25 @@ Status WorkStealingPool::Run(const MorselPlan& plan, const MorselTask& task,
     run_queues_[s].assign(plan.queues[s].begin(), plan.queues[s].end());
     total += run_queues_[s].size();
   }
-  if (total == 0) return Status::OK();
+  if (total == 0) {
+    if (control.stats != nullptr) *control.stats = Stats{};
+    return Status::OK();
+  }
   task_ = &task;
+  cancel_ = control.cancel ? &control.cancel : nullptr;
   pending_ = total;
   cancelled_ = false;
   run_status_ = Status::OK();
   stats_ = Stats{};
-  active_workers_ = max_workers <= 0
+  active_workers_ = control.max_workers <= 0
                         ? threads()
-                        : std::min(max_workers, threads());
+                        : std::min(control.max_workers, threads());
   ++generation_;
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return pending_ == 0; });
   task_ = nullptr;
+  cancel_ = nullptr;
+  if (control.stats != nullptr) *control.stats = stats_;
   return run_status_;
 }
 

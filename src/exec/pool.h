@@ -18,6 +18,7 @@
 // steal schedule produces bit-identical results.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,23 +50,57 @@ class WorkStealingPool {
   WorkStealingPool(const WorkStealingPool&) = delete;
   WorkStealingPool& operator=(const WorkStealingPool&) = delete;
 
+  /// Dispatch evidence of one Run().
+  struct Stats {
+    uint64_t executed = 0;  ///< morsels that ran to completion
+    uint64_t stolen = 0;    ///< executed morsels taken from a non-home queue
+    uint64_t dropped = 0;   ///< morsels drained unexecuted (failure/cancel)
+  };
+
+  /// Per-run controls for RunWithControl.
+  struct RunControl {
+    /// At most this many workers participate (0 = all).
+    int max_workers = 0;
+    /// Cooperative cancellation: checked between morsels (never while a
+    /// task is executing). The first non-OK Status cancels the run — the
+    /// remaining morsels drain unexecuted and the Status is returned.
+    /// Must be cheap and safe to call concurrently from pool threads.
+    std::function<Status()> cancel;
+    /// Optional out-param: filled with this run's dispatch stats before
+    /// RunWithControl returns. Unlike last_run_stats(), immune to a
+    /// concurrent run overwriting the pool-wide snapshot.
+    Stats* stats = nullptr;
+  };
+
   /// Executes every morsel of `plan` on the pool and blocks until done.
   /// At most `max_workers` workers participate (0 = all). Returns the
   /// first failure Status; on failure the remaining morsels are dropped
   /// (drained without executing). Thread-safe: concurrent Run() calls
-  /// serialize.
+  /// serialize. Production call sites should prefer RunWithControl with a
+  /// deadline-armed cancel hook (enforced by pmemolap_lint).
   Status Run(const MorselPlan& plan, const MorselTask& task,
              int max_workers = 0);
+
+  /// Run() with per-run controls: a worker cap plus a between-morsel
+  /// cancel hook (deadlines, retry budgets, external aborts).
+  Status RunWithControl(const MorselPlan& plan, const MorselTask& task,
+                        const RunControl& control);
 
   int threads() const { return static_cast<int>(workers_.size()); }
   int queues() const { return queues_; }
 
-  /// Dispatch evidence of the most recent Run().
-  struct Stats {
-    uint64_t executed = 0;  ///< morsels that ran to completion
-    uint64_t stolen = 0;    ///< executed morsels taken from a non-home queue
-  };
+  /// Snapshot of the most recent run's dispatch stats. Racy when callers
+  /// overlap Run() submissions — prefer RunControl::stats for a per-run
+  /// snapshot.
   Stats last_run_stats() const;
+
+  /// Run() calls submitted and not yet finished — the queue-depth signal
+  /// the admission layer reads as backpressure. Includes the run a worker
+  /// is currently draining, so any value > 0 means the executor is busy
+  /// and values > 1 mean submissions are queueing on the run mutex.
+  int inflight_runs() const {
+    return inflight_runs_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop(int worker);
@@ -84,9 +119,11 @@ class WorkStealingPool {
 
   // --- State of the in-flight run (guarded by mutex_) ---
   std::mutex run_mutex_;  ///< serializes Run() callers
+  std::atomic<int> inflight_runs_{0};
   uint64_t generation_ = 0;
   std::vector<std::deque<Morsel>> run_queues_;
   const MorselTask* task_ = nullptr;
+  const std::function<Status()>* cancel_ = nullptr;
   int active_workers_ = 0;
   uint64_t pending_ = 0;  ///< morsels not yet fully executed
   bool cancelled_ = false;

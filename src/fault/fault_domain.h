@@ -4,6 +4,7 @@
 #pragma once
 
 #include "core/pmem_space.h"
+#include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
 #include "fault/guarded_table.h"
 
@@ -14,6 +15,10 @@ struct FaultDomain {
   /// injector should already be armed on it.
   PmemSpace* space = nullptr;
   FaultInjector* injector = nullptr;
+  /// Optional per-socket circuit breakers. When set, the engine attaches
+  /// them to the guarded state it materializes, and quarantined sockets
+  /// are re-planned away from during morsel execution.
+  BreakerBoard* breakers = nullptr;
   /// Guard options for the fact-table byte image.
   GuardedTable::Options fact_options;
 };

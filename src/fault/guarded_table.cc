@@ -116,18 +116,40 @@ Status GuardedTable::ReadLocked(uint64_t offset, uint64_t size,
     const uint64_t local = pos - StripeBase(s);
     const uint64_t len = std::min(size - done, StripeLen(s) - local);
     Allocation& stripe = stripes_.stripe(s);
-    Status status = reader.Read(&stripe, local, len, dst + done);
-    if (status.code() == StatusCode::kDataLoss) {
-      // Retry exhausted (permanent poison, or a transient budget larger
-      // than the retry policy) — escalate to the chunk scrubber, then
-      // read the repaired bytes.
-      const uint64_t first = local / options_.chunk_bytes;
-      const uint64_t last = (local + len - 1) / options_.chunk_bytes;
-      for (uint64_t c = first; c <= last; ++c) {
-        Result<bool> scrub = ScrubChunkLocked(s, c);
-        if (!scrub.ok()) return scrub.status();
+    const uint64_t first = local / options_.chunk_bytes;
+    const uint64_t last = (local + len - 1) / options_.chunk_bytes;
+    const BreakerDecision decision = breakers_ == nullptr
+                                         ? BreakerDecision::kNormal
+                                         : breakers_->Decide(s);
+    Status status;
+    if (decision == BreakerDecision::kBypass) {
+      // Quarantined stripe: the breaker has already seen this domain
+      // exhaust its retries repeatedly, so skip the retry loop (which
+      // would charge backoff on every touch) and scrub straight away.
+      if (stripe.IsPoisoned(local, len)) {
+        for (uint64_t c = first; c <= last; ++c) {
+          Result<bool> scrub = ScrubChunkLocked(s, c);
+          if (!scrub.ok()) return scrub.status();
+        }
       }
       status = reader.Read(&stripe, local, len, dst + done);
+    } else {
+      status = reader.Read(&stripe, local, len, dst + done);
+      const bool first_read_clean = status.ok();
+      if (status.code() == StatusCode::kDataLoss) {
+        // Retry exhausted (permanent poison, or a transient budget larger
+        // than the retry policy) — escalate to the chunk scrubber, then
+        // read the repaired bytes.
+        if (breakers_ != nullptr) breakers_->RecordEscalation(s);
+        for (uint64_t c = first; c <= last; ++c) {
+          Result<bool> scrub = ScrubChunkLocked(s, c);
+          if (!scrub.ok()) return scrub.status();
+        }
+        status = reader.Read(&stripe, local, len, dst + done);
+      }
+      if (decision == BreakerDecision::kProbe && breakers_ != nullptr) {
+        breakers_->RecordProbe(s, first_read_clean);
+      }
     }
     PMEMOLAP_RETURN_NOT_OK(status);
     done += len;
@@ -226,10 +248,37 @@ Result<uint64_t> GuardedDimension::Payload(int socket, uint64_t pos) {
   const uint64_t offset = pos * sizeof(uint64_t);
   const int n = table_.num_copies();
   const int local = ((socket % n) + n) % n;
+  const BreakerDecision decision = breakers_ == nullptr
+                                       ? BreakerDecision::kNormal
+                                       : breakers_->Decide(local);
+  if (decision == BreakerDecision::kBypass) {
+    // Quarantined local replica: don't probe it (every probe found it
+    // poisoned, which is why the breaker tripped) — serve directly from
+    // the first clean non-quarantined remote copy. No failover is
+    // charged; the breaker already paid the trip_threshold failovers.
+    for (int i = 1; i < n; ++i) {
+      const int r = (local + i) % n;
+      if (breakers_->Quarantined(r)) continue;
+      const Allocation& copy = table_.copy(r);
+      if (copy.IsPoisoned(offset, sizeof(uint64_t))) continue;
+      uint64_t value = 0;
+      std::memcpy(&value, copy.data() + offset, sizeof(value));
+      return value;
+    }
+    // No clean remote replica — fall through to the normal path, which
+    // ends in repair from the source.
+  }
   Result<int> healthy =
       table_.HealthyCopyIndex(socket, offset, sizeof(uint64_t));
   if (healthy.ok()) {
-    if (healthy.value() != local) injector_->CountFailover();
+    const bool local_healthy = healthy.value() == local;
+    if (!local_healthy) {
+      injector_->CountFailover();
+      if (breakers_ != nullptr) breakers_->RecordEscalation(local);
+    }
+    if (decision == BreakerDecision::kProbe && breakers_ != nullptr) {
+      breakers_->RecordProbe(local, local_healthy);
+    }
     uint64_t value = 0;
     std::memcpy(&value, table_.copy(healthy.value()).data() + offset,
                 sizeof(value));
@@ -237,6 +286,12 @@ Result<uint64_t> GuardedDimension::Payload(int socket, uint64_t pos) {
   }
   if (healthy.status().code() != StatusCode::kDataLoss) {
     return healthy.status();
+  }
+  if (breakers_ != nullptr) {
+    breakers_->RecordEscalation(local);
+    if (decision == BreakerDecision::kProbe) {
+      breakers_->RecordProbe(local, false);
+    }
   }
   // Every replica is poisoned over this payload — rewrite the local
   // copy's affected lines from the retained source and serve from it.

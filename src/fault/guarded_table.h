@@ -22,6 +22,7 @@
 #include "common/status.h"
 #include "core/pmem_space.h"
 #include "core/replicator.h"
+#include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
 #include "fault/retry_policy.h"
 
@@ -69,6 +70,12 @@ class GuardedTable {
   /// kDataLoss (exercises the terminal path in tests).
   void DropSource() { source_ = nullptr; }
 
+  /// Routes reads through per-stripe circuit breakers: retry exhaustion
+  /// escalations feed the breaker of the stripe's socket, and reads of a
+  /// quarantined stripe skip the retry loop (straight to scrub). The
+  /// board must outlive the table; nullptr detaches.
+  void AttachBreakers(BreakerBoard* breakers) { breakers_ = breakers; }
+
  private:
   GuardedTable() = default;
 
@@ -88,6 +95,7 @@ class GuardedTable {
 
   PmemSpace* space_ = nullptr;
   FaultInjector* injector_ = nullptr;
+  BreakerBoard* breakers_ = nullptr;
   const std::byte* source_ = nullptr;
   uint64_t bytes_ = 0;
   uint64_t per_stripe_ = 0;  ///< bytes per stripe (last stripe: remainder)
@@ -115,6 +123,13 @@ class GuardedDimension {
   /// Thread-safe.
   Result<uint64_t> Payload(int socket, uint64_t pos);
 
+  /// Routes reads through per-socket circuit breakers: failovers off a
+  /// replica escalate its breaker, and reads against a quarantined
+  /// replica bypass the local health probe (served straight from a clean
+  /// remote copy). The board must outlive the dimension; nullptr
+  /// detaches.
+  void AttachBreakers(BreakerBoard* breakers) { breakers_ = breakers; }
+
   const ReplicatedTable& table() const { return table_; }
   ReplicatedTable& table() { return table_; }
 
@@ -122,6 +137,7 @@ class GuardedDimension {
   GuardedDimension() = default;
 
   FaultInjector* injector_ = nullptr;
+  BreakerBoard* breakers_ = nullptr;
   std::vector<uint64_t> source_;
   ReplicatedTable table_;
   std::mutex mutex_;

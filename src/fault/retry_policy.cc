@@ -1,8 +1,11 @@
 #include "fault/retry_policy.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "common/rng.h"
 
 namespace pmemolap {
 
@@ -15,6 +18,9 @@ Status FaultAwareReader::Read(Allocation* region, uint64_t offset,
 
   bool counted = false;
   double backoff_us = policy_.initial_backoff_us;
+  Rng jitter(policy_.jitter_seed);
+  const double fraction =
+      std::clamp(policy_.jitter_fraction, 0.0, 1.0);
   for (int attempt = 1;; ++attempt) {
     if (!region->IsPoisoned(offset, size)) {
       std::memcpy(dst, region->data() + offset, size);
@@ -29,8 +35,16 @@ Status FaultAwareReader::Read(Allocation* region, uint64_t offset,
                               std::to_string(policy_.max_attempts) +
                               " read attempts");
     }
-    injector_->CountRetry(backoff_us);
-    backoff_us *= policy_.backoff_multiplier;
+    double charged_us = std::min(backoff_us, policy_.max_backoff_us);
+    if (policy_.jitter_seed != 0 && fraction > 0.0) {
+      // Scale in [1 - f, 1 + f): decorrelates concurrent retry storms in
+      // the model without wall-clock entropy (same seed, same charges).
+      const double unit = jitter.NextDouble() * 2.0 - 1.0;
+      charged_us = std::max(0.0, charged_us * (1.0 + fraction * unit));
+    }
+    injector_->CountRetry(charged_us);
+    backoff_us = std::min(backoff_us * policy_.backoff_multiplier,
+                          policy_.max_backoff_us);
     for (uint64_t line : region->PoisonedLinesIn(offset, size)) {
       if (region->RetryLine(line)) injector_->CountTransientClear();
     }

@@ -24,6 +24,20 @@ struct RetryPolicy {
   double initial_backoff_us = 2.0;
   /// Exponential backoff multiplier per retry.
   double backoff_multiplier = 2.0;
+  /// Cap on any single retry's modeled backoff: the exponential curve
+  /// saturates here instead of growing without bound when max_attempts
+  /// is raised (a deep retry loop should cost linear, not exponential,
+  /// modeled time past the cap).
+  double max_backoff_us = 1000.0;
+  /// Deterministic backoff jitter: 0 disables (exact exponential curve).
+  /// Any other value seeds a splitmix64 stream per reader, and each
+  /// charged backoff is scaled by a factor in
+  /// [1 - jitter_fraction, 1 + jitter_fraction) — same seed, same
+  /// charges, every run (no wall-clock entropy enters the model).
+  uint64_t jitter_seed = 0;
+  /// Half-width of the jitter scale band; only read when jitter_seed is
+  /// non-zero. Clamped to [0, 1].
+  double jitter_fraction = 0.1;
 };
 
 /// Reads bytes out of an Allocation with bounded retry on poisoned lines.

@@ -1,0 +1,159 @@
+#include "qos/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+namespace pmemolap::qos {
+
+void AdmissionTicket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->Release();
+  controller_ = nullptr;
+}
+
+AdmissionController::AdmissionController(AdmissionLimits limits)
+    : limits_(limits) {}
+
+void AdmissionController::SetLoadSignal(const LoadSignal& signal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  signal_ = signal;
+}
+
+LoadSignal AdmissionController::load_signal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return signal_;
+}
+
+int AdmissionController::EffectiveQueueLimitLocked(
+    QueryPriority priority) const {
+  int base = 0;
+  switch (priority) {
+    case QueryPriority::kHigh:
+      base = limits_.high_queue;
+      break;
+    case QueryPriority::kNormal:
+      base = limits_.normal_queue;
+      if (signal_.degradation < limits_.shed_normal_below) return 0;
+      break;
+    case QueryPriority::kBatch:
+      base = limits_.batch_queue;
+      if (signal_.degradation < limits_.shed_batch_below) return 0;
+      break;
+  }
+  // Executor runs queued beyond the concurrency target mean the pool is
+  // already behind; each such run eats one slot of queue room.
+  const int excess =
+      std::max(0, signal_.executor_depth - limits_.max_concurrent);
+  return std::max(0, base - excess);
+}
+
+int AdmissionController::EffectiveQueueLimit(QueryPriority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EffectiveQueueLimitLocked(priority);
+}
+
+bool AdmissionController::CanRunLocked(int priority) const {
+  if (running_ >= std::max(1, limits_.max_concurrent)) return false;
+  for (int p = 0; p < priority; ++p) {
+    if (waiting_[p] > 0) return false;  // higher-priority waiter first
+  }
+  return true;
+}
+
+Result<AdmissionTicket> AdmissionController::TryAdmit(
+    QueryPriority priority) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int p = static_cast<int>(priority);
+  if (!CanRunLocked(p)) {
+    ++counters_.shed;
+    return Status::ResourceExhausted(
+        std::string("admission refused (no free slot, priority ") +
+        QueryPriorityName(priority) + ")");
+  }
+  ++running_;
+  counters_.peak_running =
+      std::max<uint64_t>(counters_.peak_running,
+                         static_cast<uint64_t>(running_));
+  ++counters_.admitted;
+  return AdmissionTicket(this);
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(QueryPriority priority,
+                                                   CancelToken* token) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int p = static_cast<int>(priority);
+  if (!CanRunLocked(p)) {
+    if (waiting_[p] >= EffectiveQueueLimitLocked(priority)) {
+      ++counters_.shed;
+      return Status::ResourceExhausted(
+          std::string("admission queue full for priority ") +
+          QueryPriorityName(priority) + " (limit " +
+          std::to_string(EffectiveQueueLimitLocked(priority)) + ")");
+    }
+    ++waiting_[p];
+    uint64_t total_waiting = 0;
+    for (int q = 0; q < kNumPriorities; ++q) {
+      total_waiting += static_cast<uint64_t>(waiting_[q]);
+    }
+    counters_.peak_waiting = std::max(counters_.peak_waiting, total_waiting);
+    while (!CanRunLocked(p)) {
+      if (token != nullptr) {
+        Status expired = token->Check();
+        if (!expired.ok()) {
+          --waiting_[p];
+          ++counters_.expired_waiting;
+          cv_.notify_all();  // a higher-priority hole may have opened
+          return expired;
+        }
+      }
+      // Short slices instead of a wait-until: the token may carry a
+      // modeled deadline no host time_point can represent.
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    --waiting_[p];
+  }
+  ++running_;
+  counters_.peak_running = std::max<uint64_t>(
+      counters_.peak_running, static_cast<uint64_t>(running_));
+  ++counters_.admitted;
+  return AdmissionTicket(this);
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --running_;
+    ++counters_.completed;
+  }
+  cv_.notify_all();
+}
+
+AdmissionCounters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+int AdmissionController::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+int AdmissionController::waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int total = 0;
+  for (int p = 0; p < kNumPriorities; ++p) total += waiting_[p];
+  return total;
+}
+
+double DegradationEstimate(const FaultInjector& injector) {
+  double worst = injector.UpiCapacityFactor();
+  for (const ThrottleWindow& window : injector.spec().throttle_windows) {
+    if (window.Contains(injector.now())) {
+      worst = std::min(worst, injector.DimmServiceFactor(window.socket));
+    }
+  }
+  return std::clamp(worst, 0.0, 1.0);
+}
+
+}  // namespace pmemolap::qos

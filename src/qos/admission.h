@@ -1,0 +1,148 @@
+// AdmissionController — bounded admission in front of the executor.
+//
+// PMEM bandwidth collapses under unmanaged concurrency (PAPER.md §4–5):
+// past the saturation point every extra query slows *all* queries, so the
+// robust move is to refuse work the system cannot absorb. The controller
+// keeps a fixed number of queries running, queues a bounded number per
+// priority class, and sheds the rest fast with kResourceExhausted. The
+// queue bounds shrink under backpressure — executor run-queue depth
+// (WorkStealingPool::inflight_runs) plus the fault injector's degradation
+// estimate — so a throttled or fault-ridden platform admits less, and
+// batch work is shed first.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "fault/fault_injector.h"
+#include "qos/cancel_token.h"
+#include "qos/query_options.h"
+
+namespace pmemolap::qos {
+
+/// Static admission configuration. Defaults suit the tests and the
+/// overload bench; a deployment tunes them to its pool size.
+struct AdmissionLimits {
+  /// Queries holding an execution slot at once.
+  int max_concurrent = 2;
+  /// Waiters allowed per priority class; a submission beyond its class
+  /// bound is shed immediately.
+  int high_queue = 8;
+  int normal_queue = 4;
+  int batch_queue = 2;
+  /// Degradation (1.0 healthy … 0.0 dead) below which batch-priority
+  /// submissions get a zero-length queue (shed unless a slot is free).
+  double shed_batch_below = 0.75;
+  /// Below this, normal priority is shed too; only high may still queue.
+  double shed_normal_below = 0.40;
+};
+
+/// Live backpressure inputs, refreshed by the engine before each admit.
+struct LoadSignal {
+  /// WorkStealingPool::inflight_runs(): submitted-but-unfinished runs.
+  /// Depth beyond max_concurrent eats queue room one-for-one.
+  int executor_depth = 0;
+  /// Platform health estimate (see DegradationEstimate), 1.0 = healthy.
+  double degradation = 1.0;
+};
+
+/// Evidence of what the gate did — the overload bench's scorecard.
+struct AdmissionCounters {
+  uint64_t admitted = 0;         ///< tickets granted
+  uint64_t shed = 0;             ///< refused with kResourceExhausted
+  uint64_t expired_waiting = 0;  ///< deadline fired while queued
+  uint64_t completed = 0;        ///< tickets released
+  uint64_t peak_running = 0;
+  uint64_t peak_waiting = 0;
+};
+
+class AdmissionController;
+
+/// RAII execution slot: releasing (or destroying) it readmits a waiter.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      controller_ = other.controller_;
+      other.controller_ = nullptr;
+    }
+    return *this;
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() { Release(); }
+
+  bool valid() const { return controller_ != nullptr; }
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  explicit AdmissionTicket(AdmissionController* controller)
+      : controller_(controller) {}
+  AdmissionController* controller_ = nullptr;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionLimits limits = AdmissionLimits());
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Publishes fresh backpressure inputs (engine calls this before each
+  /// admission attempt).
+  void SetLoadSignal(const LoadSignal& signal);
+  LoadSignal load_signal() const;
+
+  /// Non-blocking gate: a ticket when a slot is free right now,
+  /// kResourceExhausted otherwise. Never queues.
+  Result<AdmissionTicket> TryAdmit(QueryPriority priority);
+
+  /// Blocking gate: a free slot admits immediately; otherwise the caller
+  /// queues up to its class's (backpressure-shrunk) bound and waits for a
+  /// release. Over-bound submissions shed fast with kResourceExhausted;
+  /// a waiter whose `token` expires leaves with that terminal status
+  /// (kDeadlineExceeded) instead of ever running.
+  Result<AdmissionTicket> Admit(QueryPriority priority,
+                                CancelToken* token = nullptr);
+
+  /// The queue bound `priority` currently gets, after the load signal's
+  /// shrinkage — 0 means "shed unless a slot is free".
+  int EffectiveQueueLimit(QueryPriority priority) const;
+
+  AdmissionCounters counters() const;
+  int running() const;
+  int waiting() const;
+  const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  friend class AdmissionTicket;
+  void Release();
+
+  int EffectiveQueueLimitLocked(QueryPriority priority) const;
+  /// A slot is free and no strictly-higher-priority waiter is queued.
+  bool CanRunLocked(int priority) const;
+
+  const AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  LoadSignal signal_;
+  int running_ = 0;
+  int waiting_[kNumPriorities] = {0, 0, 0};
+  AdmissionCounters counters_;
+};
+
+/// The platform-health half of the backpressure signal: the worst active
+/// DIMM throttle service factor times the UPI capacity factor at the
+/// injector's current platform time, clamped to [0, 1]. 1.0 = healthy.
+double DegradationEstimate(const FaultInjector& injector);
+
+}  // namespace pmemolap::qos

@@ -1,0 +1,84 @@
+// CancelToken — cooperative cancellation for queries in flight.
+//
+// The token is armed with any combination of a wall-clock budget, a
+// modeled-platform-time deadline, and a fault-retry budget, then checked
+// by the executor *between morsels* (WorkStealingPool::RunControl::cancel)
+// — never mid-kernel, so a cancelled query leaves no torn per-worker
+// state. The first expired limit latches a terminal Status
+// (kDeadlineExceeded / kResourceExhausted) that every later Check()
+// returns; remaining morsels drain unexecuted and are reported as dropped
+// in the query's partial-progress stats.
+//
+// This layer reads the host clock by design (wall deadlines are a
+// wall-clock concept), so src/qos/ is exempt from the lint determinism
+// rule the model layers obey; modeled deadlines stay deterministic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/status.h"
+#include "qos/query_options.h"
+
+namespace pmemolap::qos {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the wall deadline `budget_seconds` from now (0 = already
+  /// expired at the first Check).
+  void ArmWall(double budget_seconds);
+
+  /// Arms the modeled deadline: expires when `clock()` (modeled platform
+  /// seconds, e.g. FaultInjector::now) reaches `deadline_seconds`. A null
+  /// clock leaves the token unarmed.
+  void ArmModeled(double deadline_seconds, std::function<double()> clock);
+
+  /// Arms the retry budget: expires with kResourceExhausted once
+  /// `used()` grows more than `budget` beyond its value at arm time.
+  /// `used` is typically [injector]{ return injector->counters().retries; }.
+  void ArmRetryBudget(uint64_t budget, std::function<uint64_t()> used);
+
+  /// Latches a terminal status directly (external abort). A non-OK
+  /// `reason` is latched as-is; an OK reason becomes kUnavailable.
+  void Cancel(Status reason);
+
+  /// The cancellation point: OK while the query may continue, else the
+  /// latched terminal status. Cheap; safe to call concurrently from pool
+  /// workers.
+  Status Check();
+
+  /// True once a terminal status has latched.
+  bool cancelled() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Status status_;  // OK until a limit expires or Cancel() latches
+
+  bool wall_armed_ = false;
+  std::chrono::steady_clock::time_point wall_deadline_;
+
+  bool modeled_armed_ = false;
+  double modeled_deadline_seconds_ = 0.0;
+  std::function<double()> modeled_clock_;
+
+  bool retry_armed_ = false;
+  uint64_t retry_budget_ = 0;
+  uint64_t retries_at_arm_ = 0;
+  std::function<uint64_t()> retries_used_;
+};
+
+/// Arms `token` from a query's options: the wall budget (measured from
+/// now) and the modeled deadline (against options.modeled_clock, falling
+/// back to `default_modeled_clock` — typically the engine's injector
+/// clock). The retry budget is armed separately because it needs the
+/// injector's counter.
+void ArmFromOptions(CancelToken* token, const QueryOptions& options,
+                    std::function<double()> default_modeled_clock = nullptr);
+
+}  // namespace pmemolap::qos

@@ -1,0 +1,91 @@
+// Query-lifecycle QoS vocabulary: deadlines, priorities, retry budgets
+// and partial-progress reporting.
+//
+// The paper assumes a cooperative tenant; a production engine serving
+// concurrent traffic must bound how long a query may run (PMEM bandwidth
+// collapse under overload makes unbounded queries toxic to everyone) and
+// report how far a cancelled query got. These types are pure data — the
+// CancelToken and AdmissionController give them behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace pmemolap::qos {
+
+/// Sentinel for "no deadline" (deadline fields are in seconds and a value
+/// of exactly 0 means "already expired", so absence needs a negative).
+inline constexpr double kNoDeadline = -1.0;
+
+/// When a query must be done. Both limits may be armed at once; whichever
+/// expires first cancels the query (cooperatively, between morsels).
+struct Deadline {
+  /// Wall-clock budget in seconds from the moment the query is submitted
+  /// (kNoDeadline = unbounded; 0 = expired at the first check).
+  double wall_budget_seconds = kNoDeadline;
+  /// Absolute modeled platform time (FaultInjector::now()) at which the
+  /// query expires (kNoDeadline = unbounded). Deterministic: scenarios
+  /// that advance platform time replay identical cancellations.
+  double modeled_deadline_seconds = kNoDeadline;
+
+  bool unset() const {
+    return wall_budget_seconds < 0.0 && modeled_deadline_seconds < 0.0;
+  }
+
+  static Deadline Wall(double budget_seconds) {
+    Deadline d;
+    d.wall_budget_seconds = budget_seconds;
+    return d;
+  }
+  static Deadline Modeled(double deadline_seconds) {
+    Deadline d;
+    d.modeled_deadline_seconds = deadline_seconds;
+    return d;
+  }
+};
+
+/// Admission classes, highest first. Under backpressure the controller
+/// sheds batch first, then normal; high-priority work keeps the deepest
+/// queue.
+enum class QueryPriority {
+  kHigh = 0,
+  kNormal = 1,
+  kBatch = 2,
+};
+
+inline constexpr int kNumPriorities = 3;
+
+const char* QueryPriorityName(QueryPriority priority);
+
+/// How far a query got before finishing or being cancelled — returned
+/// alongside kDeadlineExceeded so callers see partial progress instead of
+/// a bare error. For the morsel executor the unit is morsels; the serial
+/// and static-thread paths count their per-socket ranges.
+struct QueryProgress {
+  bool admitted = false;        ///< passed the admission gate (or no gate)
+  uint64_t units_total = 0;     ///< morsels (or ranges) the plan held
+  uint64_t units_executed = 0;  ///< completed before the query ended
+  uint64_t units_dropped = 0;   ///< drained unexecuted after cancellation
+  uint64_t units_stolen = 0;    ///< executed via work stealing
+};
+
+/// Per-query lifecycle options accepted by SsbEngine::Execute and
+/// ExecutePlanParallel. Default-constructed options change nothing: no
+/// deadline, normal priority, unlimited retries.
+struct QueryOptions {
+  Deadline deadline;
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Fault-layer retries (FaultInjector counter deltas) this query may
+  /// consume before aborting with kResourceExhausted; enforced
+  /// cooperatively between morsels. Negative = unlimited.
+  int64_t retry_budget = -1;
+  /// Clock for the modeled deadline. Defaults to the engine's fault
+  /// injector platform time; required when a modeled deadline is used
+  /// without a fault domain (a modeled deadline with no clock is ignored).
+  std::function<double()> modeled_clock;
+  /// Optional out-param: filled with partial-progress stats whether the
+  /// query completes, sheds or expires. Must outlive the Execute call.
+  QueryProgress* progress = nullptr;
+};
+
+}  // namespace pmemolap::qos

@@ -1,0 +1,108 @@
+#include "core/morsel.h"
+
+#include <gtest/gtest.h>
+
+namespace pmemolap {
+namespace {
+
+TEST(MorselTest, AppendSlicesRange) {
+  MorselPlan plan;
+  AppendMorsels(0, 250, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  ASSERT_EQ(plan.queues.size(), 1u);
+  ASSERT_EQ(plan.queues[0].size(), 3u);
+  EXPECT_EQ(plan.queues[0][0].begin, 0u);
+  EXPECT_EQ(plan.queues[0][0].end, 100u);
+  EXPECT_EQ(plan.queues[0][1].begin, 100u);
+  EXPECT_EQ(plan.queues[0][1].end, 200u);
+  EXPECT_EQ(plan.queues[0][2].begin, 200u);
+  EXPECT_EQ(plan.queues[0][2].end, 250u);
+  EXPECT_EQ(plan.total_tuples(), 250u);
+}
+
+TEST(MorselTest, AppendGrowsQueuesAndTagsSocket) {
+  MorselPlan plan;
+  AppendMorsels(10, 20, /*socket=*/2, /*morsel_tuples=*/100, &plan);
+  ASSERT_EQ(plan.queues.size(), 3u);
+  EXPECT_TRUE(plan.queues[0].empty());
+  EXPECT_TRUE(plan.queues[1].empty());
+  ASSERT_EQ(plan.queues[2].size(), 1u);
+  EXPECT_EQ(plan.queues[2][0].socket, 2);
+  EXPECT_EQ(plan.queues[2][0].size(), 10u);
+}
+
+TEST(MorselTest, ZeroMorselTuplesFallsBackToDefault) {
+  MorselPlan plan = MorselsForRange(kDefaultMorselTuples + 1, 0);
+  EXPECT_EQ(plan.total_morsels(), 2u);
+  EXPECT_EQ(plan.total_tuples(), kDefaultMorselTuples + 1);
+}
+
+TEST(MorselTest, EmptyRangeYieldsNoMorsels) {
+  MorselPlan plan = MorselsForRange(0, 64);
+  EXPECT_EQ(plan.total_morsels(), 0u);
+}
+
+TEST(MorselTest, ReassignQuarantinedQueuesMovesButKeepsSocket) {
+  MorselPlan plan;
+  AppendMorsels(0, 400, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AppendMorsels(400, 500, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  const uint64_t moved =
+      ReassignQuarantinedQueues(&plan, {false, true});
+  EXPECT_EQ(moved, 4u);
+  EXPECT_TRUE(plan.queues[0].empty());
+  ASSERT_EQ(plan.queues[1].size(), 5u);
+  // Morsel::socket still names where the data lives — only the queue
+  // placement changed.
+  uint64_t from_socket0 = 0;
+  for (const Morsel& morsel : plan.queues[1]) {
+    if (morsel.socket == 0) ++from_socket0;
+  }
+  EXPECT_EQ(from_socket0, 4u);
+  EXPECT_EQ(plan.total_tuples(), 500u);
+  EXPECT_EQ(plan.total_morsels(), 5u);
+}
+
+TEST(MorselTest, ReassignBalancesAcrossHealthyQueues) {
+  MorselPlan plan;
+  AppendMorsels(0, 600, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  plan.queues.resize(3);
+  // Queues 0 and 2 are healthy and empty: the six morsels of the
+  // quarantined queue 1 spread evenly across them.
+  const uint64_t moved =
+      ReassignQuarantinedQueues(&plan, {true, false, true});
+  EXPECT_EQ(moved, 6u);
+  EXPECT_TRUE(plan.queues[1].empty());
+  EXPECT_EQ(plan.queues[0].size(), 3u);
+  EXPECT_EQ(plan.queues[2].size(), 3u);
+}
+
+TEST(MorselTest, ReassignNoopWhenEverySocketQuarantined) {
+  MorselPlan plan;
+  AppendMorsels(0, 200, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AppendMorsels(200, 400, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  // Degraded beats deadlocked: with nowhere healthy the plan stands.
+  EXPECT_EQ(ReassignQuarantinedQueues(&plan, {false, false}), 0u);
+  EXPECT_EQ(plan.queues[0].size(), 2u);
+  EXPECT_EQ(plan.queues[1].size(), 2u);
+}
+
+TEST(MorselTest, ReassignTreatsUnknownSocketsAsHealthy) {
+  MorselPlan plan;
+  AppendMorsels(0, 200, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AppendMorsels(200, 400, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  // healthy[] only covers socket 0: socket 1 is beyond it and presumed
+  // healthy, so queue 0's morsels land there.
+  EXPECT_EQ(ReassignQuarantinedQueues(&plan, {false}), 2u);
+  EXPECT_TRUE(plan.queues[0].empty());
+  EXPECT_EQ(plan.queues[1].size(), 4u);
+}
+
+TEST(MorselTest, ReassignWithEmptyHealthyVectorIsNoop) {
+  MorselPlan plan;
+  AppendMorsels(0, 200, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  // No health information at all: everything is presumed healthy.
+  EXPECT_EQ(ReassignQuarantinedQueues(&plan, {}), 0u);
+  EXPECT_EQ(plan.queues[0].size(), 2u);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -122,7 +122,9 @@ TEST(ExecutorFaultTest, MorselStealingBitIdenticalUnderModerateFaults) {
   MemSystemModel model(injector.Degrade(MemSystemConfig()));
   PmemSpace space(model.config().topology);
   injector.Arm(&space);
-  FaultDomain domain{&space, &injector, GuardedTable::Options()};
+  FaultDomain domain;
+  domain.space = &space;
+  domain.injector = &injector;
 
   EngineConfig config = BaseConfig(EngineMode::kPmemAware);
   config.executor = ExecutorKind::kMorselStealing;

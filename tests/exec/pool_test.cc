@@ -119,6 +119,101 @@ TEST(PoolTest, IdleWorkerStealsFromStalledQueue) {
   EXPECT_GT(pool.last_run_stats().stolen, 0u);
 }
 
+TEST(PoolTest, RunWithControlCancelBeforeFirstMorselDropsEverything) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  MorselPlan plan = MorselsForRange(1000, 50);
+  std::atomic<uint64_t> tasks_run{0};
+  WorkStealingPool::Stats stats;
+  WorkStealingPool::RunControl control;
+  control.cancel = [] {
+    return Status::DeadlineExceeded("deadline already expired");
+  };
+  control.stats = &stats;
+  Status status = pool.RunWithControl(
+      plan,
+      [&](const Morsel&, int) {
+        tasks_run.fetch_add(1);
+        return Status::OK();
+      },
+      control);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // The hook fires before any task: nothing executes, everything drains.
+  EXPECT_EQ(tasks_run.load(), 0u);
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.dropped, plan.total_morsels());
+}
+
+TEST(PoolTest, RunWithControlMidRunCancelKeepsPartialProgress) {
+  WorkStealingPool pool(/*threads=*/2, /*queues=*/1);
+  MorselPlan plan = MorselsForRange(2000, 20);  // 100 morsels
+  // The hook passes its first 10 checks, then reports an expired
+  // deadline: the run must stop between morsels with partial progress.
+  std::atomic<uint64_t> checks{0};
+  std::atomic<uint64_t> in_task{0};
+  WorkStealingPool::Stats stats;
+  WorkStealingPool::RunControl control;
+  control.cancel = [&] {
+    EXPECT_EQ(in_task.load(), 0u) << "cancel hook ran mid-kernel";
+    if (checks.fetch_add(1) < 10) return Status::OK();
+    return Status::DeadlineExceeded("modeled deadline passed");
+  };
+  control.stats = &stats;
+  Status status = pool.RunWithControl(
+      plan,
+      [&](const Morsel&, int) {
+        in_task.fetch_add(1);
+        in_task.fetch_sub(1);
+        return Status::OK();
+      },
+      control);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GT(stats.executed, 0u);
+  EXPECT_GT(stats.dropped, 0u);
+  // Every morsel is accounted for exactly once: executed or dropped.
+  EXPECT_EQ(stats.executed + stats.dropped, plan.total_morsels());
+}
+
+TEST(PoolTest, RunWithControlStatsOutParamAndWorkerCap) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/1);
+  MorselPlan plan = MorselsForRange(600, 30);
+  std::atomic<int> max_seen{-1};
+  WorkStealingPool::Stats stats;
+  WorkStealingPool::RunControl control;
+  control.max_workers = 2;
+  control.stats = &stats;
+  Status status = pool.RunWithControl(
+      plan,
+      [&](const Morsel&, int worker) {
+        int seen = max_seen.load();
+        while (worker > seen &&
+               !max_seen.compare_exchange_weak(seen, worker)) {
+        }
+        return Status::OK();
+      },
+      control);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_LT(max_seen.load(), 2);
+  EXPECT_EQ(stats.executed, plan.total_morsels());
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(PoolTest, RunWithControlEmptyPlanFillsStats) {
+  WorkStealingPool pool(/*threads=*/2, /*queues=*/1);
+  MorselPlan plan;
+  WorkStealingPool::Stats stats;
+  stats.executed = 99;  // must be overwritten, not left stale
+  WorkStealingPool::RunControl control;
+  control.stats = &stats;
+  ASSERT_TRUE(pool.RunWithControl(
+                      plan, [](const Morsel&, int) { return Status::OK(); },
+                      control)
+                  .ok());
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+}
+
 // Steal stress: one persistent pool hammered with back-to-back runs whose
 // work all sits in queue 0, submitted from two racing threads (Run()
 // serializes internally), with a failing run mixed in every fourth
@@ -160,6 +255,56 @@ TEST(PoolStressTest, RacingSubmittersWithStealsAndCancellations) {
   }
   for (std::thread& submitter : submitters) submitter.join();
   EXPECT_EQ(completed_runs.load(), 2u * (kRunsPerSubmitter - 5));
+}
+
+// Cancellation stress: deadline-armed runs racing work stealing. Every
+// run's work sits in queue 0 so queue-1 workers must steal, while the
+// cancel hook trips after a per-run number of checks — the cancellation
+// latch races stealing pops from all four workers. Run under the TSan CI
+// job via the PoolStressTest filter.
+TEST(PoolStressTest, CancellationRacesStealsAcrossSubmitters) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  constexpr int kRunsPerSubmitter = 16;
+  constexpr uint64_t kMorselsPerRun = 80;
+  std::vector<std::thread> submitters;
+  std::atomic<uint64_t> cancelled_runs{0};
+  for (int submitter = 0; submitter < 2; ++submitter) {
+    submitters.emplace_back([&, submitter] {
+      for (int run = 0; run < kRunsPerSubmitter; ++run) {
+        MorselPlan plan;
+        AppendMorsels(0, kMorselsPerRun * 25, /*socket=*/0,
+                      /*morsel_tuples=*/25, &plan);
+        plan.queues.resize(2);
+        // Trip point varies per run: 0 (before anything executes) up to
+        // beyond the plan (never trips).
+        const uint64_t trip_after =
+            static_cast<uint64_t>(run) * 8 % (kMorselsPerRun + 20);
+        std::atomic<uint64_t> checks{0};
+        WorkStealingPool::Stats stats;
+        WorkStealingPool::RunControl control;
+        control.cancel = [&] {
+          if (checks.fetch_add(1) < trip_after) return Status::OK();
+          return Status::DeadlineExceeded("stress deadline");
+        };
+        control.stats = &stats;
+        Status status = pool.RunWithControl(
+            plan, [](const Morsel&, int) { return Status::OK(); }, control);
+        EXPECT_EQ(stats.executed + stats.dropped, plan.total_morsels())
+            << "submitter " << submitter << " run " << run;
+        if (status.ok()) {
+          EXPECT_EQ(stats.dropped, 0u);
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+          EXPECT_GT(stats.dropped, 0u);
+          cancelled_runs.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  // trip_after == 0 happens for run 0 of each submitter at minimum, so
+  // cancellation definitely exercised; most trip points land mid-plan.
+  EXPECT_GT(cancelled_runs.load(), 0u);
 }
 
 }  // namespace

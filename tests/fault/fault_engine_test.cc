@@ -45,7 +45,9 @@ TEST_P(FaultEngineTest, AllQueriesBitIdenticalUnderFaults) {
   MemSystemModel model(injector.Degrade(MemSystemConfig()));
   PmemSpace space(model.config().topology);
   injector.Arm(&space);
-  FaultDomain domain{&space, &injector, GuardedTable::Options()};
+  FaultDomain domain;
+  domain.space = &space;
+  domain.injector = &injector;
 
   EngineConfig config;
   config.mode = EngineMode::kPmemAware;

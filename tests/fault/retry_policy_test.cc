@@ -1,0 +1,104 @@
+// RetryPolicy backoff shaping: the per-retry cap and the seeded
+// deterministic jitter. Backoff is modeled (charged to the injector),
+// so every expectation here is exact or a closed-form band.
+#include "fault/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "topo/topology.h"
+
+namespace pmemolap {
+namespace {
+
+class RetryPolicyTest : public ::testing::Test {
+ protected:
+  /// Charged backoff for one exhausted read of a permanently poisoned
+  /// region under `policy`, on a fresh injector.
+  uint64_t ChargedBackoff(const RetryPolicy& policy) {
+    FaultInjector injector(FaultSpec::Healthy());
+    PmemSpace space(topo_);
+    Result<Allocation> region = space.Allocate(4 * kKiB, {Media::kPmem, 0});
+    EXPECT_TRUE(region.ok());
+    std::memset(region->data(), 0x5A, region->size());
+    region->PoisonLine(0);  // permanent: survives every retry
+
+    FaultAwareReader reader(&injector, policy);
+    std::byte dst[64];
+    Status status = reader.Read(&region.value(), 0, sizeof(dst), dst);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+    EXPECT_EQ(injector.counters().retries,
+              static_cast<uint64_t>(policy.max_attempts - 1));
+    return injector.counters().backoff_us;
+  }
+
+  SystemTopology topo_ = SystemTopology::PaperServer();
+};
+
+TEST_F(RetryPolicyTest, BackoffCapSaturatesTheExponentialCurve) {
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.initial_backoff_us = 2.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 10.0;
+  // 11 retries charge 2, 4, 8, then 10 eight times: linear past the cap.
+  EXPECT_EQ(ChargedBackoff(policy), 2u + 4u + 8u + 8u * 10u);
+}
+
+TEST_F(RetryPolicyTest, DefaultCapLeavesShallowRetriesUntouched) {
+  RetryPolicy policy;  // attempts 4, backoffs 2 + 4 + 8, cap 1000
+  EXPECT_EQ(ChargedBackoff(policy), 14u);
+}
+
+TEST_F(RetryPolicyTest, SeedZeroMeansExactExponentialCharges) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.jitter_seed = 0;
+  // 2 + 4 + 8 + 16 + 32, bit-exact: no jitter stream is consumed.
+  EXPECT_EQ(ChargedBackoff(policy), 62u);
+}
+
+TEST_F(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.jitter_seed = 42;
+  policy.jitter_fraction = 0.5;
+  const uint64_t first = ChargedBackoff(policy);
+  const uint64_t second = ChargedBackoff(policy);
+  EXPECT_EQ(first, second) << "same seed must charge identically";
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 43;
+  EXPECT_NE(ChargedBackoff(other), first)
+      << "different seeds must decorrelate the charges";
+}
+
+TEST_F(RetryPolicyTest, JitterStaysInsideItsBand) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.max_backoff_us = 50.0;
+  policy.jitter_seed = 7;
+  policy.jitter_fraction = 0.25;
+  // Unjittered charges: 2 + 4 + 8 + 16 + 32 + 50 + 50 = 162.
+  const double exact = 162.0;
+  const uint64_t charged = ChargedBackoff(policy);
+  EXPECT_GE(charged, static_cast<uint64_t>(exact * 0.75) - 7)
+      << "each charge may lose < 1 us to truncation";
+  EXPECT_LE(charged, static_cast<uint64_t>(exact * 1.25));
+}
+
+TEST_F(RetryPolicyTest, JitterFractionIsClampedToOne) {
+  // A fraction > 1 would allow negative backoff; the clamp keeps every
+  // charge non-negative, so the total is bounded by 2x the exact curve.
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.jitter_seed = 99;
+  policy.jitter_fraction = 5.0;
+  const uint64_t charged = ChargedBackoff(policy);
+  const double exact = 2 + 4 + 8 + 16 + 32 + 64 + 128 + 256 + 512;
+  EXPECT_LE(charged, static_cast<uint64_t>(2.0 * exact));
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -1,0 +1,26 @@
+// Fixture: deadline-capable pool usage plus lookalikes that must not
+// trip the pool-deadline rule.
+#include "exec/pool.h"
+
+namespace pmemolap {
+
+Status RunQueryControlled(WorkStealingPool* pool, const MorselPlan& plan,
+                          const WorkStealingPool::MorselTask& task) {
+  WorkStealingPool::RunControl control;
+  control.cancel = [] { return Status::OK(); };
+  // RunWithControl is the sanctioned entry point.
+  return pool->RunWithControl(plan, task, control);
+}
+
+struct DryRunner {
+  Status DryRun() { return Status::OK(); }
+  Status Run(int) { return Status::OK(); }
+};
+
+Status Lookalikes(DryRunner& runner) {
+  // `Run` on a non-pool receiver and `DryRun` on anything are fine.
+  PMEMOLAP_RETURN_NOT_OK(runner.DryRun());
+  return runner.Run(1);
+}
+
+}  // namespace pmemolap

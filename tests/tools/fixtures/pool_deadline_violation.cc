@@ -1,0 +1,16 @@
+// Fixture: bare pool Run() calls a production file must not contain.
+#include "exec/pool.h"
+
+namespace pmemolap {
+
+Status RunQueryBare(WorkStealingPool* pool, const MorselPlan& plan,
+                    const WorkStealingPool::MorselTask& task) {
+  return pool->Run(plan, task);  // violation: pointer receiver
+}
+
+Status RunQueryMember(WorkStealingPool& worker_pool, const MorselPlan& plan,
+                      const WorkStealingPool::MorselTask& task) {
+  return worker_pool.Run(plan, task, 4);  // violation: value receiver
+}
+
+}  // namespace pmemolap

@@ -198,6 +198,65 @@ TEST(LintUnseededRng, SeededEnginesAreClean) {
   EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
 }
 
+// --- pool-deadline ---------------------------------------------------------
+
+TEST(LintPoolDeadline, FlagsBarePoolRunOutsideTests) {
+  Report report = LintFixtureAs("pool_deadline_violation.cc",
+                                "src/engine/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"pool-deadline"});
+  EXPECT_EQ(report.diagnostics.size(), 2u);  // pointer + value receiver
+}
+
+TEST(LintPoolDeadline, RunWithControlAndLookalikesAreClean) {
+  Report report =
+      LintFixtureAs("pool_deadline_clean.cc", "src/engine/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPoolDeadline, TestsAndExecLayerAreExempt) {
+  Report tests = LintFixtureAs("pool_deadline_violation.cc",
+                               "tests/exec/fixture.cc");
+  EXPECT_TRUE(tests.clean());
+  Report exec =
+      LintFixtureAs("pool_deadline_violation.cc", "src/exec/fixture.cc");
+  EXPECT_TRUE(exec.clean());
+}
+
+// --- qos layering ----------------------------------------------------------
+
+TEST(LintLayering, QosSitsAboveFaultAndBelowEngine) {
+  // qos -> fault crosses ranks downward: fine.
+  Report qos;
+  LintFileContent("src/qos/fixture.cc",
+                  "#include \"fault/fault_injector.h\"\n", &qos);
+  EXPECT_TRUE(qos.clean());
+  // engine -> qos is a declared intra-tier edge.
+  Report engine;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"qos/admission.h\"\n", &engine);
+  EXPECT_TRUE(engine.clean());
+  // qos -> engine is not declared: same tier, wrong direction.
+  Report upward;
+  LintFileContent("src/qos/fixture.cc", "#include \"engine/engine.h\"\n",
+                  &upward);
+  ASSERT_EQ(upward.diagnostics.size(), 1u);
+  EXPECT_EQ(upward.diagnostics[0].rule, "layering");
+  // exec -> qos is not declared either: the pool stays qos-agnostic
+  // (cancellation reaches it as a plain std::function).
+  Report exec;
+  LintFileContent("src/exec/fixture.cc", "#include \"qos/cancel_token.h\"\n",
+                  &exec);
+  ASSERT_EQ(exec.diagnostics.size(), 1u);
+  EXPECT_EQ(exec.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, QosLayerMayReadClocks) {
+  // Wall deadlines are host-time by definition; qos is exempt.
+  Report report =
+      LintFixtureAs("determinism_violation.cc", "src/qos/fixture.cc");
+  EXPECT_FALSE(RulesHit(report).count("determinism"));
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {
@@ -248,7 +307,8 @@ TEST(LintReport, DiagnosticFormatIsFileLineRule) {
 }
 
 TEST(LintReport, RuleNamesAreStable) {
-  EXPECT_EQ(RuleNames().size(), 7u);
+  EXPECT_EQ(RuleNames().size(), 8u);
+  EXPECT_EQ(RuleNames().back(), "pool-deadline");
 }
 
 }  // namespace

@@ -15,18 +15,19 @@ namespace {
 // The declared layer DAG.
 //
 //   common <- topo <- device <- memsys <- sim <- core/fault
-//          <- exec/engine/ssb/dash
+//          <- exec/engine/ssb/dash/qos
 //
 // A layer may include itself and any layer of strictly lower rank. Layers
 // sharing a rank are independent unless an explicit intra-tier edge is
-// declared below (the edge set must stay acyclic by inspection).
+// declared below (the edge set must stay acyclic by inspection):
+// engine -> {exec, ssb, dash, qos} and fault -> core.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
       {"common", 0}, {"topo", 1}, {"device", 2}, {"memsys", 3},
       {"sim", 4},    {"core", 5}, {"fault", 5},  {"exec", 6},
-      {"engine", 6}, {"ssb", 6},  {"dash", 6},
+      {"engine", 6}, {"ssb", 6},  {"dash", 6},   {"qos", 6},
   };
   return kRanks;
 }
@@ -38,13 +39,15 @@ const std::set<std::pair<std::string, std::string>>& IntraTierEdges() {
       {"engine", "exec"},
       {"engine", "ssb"},
       {"engine", "dash"},
+      {"engine", "qos"},
   };
   return kEdges;
 }
 
 /// Layers whose code must be deterministic: everything that produces or
-/// feeds modeled numbers. Only `exec` (host scheduling) and `engine`
-/// (wall-clock timing lives in engine/timer) may touch host time.
+/// feeds modeled numbers. Only `exec` (host scheduling), `engine`
+/// (wall-clock timing lives in engine/timer) and `qos` (wall-clock
+/// deadlines are a host-time concept by definition) may touch host time.
 const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
       "common", "topo", "device", "memsys", "sim",
@@ -487,6 +490,68 @@ void CheckDiscardedStatus(const FileContext& ctx) {
   }
 }
 
+// --- Rule: pool-deadline ---------------------------------------------------
+
+/// Production WorkStealingPool runs must be cancellable: a bare
+/// pool.Run() wait cannot be deadlined, so a query on it is
+/// unkillable until its last morsel drains. Call sites outside tests
+/// (and outside src/exec/, where Run() is defined and forwards to
+/// RunWithControl) must use RunWithControl with a cancel hook.
+void CheckPoolDeadline(const FileContext& ctx) {
+  if (ctx.in_tests) return;  // tests exercise the bare Run() on purpose
+  if (ctx.path.rfind("src/exec/", 0) == 0) return;
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    size_t pos = 0;
+    while ((pos = code.find("Run", pos)) != std::string::npos) {
+      const size_t end = pos + 3;
+      // Exactly the method name `Run` invoked on a receiver:
+      // `recv.Run(` or `recv->Run(`. RunWithControl and ::Run
+      // definitions don't match (word boundary / no member access).
+      if (end < code.size() && IsWordChar(code[end])) {
+        pos = end;
+        continue;
+      }
+      size_t after = end;
+      while (after < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[after]))) {
+        ++after;
+      }
+      if (after >= code.size() || code[after] != '(') {
+        pos = end;
+        continue;
+      }
+      size_t recv_end;
+      if (pos >= 1 && code[pos - 1] == '.') {
+        recv_end = pos - 1;
+      } else if (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>') {
+        recv_end = pos - 2;
+      } else {
+        pos = end;
+        continue;
+      }
+      size_t recv_begin = recv_end;
+      while (recv_begin > 0 && IsWordChar(code[recv_begin - 1])) {
+        --recv_begin;
+      }
+      std::string receiver = code.substr(recv_begin, recv_end - recv_begin);
+      while (!receiver.empty() && receiver.back() == '_') {
+        receiver.pop_back();
+      }
+      std::transform(receiver.begin(), receiver.end(), receiver.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (receiver.size() >= 4 &&
+          receiver.compare(receiver.size() - 4, 4, "pool") == 0) {
+        Emit(ctx, static_cast<int>(i), "pool-deadline",
+             "bare pool Run() outside tests: an uncancellable wait — use "
+             "RunWithControl with a cancel hook (qos::CancelToken) so the "
+             "query can be deadlined and report partial progress");
+      }
+      pos = end;
+    }
+  }
+}
+
 // --- Rule: unseeded-rng ----------------------------------------------------
 
 void CheckUnseededRng(const FileContext& ctx) {
@@ -540,7 +605,7 @@ std::string Diagnostic::ToString() const {
 std::vector<std::string> RuleNames() {
   return {"layering",      "determinism",      "raw-thread",
           "volatile-sync", "header-static",    "discarded-status",
-          "unseeded-rng"};
+          "unseeded-rng",  "pool-deadline"};
 }
 
 void LintFileContent(const std::string& path, const std::string& content,
@@ -559,6 +624,7 @@ void LintFileContent(const std::string& path, const std::string& content,
   CheckHeaderStatic(ctx);
   CheckDiscardedStatus(ctx);
   CheckUnseededRng(ctx);
+  CheckPoolDeadline(ctx);
   ++report->files_scanned;
 }
 
