@@ -1,8 +1,18 @@
 #include "core/morsel.h"
 
 #include <cstddef>
+#include <numeric>
+#include <utility>
 
 namespace pmemolap {
+namespace {
+
+/// Smallest tuple count whose byte size is a whole number of XPLines.
+uint64_t AlignTuples(uint64_t bytes_per_tuple) {
+  return kXPLineBytes / std::gcd(kXPLineBytes, bytes_per_tuple);
+}
+
+}  // namespace
 
 void AppendMorsels(uint64_t begin, uint64_t end, int socket,
                    uint64_t morsel_tuples, MorselPlan* plan) {
@@ -65,6 +75,54 @@ uint64_t ReassignQuarantinedQueues(MorselPlan* plan,
     queue.clear();
   }
   return moved;
+}
+
+void AlignMorselPlan(MorselPlan* plan, uint64_t bytes_per_tuple) {
+  if (bytes_per_tuple == 0) return;
+  uint64_t align = AlignTuples(bytes_per_tuple);
+  if (align <= 1) return;  // every boundary already falls on an XPLine
+
+  for (auto& queue : plan->queues) {
+    std::vector<Morsel> shaped;
+    shaped.reserve(queue.size());
+    for (Morsel morsel : queue) {
+      if (!shaped.empty() && shaped.back().end == morsel.begin &&
+          shaped.back().socket == morsel.socket &&
+          morsel.begin % align != 0) {
+        uint64_t snapped = (morsel.begin / align + 1) * align;
+        if (snapped >= morsel.end) {
+          // The snap would empty the morsel: coalesce it into its
+          // predecessor instead of leaving a tiny torn remainder.
+          shaped.back().end = morsel.end;
+          continue;
+        }
+        shaped.back().end = snapped;
+        morsel.begin = snapped;
+      }
+      shaped.push_back(morsel);
+    }
+    queue = std::move(shaped);
+  }
+}
+
+uint64_t GranularityAmplifiedBytes(const MorselPlan& plan,
+                                   uint64_t bytes_per_tuple) {
+  if (bytes_per_tuple == 0) return 0;
+  uint64_t align = AlignTuples(bytes_per_tuple);
+  if (align <= 1) return 0;
+
+  uint64_t amplified = 0;
+  for (const auto& queue : plan.queues) {
+    for (size_t i = 1; i < queue.size(); ++i) {
+      const Morsel& prev = queue[i - 1];
+      const Morsel& cur = queue[i];
+      if (prev.end == cur.begin && prev.socket == cur.socket &&
+          cur.begin % align != 0) {
+        amplified += kXPLineBytes;  // both sides re-read the torn line
+      }
+    }
+  }
+  return amplified;
 }
 
 }  // namespace pmemolap

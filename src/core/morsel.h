@@ -68,4 +68,26 @@ MorselPlan MorselsForRange(uint64_t num_tuples, uint64_t morsel_tuples);
 uint64_t ReassignQuarantinedQueues(MorselPlan* plan,
                                    const std::vector<bool>& healthy);
 
+/// Optane's internal access granularity: the 256 B XPLine. A morsel
+/// boundary that splits an XPLine makes BOTH adjacent morsels touch the
+/// line, so the device reads it twice (the read amplification
+/// device/optane_dimm models for sub-line accesses).
+inline constexpr uint64_t kXPLineBytes = 256;
+
+/// Governor actuator 2: snaps every interior boundary of a contiguous
+/// same-queue morsel run up to the next 256 B XPLine boundary (in tuple
+/// units: the smallest tuple count whose byte size is a multiple of
+/// 256 B), coalescing morsels the snap empties. Run starts/ends are left
+/// alone — a partial leading line is read once regardless. Ranges and
+/// total tuples are preserved, so kernel results are unchanged; only the
+/// split points move. A `bytes_per_tuple` of 0 leaves the plan unchanged.
+void AlignMorselPlan(MorselPlan* plan, uint64_t bytes_per_tuple);
+
+/// Extra device bytes the plan's torn interior boundaries would cost: one
+/// re-read XPLine (256 B) per contiguous same-queue boundary that is not
+/// 256 B-aligned. 0 after AlignMorselPlan — the before/after evidence for
+/// the shaping actuator.
+uint64_t GranularityAmplifiedBytes(const MorselPlan& plan,
+                                   uint64_t bytes_per_tuple);
+
 }  // namespace pmemolap

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "governor/telemetry.h"
+
 namespace pmemolap {
 
 using ssb::QueryId;
@@ -241,6 +243,15 @@ Status SsbEngine::Prepare() {
       payloads.push_back(EncodePart(p));
     }
     part_dense_.Build(keys, payloads);
+    if (config_.governor != nullptr) {
+      // Payload-identical DRAM replicas for the staging actuator: probing
+      // a staged copy returns the same values as the base map, so results
+      // never depend on the governor's staging state.
+      date_staged_ = date_dense_;
+      customer_staged_ = customer_dense_;
+      supplier_staged_ = supplier_dense_;
+      part_staged_ = part_dense_;
+    }
   }
   pool_.reset();
   if (config_.parallel_execution &&
@@ -471,17 +482,25 @@ uint64_t SsbEngine::ScanBytesPerTuple(ssb::QueryId query) const {
   }
 }
 
-void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
-                                    uint64_t tuples,
-                                    const ProbeCounters& probes,
-                                    uint64_t qualifying,
-                                    int threads_per_socket,
-                                    ExecutionProfile* profile) const {
+void SsbEngine::RecordSocketTraffic(
+    ssb::QueryId query, int socket, uint64_t tuples,
+    const ProbeCounters& probes, uint64_t qualifying, int threads_per_socket,
+    const governor::GovernorDecision* decision,
+    ExecutionProfile* profile) const {
   const bool aware = config_.mode == EngineMode::kPmemAware;
   const Media media = config_.media;
   const Media index_media = config_.index_media.value_or(media);
-  const Media intermediate_media =
-      config_.intermediate_media.value_or(media);
+  Media intermediate_media = config_.intermediate_media.value_or(media);
+  // Governor actuations on the recorded traffic: staged structures are
+  // served from DRAM, write traffic is clamped to the writer-thread
+  // target (paper BP2 — past the knee every extra writer costs bandwidth).
+  if (decision != nullptr && decision->IsStaged("intermediates")) {
+    intermediate_media = Media::kDram;
+  }
+  const int write_threads =
+      decision != nullptr && decision->write_threads > 0
+          ? std::min(threads_per_socket, decision->write_threads)
+          : threads_per_socket;
   uint64_t scan_bytes = tuples * ScanBytesPerTuple(query);
 
   // Fact scan.
@@ -528,7 +547,9 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
     TrafficRecord probe;
     probe.op = OpType::kRead;
     probe.pattern = Pattern::kRandom;
-    probe.media = index_media;
+    probe.media = decision != nullptr && decision->IsStaged(label)
+                      ? Media::kDram
+                      : index_media;
     probe.worker_socket = socket;
     probe.data_socket =
         (aware && config_.numa_aware_placement) ? socket : 0;
@@ -564,10 +585,11 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
       write.bytes = rows_into_pass * 13;
       write.access_size = 64;
       write.region_bytes = 2 * kGiB;
-      write.threads = threads_per_socket;
+      write.threads = write_threads;
       write.label = std::string("materialize-") + label;
       TrafficRecord read = write;
       read.op = OpType::kRead;
+      read.threads = threads_per_socket;  // only writers are clamped
       profile->Record(std::move(write));
       profile->Record(std::move(read));
     };
@@ -593,6 +615,7 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
     agg.label = "aggregate";
     TrafficRecord agg_write = agg;
     agg_write.op = OpType::kWrite;
+    agg_write.threads = write_threads;
     profile->Record(std::move(agg));
     profile->Record(std::move(agg_write));
 
@@ -605,7 +628,7 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
     intermediate.bytes = qualifying * 32;
     intermediate.access_size = 4 * kKiB;
     intermediate.region_bytes = qualifying * 32;
-    intermediate.threads = threads_per_socket;
+    intermediate.threads = write_threads;
     intermediate.label = "intermediate";
     profile->Record(std::move(intermediate));
   }
@@ -613,6 +636,7 @@ void SsbEngine::RecordSocketTraffic(ssb::QueryId query, int socket,
 
 Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
                                    const TupleRange& range, bool vectorized,
+                                   const governor::GovernorDecision* decision,
                                    WorkerState* state) const {
   if (state->probes.size() < partitions_.size()) {
     state->probes.resize(partitions_.size());
@@ -623,12 +647,23 @@ Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
     return ExecuteRange(query, partition.socket, range, &state->output,
                         &state->probes[slot], &state->qualifying[slot]);
   }
+  // Staged dimensions probe the DRAM replica; the payloads are identical
+  // copies, so eviction (falling back to the base map) cannot change any
+  // query result.
   KernelContext ctx;
   ctx.columns = &columns_;
-  ctx.date = &date_dense_;
-  ctx.customer = &customer_dense_;
-  ctx.supplier = &supplier_dense_;
-  ctx.part = &part_dense_;
+  ctx.date = decision != nullptr && decision->IsStaged("date")
+                 ? &date_staged_
+                 : &date_dense_;
+  ctx.customer = decision != nullptr && decision->IsStaged("customer")
+                     ? &customer_staged_
+                     : &customer_dense_;
+  ctx.supplier = decision != nullptr && decision->IsStaged("supplier")
+                     ? &supplier_staged_
+                     : &supplier_dense_;
+  ctx.part = decision != nullptr && decision->IsStaged("part")
+                 ? &part_staged_
+                 : &part_dense_;
   KernelCounters counters;
   ExecuteMorselKernel(query, ctx, range.begin, range.end, &state->scratch,
                       &state->groups, &state->scalar_sum, &state->scalar,
@@ -682,6 +717,16 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
   FaultInjector* injector =
       config_.fault != nullptr ? config_.fault->injector : nullptr;
 
+  // Snapshot the governor's decision once per Execute: every consumer in
+  // this run (admission signal, pool worker caps, morsel shaping, staged
+  // probes, write clamps, traffic records) acts on the same quantum, so a
+  // concurrent Observe can never tear a run's actuation.
+  const bool governed = config_.governor != nullptr;
+  governor::GovernorDecision decision;
+  if (governed) decision = config_.governor->decision();
+  const governor::GovernorDecision* decision_ptr =
+      governed ? &decision : nullptr;
+
   // Arm the lifecycle token: wall/modeled deadlines from the options
   // (modeled time defaults to the fault domain's platform clock), plus
   // the fault-layer retry budget.
@@ -706,6 +751,13 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     signal.executor_depth = pool_ != nullptr ? pool_->inflight_runs() : 0;
     signal.degradation =
         injector != nullptr ? qos::DegradationEstimate(*injector) : 1.0;
+    if (governed) {
+      // Overload shedding and bandwidth governance shed against ONE
+      // health signal: the governor's throttle estimate is the same
+      // min(DIMM service, UPI capacity) reduction as the injector's.
+      signal.degradation =
+          std::min(signal.degradation, config_.governor->ThrottleEstimate());
+    }
     config_.admission->SetLoadSignal(signal);
     Result<qos::AdmissionTicket> admitted =
         config_.admission->Admit(options.priority, &token);
@@ -729,12 +781,24 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
                                     : ExecutorKind::kSerial;
   const size_t slots = partitions_.size();
   std::vector<WorkerState> states;
+  // Bytes re-read because morsel boundaries tear 256 B XPLines (only ever
+  // non-zero when governed with shaping off — the ablation's "before").
+  uint64_t xpline_amplified_bytes = 0;
 
   if (executor == ExecutorKind::kMorselStealing && pool_ != nullptr) {
     // Morsel-granular dispatch on the persistent pool: per-socket run
     // queues, idle workers steal across sockets, first failure cancels.
     MorselPlan plan =
         Partitioner::ToMorsels(partitions_, config_.morsel_tuples);
+    if (governed) {
+      const uint64_t bpt = ScanBytesPerTuple(query);
+      if (decision.shape_morsels) {
+        // Snap boundaries to XPLines before quarantine reassignment —
+        // reassignment breaks the queue contiguity shaping relies on.
+        AlignMorselPlan(&plan, bpt);
+      }
+      xpline_amplified_bytes = GranularityAmplifiedBytes(plan, bpt);
+    }
     if (config_.fault != nullptr && config_.fault->breakers != nullptr) {
       // Quarantined fault domains don't get "near" work: their queued
       // morsels move to healthy queues (Morsel::socket — and with it the
@@ -751,6 +815,11 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     progress.units_total = plan.total_morsels();
     WorkStealingPool::RunControl control;
     control.cancel = [&token] { return token.Check(); };
+    if (governed && !decision.read_workers.empty()) {
+      // Reader concurrency actuator: cap each socket queue at the
+      // governor's modeled bandwidth knee.
+      control.workers_per_queue = decision.read_workers;
+    }
     WorkStealingPool::Stats stats;
     control.stats = &stats;
     Status pool_status = pool_->RunWithControl(
@@ -758,7 +827,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
         [&](const Morsel& morsel, int worker) {
           return ExecuteRangeInto(
               query, slot_of_socket[static_cast<size_t>(morsel.socket)],
-              {morsel.begin, morsel.end}, vectorized,
+              {morsel.begin, morsel.end}, vectorized, decision_ptr,
               &states[static_cast<size_t>(worker)]);
         },
         control);
@@ -778,8 +847,9 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
       const size_t workers = partition.worker_ranges.size();
       if (workers <= 1) {
         states.emplace_back();
-        PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
-            query, slot, partition.tuples, vectorized, &states.back()));
+        PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(query, slot, partition.tuples,
+                                                vectorized, decision_ptr,
+                                                &states.back()));
         ++progress.units_executed;
         continue;
       }
@@ -795,7 +865,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
         threads.emplace_back([&, slot, w, base] {
           statuses[w] =
               ExecuteRangeInto(query, slot, partitions_[slot].worker_ranges[w],
-                               vectorized, &states[base + w]);
+                               vectorized, decision_ptr, &states[base + w]);
         });
       }
       // lint:allow(raw-thread): join of the baseline executor above.
@@ -811,8 +881,10 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     states.emplace_back();
     for (size_t slot = 0; slot < slots; ++slot) {
       PMEMOLAP_RETURN_NOT_OK(token.Check());
-      PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(
-          query, slot, partitions_[slot].tuples, vectorized, &states[0]));
+      PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(query, slot,
+                                              partitions_[slot].tuples,
+                                              vectorized, decision_ptr,
+                                              &states[0]));
       ++progress.units_executed;
     }
   }
@@ -839,10 +911,32 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     const SocketPartition& partition = partitions_[slot];
     RecordSocketTraffic(query, partition.socket, partition.tuples.size(),
                         slot_probes[slot], slot_qualifying[slot],
-                        threads_per_socket, &run.profile);
+                        threads_per_socket, decision_ptr, &run.profile);
     run.cpu.tuples_scanned += partition.tuples.size();
     run.cpu.probes += slot_probes[slot].total();
     run.cpu.agg_updates += slot_qualifying[slot];
+  }
+
+  if (xpline_amplified_bytes > 0) {
+    // Morsel boundaries that tear an XPLine make both neighbors re-read
+    // the 256 B line — recorded as small random reads against the fact
+    // region (too sparse for the LLC to help).
+    uint64_t fact_bytes = 0;
+    for (const SocketPartition& partition : partitions_) {
+      fact_bytes += partition.tuples.size() * ScanBytesPerTuple(query);
+    }
+    TrafficRecord torn;
+    torn.op = OpType::kRead;
+    torn.pattern = Pattern::kRandom;
+    torn.media = config_.media;
+    torn.data_socket = 0;
+    torn.worker_socket = 0;
+    torn.bytes = xpline_amplified_bytes;
+    torn.access_size = kXPLineBytes;
+    torn.region_bytes = std::max(fact_bytes, static_cast<uint64_t>(kMiB));
+    torn.threads = threads_per_socket;
+    torn.label = "scan-xpline";
+    run.profile.Record(std::move(torn));
   }
 
   // Project to the paper's scale factor if requested. Traffic volumes all
@@ -887,10 +981,31 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
   }
   CpuWork projected_cpu = run.cpu.Scaled(factor);
 
+  // The writer clamp also governs any standing background writers (BP2:
+  // the whole platform's PMEM writers sit at 4–6 per socket, not just the
+  // query's own) — ungoverned runs see the background as configured.
+  std::vector<TrafficRecord> background = config_.background;
+  if (governed && decision.write_threads > 0) {
+    for (TrafficRecord& record : background) {
+      if (record.op == OpType::kWrite && record.media == Media::kPmem) {
+        record.threads = std::min(record.threads, decision.write_threads);
+      }
+    }
+  }
+
   QueryTimer timer(model_, config_.timer);
-  run.seconds = timer.EstimateSeconds(projected, projected_cpu,
-                                      config_.threads, config_.pinning,
-                                      &run.phase_seconds);
+  run.seconds = timer.EstimateSecondsWithBackground(
+      projected, projected_cpu, config_.threads, config_.pinning, background,
+      &run.phase_seconds);
+
+  if (governed) {
+    // Close the loop: one telemetry sample per Execute (the scheduling
+    // quantum) carrying the jointly-resolved bandwidths the run just saw.
+    governor::TelemetrySample sample = governor::BuildTelemetry(
+        *model_, projected.records(), background, config_.pinning, injector);
+    config_.governor->Observe(sample);
+  }
+
   run.progress = progress;
   return run;
 }

@@ -30,6 +30,7 @@
 #include "exec/pool.h"
 #include "fault/fault_domain.h"
 #include "fault/guarded_table.h"
+#include "governor/governor.h"
 #include "memsys/mem_system.h"
 #include "qos/admission.h"
 #include "qos/cancel_token.h"
@@ -113,6 +114,18 @@ struct EngineConfig {
   /// kResourceExhausted when the class's queue is full. Must outlive the
   /// engine.
   qos::AdmissionController* admission = nullptr;
+  /// Non-null enables the closed-loop bandwidth governor: every Execute
+  /// applies its current actuator decision (per-socket pool worker caps,
+  /// writer-thread clamps on write traffic, 256 B XPLine morsel shaping,
+  /// DRAM-staged dimension probes) and feeds one telemetry sample back.
+  /// Null = today's fixed behavior, bit-identical modeled seconds. Must
+  /// outlive the engine.
+  governor::BandwidthGovernor* governor = nullptr;
+  /// Standing background traffic (e.g. an ingest load) present for the
+  /// whole query: every query record is costed jointly with these classes
+  /// (Fig. 11 interference). Given at model scale — project_to_sf does
+  /// not rescale it. Empty = today's solo-query timing, bit-identical.
+  std::vector<TrafficRecord> background;
   TimerConfig timer;
 };
 
@@ -188,18 +201,25 @@ class SsbEngine {
 
   /// Executes tuples [range) of partition slot `slot` into `state`,
   /// through the vectorized kernels or the scalar (guarded-capable) path.
+  /// A non-null `decision` routes probes of governor-staged dimensions to
+  /// the DRAM replicas (identical payloads: results are bit-identical).
   Status ExecuteRangeInto(ssb::QueryId query, size_t slot,
                           const TupleRange& range, bool vectorized,
+                          const governor::GovernorDecision* decision,
                           WorkerState* state) const;
 
   /// The partial QueryOutput a worker contributed (merges the flat agg
   /// table into the ordered map for the vectorized path).
   static ssb::QueryOutput DrainWorkerOutput(WorkerState* state);
 
-  /// Emits the traffic records for one socket's share of the work.
+  /// Emits the traffic records for one socket's share of the work. A
+  /// non-null `decision` applies the governor's actuations: staged
+  /// structures record DRAM traffic and write records clamp to the
+  /// decision's writer-thread count.
   void RecordSocketTraffic(ssb::QueryId query, int socket, uint64_t tuples,
                            const ProbeCounters& probes, uint64_t qualifying,
                            int threads_per_socket,
+                           const governor::GovernorDecision* decision,
                            ExecutionProfile* profile) const;
 
   /// Bytes of fact data one tuple contributes to the scan: the padded row
@@ -232,6 +252,14 @@ class SsbEngine {
   DenseDimMap customer_dense_;
   DenseDimMap supplier_dense_;
   DenseDimMap part_dense_;
+  /// Governor-staged DRAM replicas of the dense maps (payload-identical
+  /// copies built in Prepare when a governor is configured): staging
+  /// probes the replica, eviction falls back to the base map — either way
+  /// the same payloads, so outputs stay bit-identical.
+  DenseDimMap date_staged_;
+  DenseDimMap customer_staged_;
+  DenseDimMap supplier_staged_;
+  DenseDimMap part_staged_;
   /// The persistent work-stealing executor (kMorselStealing only):
   /// spawned once in Prepare, reused by every Execute.
   std::unique_ptr<WorkStealingPool> pool_;

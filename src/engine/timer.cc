@@ -113,6 +113,76 @@ double QueryTimer::EstimateSeconds(
   return memory_seconds + cpu_seconds;
 }
 
+double QueryTimer::RecordSecondsAmong(
+    const TrafficRecord& record, PinningPolicy pinning,
+    const std::vector<AccessClass>& background) const {
+  if (record.bytes == 0) return 0.0;
+  Result<AccessClass> klass = BuildClass(record, record.threads, pinning);
+  if (!klass.ok()) return 0.0;
+  klass->region_id = 1000;  // disjoint from the background's 2000+ regions
+  WorkloadSpec spec;
+  spec.classes.push_back(std::move(klass.value()));
+  for (const AccessClass& standing : background) {
+    spec.classes.push_back(standing);
+  }
+  BandwidthResult result = model_->EvaluateOnce(spec);
+  double gbps = result.per_class.empty() ? 0.0 : result.per_class[0].gbps;
+  if (gbps <= 0.0) return 0.0;
+  return EffectiveBytes(record) / 1e9 / gbps;
+}
+
+double QueryTimer::EstimateSecondsWithBackground(
+    const ExecutionProfile& profile, const CpuWork& work, int total_threads,
+    PinningPolicy pinning, const std::vector<TrafficRecord>& background,
+    std::map<std::string, double>* breakdown) const {
+  if (background.empty()) {
+    return EstimateSeconds(profile, work, total_threads, pinning, breakdown);
+  }
+  // The standing background classes, built once; disjoint region ids so
+  // the query contends for the device pools, not the same bytes.
+  std::vector<AccessClass> standing;
+  int next_region = 0;
+  for (const TrafficRecord& record : background) {
+    if (record.bytes == 0) continue;
+    Result<AccessClass> klass = BuildClass(record, record.threads, pinning);
+    if (!klass.ok()) continue;
+    klass->region_id = 2000 + next_region++;
+    standing.push_back(std::move(klass.value()));
+  }
+
+  std::map<std::string, std::map<int, double>> phase_socket_seconds;
+  for (const TrafficRecord& record : profile.records()) {
+    int bucket;
+    if (record.media == Media::kSsd) {
+      bucket = -1;
+    } else {
+      bucket = record.worker_socket >= 0 ? record.worker_socket
+                                         : record.data_socket;
+    }
+    phase_socket_seconds[record.label][bucket] +=
+        RecordSecondsAmong(record, pinning, standing);
+  }
+  double memory_seconds = 0.0;
+  for (const auto& [label, socket_seconds] : phase_socket_seconds) {
+    double phase = 0.0;
+    for (const auto& [socket, seconds] : socket_seconds) {
+      (void)socket;
+      phase = std::max(phase, seconds);
+    }
+    if (breakdown != nullptr) (*breakdown)[label] = phase;
+    memory_seconds += phase;
+  }
+
+  double cpu_ns = static_cast<double>(work.tuples_scanned) *
+                      config_.scan_ns_per_tuple +
+                  static_cast<double>(work.probes) * config_.probe_ns +
+                  static_cast<double>(work.agg_updates) * config_.agg_ns;
+  double cpu_seconds =
+      cpu_ns / 1e9 / static_cast<double>(std::max(total_threads, 1));
+  if (breakdown != nullptr) (*breakdown)["cpu"] = cpu_seconds;
+  return memory_seconds + cpu_seconds;
+}
+
 QueryTimer::ThroughputEstimate QueryTimer::EstimateConcurrentStreams(
     const ExecutionProfile& profile, const CpuWork& work, int streams,
     int total_threads, PinningPolicy pinning) const {

@@ -60,6 +60,18 @@ class QueryTimer {
                          std::map<std::string, double>* breakdown =
                              nullptr) const;
 
+  /// EstimateSeconds under standing `background` traffic (e.g. an ingest
+  /// load running for the whole query): every query record is evaluated
+  /// JOINTLY with the background classes, so records sharing a (socket,
+  /// media) device pool with the load see the contended bandwidth of
+  /// Fig. 11 instead of their solo rate. Background records occupy
+  /// regions disjoint from the query's. An empty `background` reduces to
+  /// EstimateSeconds exactly.
+  double EstimateSecondsWithBackground(
+      const ExecutionProfile& profile, const CpuWork& work, int total_threads,
+      PinningPolicy pinning, const std::vector<TrafficRecord>& background,
+      std::map<std::string, double>* breakdown = nullptr) const;
+
   /// Memory time of a single traffic record (seconds).
   double RecordSeconds(const TrafficRecord& record,
                        PinningPolicy pinning) const;
@@ -82,6 +94,10 @@ class QueryTimer {
  private:
   /// Bytes that actually reach the devices (LLC-filtered for random).
   double EffectiveBytes(const TrafficRecord& record) const;
+  /// RecordSeconds with the record evaluated jointly against the standing
+  /// `background` classes (the record is per_class[0] of the joint spec).
+  double RecordSecondsAmong(const TrafficRecord& record, PinningPolicy pinning,
+                            const std::vector<AccessClass>& background) const;
   /// Builds the model class for a record executed by `threads` workers.
   Result<AccessClass> BuildClass(const TrafficRecord& record, int threads,
                                  PinningPolicy pinning) const;

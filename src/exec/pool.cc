@@ -53,6 +53,42 @@ bool WorkStealingPool::PopMorsel(int worker, Morsel* morsel, bool* steal) {
   return true;
 }
 
+bool WorkStealingPool::Participates(int worker) const {
+  if (worker >= active_workers_) return false;
+  if (queue_caps_.empty()) return true;
+  size_t num_queues =
+      run_queues_.empty() ? static_cast<size_t>(queues_) : run_queues_.size();
+  size_t home = static_cast<size_t>(worker) % num_queues;
+  if (home >= queue_caps_.size()) return true;
+  int cap = queue_caps_[home];
+  if (cap <= 0) return true;
+  int rank = static_cast<int>(static_cast<size_t>(worker) / num_queues);
+  return rank < cap;
+}
+
+void WorkStealingPool::ApplyQueueCapsLocked(std::vector<int> caps) {
+  queue_caps_ = std::move(caps);
+  if (queue_caps_.empty()) return;
+  for (int w = 0; w < threads(); ++w) {
+    if (Participates(w)) return;
+  }
+  // The caps would exclude every worker and deadlock the run: ignore them
+  // (degraded beats deadlocked, like the quarantine re-plan).
+  queue_caps_.clear();
+}
+
+void WorkStealingPool::SetConcurrency(std::vector<int> workers_per_queue) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ApplyQueueCapsLocked(std::move(workers_per_queue));
+    // Bump the generation so sleeping workers re-check their eligibility
+    // and busy workers re-sync between morsels; an in-flight run's queues
+    // and pending count are untouched, so the run completes normally.
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
 void WorkStealingPool::WorkerLoop(int worker) {
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
@@ -62,7 +98,7 @@ void WorkStealingPool::WorkerLoop(int worker) {
     });
     if (stop_) return;
     seen_generation = generation_;
-    if (worker >= active_workers_) continue;
+    if (!Participates(worker)) continue;
     Morsel morsel;
     bool steal = false;
     // The generation check keeps a worker that raced past the end of one
@@ -151,6 +187,7 @@ Status WorkStealingPool::RunWithControl(const MorselPlan& plan,
   active_workers_ = control.max_workers <= 0
                         ? threads()
                         : std::min(control.max_workers, threads());
+  ApplyQueueCapsLocked(control.workers_per_queue);
   ++generation_;
   work_cv_.notify_all();
   done_cv_.wait(lock, [&] { return pending_ == 0; });

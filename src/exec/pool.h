@@ -61,6 +61,15 @@ class WorkStealingPool {
   struct RunControl {
     /// At most this many workers participate (0 = all).
     int max_workers = 0;
+    /// Per-queue cap on participating workers whose HOME queue is the
+    /// index (the bandwidth governor's per-socket concurrency actuator).
+    /// Worker w's home queue is w % queues and its rank is w / queues;
+    /// w participates iff rank < cap. A cap of 0 or a missing entry
+    /// leaves that queue's workers uncapped; an empty vector caps
+    /// nothing. Caps that would exclude EVERY worker are ignored
+    /// (degraded beats deadlocked). Adjustable mid-run via
+    /// SetConcurrency.
+    std::vector<int> workers_per_queue;
     /// Cooperative cancellation: checked between morsels (never while a
     /// task is executing). The first non-OK Status cancels the run — the
     /// remaining morsels drain unexecuted and the Status is returned.
@@ -86,6 +95,14 @@ class WorkStealingPool {
   Status RunWithControl(const MorselPlan& plan, const MorselTask& task,
                         const RunControl& control);
 
+  /// Replaces the per-queue worker caps (see RunControl::workers_per_queue)
+  /// and wakes the pool so the change takes effect between morsels of an
+  /// in-flight run: sleeping workers whose cap rose start popping, busy
+  /// workers whose cap fell go idle after their current morsel. The caps
+  /// persist until the next RunWithControl installs that run's caps.
+  /// Thread-safe; callable concurrently with a run.
+  void SetConcurrency(std::vector<int> workers_per_queue);
+
   int threads() const { return static_cast<int>(workers_.size()); }
   int queues() const { return queues_; }
 
@@ -108,6 +125,12 @@ class WorkStealingPool {
   /// fullest other queue's back). Caller holds mutex_. Returns false when
   /// every queue is empty.
   bool PopMorsel(int worker, Morsel* morsel, bool* steal);
+  /// True when `worker` may pop under the active cap set. Caller holds
+  /// mutex_.
+  bool Participates(int worker) const;
+  /// Installs `caps` as queue_caps_, clearing them when they would leave
+  /// the run without any eligible worker. Caller holds mutex_.
+  void ApplyQueueCapsLocked(std::vector<int> caps);
 
   const int queues_;
   std::vector<std::thread> workers_;
@@ -125,6 +148,8 @@ class WorkStealingPool {
   const MorselTask* task_ = nullptr;
   const std::function<Status()>* cancel_ = nullptr;
   int active_workers_ = 0;
+  /// Per-home-queue worker caps (empty = uncapped); see RunControl.
+  std::vector<int> queue_caps_;
   uint64_t pending_ = 0;  ///< morsels not yet fully executed
   bool cancelled_ = false;
   Status run_status_;

@@ -1,0 +1,326 @@
+#include "governor/governor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "topo/pinning.h"
+
+namespace pmemolap {
+namespace governor {
+namespace {
+
+std::string JoinInts(const std::vector<int>& values) {
+  if (values.empty()) return "-";
+  std::string joined;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) joined += ',';
+    joined += std::to_string(values[i]);
+  }
+  return joined;
+}
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  if (names.empty()) return "-";
+  std::string joined;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) joined += '+';
+    joined += names[i];
+  }
+  return joined;
+}
+
+}  // namespace
+
+bool GovernorDecision::IsStaged(const std::string& name) const {
+  return std::find(staged.begin(), staged.end(), name) != staged.end();
+}
+
+BandwidthGovernor::BandwidthGovernor(const MemSystemModel* model,
+                                     GovernorConfig config)
+    : model_(model), config_(config) {
+  decision_.write_threads = config_.max_write_threads;
+  decision_.shape_morsels = config_.shape_morsels;
+  pending_write_threads_ = decision_.write_threads;
+}
+
+BandwidthGovernor::Knee BandwidthGovernor::FindKnee(
+    OpType op, int socket, double service_factor) const {
+  MemSystemConfig config = model_->config();
+  int sockets = std::max(config.topology.sockets(), 1);
+  socket = std::min(std::max(socket, 0), sockets - 1);
+  config.pmem_service_factor.assign(static_cast<size_t>(sockets), 1.0);
+  config.pmem_service_factor[static_cast<size_t>(socket)] =
+      std::min(std::max(service_factor, 0.0), 1.0);
+  MemSystemModel local(config);
+
+  ThreadPlacer placer(config.topology);
+  int max_threads = std::max(config.topology.logical_cores_per_socket(), 1);
+  std::vector<double> sweep(static_cast<size_t>(max_threads) + 1, 0.0);
+  double peak = 0.0;
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    Result<ThreadPlacement> placement =
+        placer.Place(threads, PinningPolicy::kCores, socket);
+    if (!placement.ok()) continue;
+    AccessClass klass;
+    klass.op = op;
+    klass.pattern = Pattern::kSequentialIndividual;
+    klass.media = Media::kPmem;
+    klass.access_size = 4 * kKiB;
+    klass.placement = std::move(placement.value());
+    klass.data_socket = socket;
+    klass.run_index = 2;
+    WorkloadSpec spec;
+    spec.classes.push_back(std::move(klass));
+    BandwidthResult result = local.EvaluateOnce(spec);
+    sweep[static_cast<size_t>(threads)] = result.total_gbps;
+    peak = std::max(peak, result.total_gbps);
+  }
+
+  Knee knee;
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    double gbps = sweep[static_cast<size_t>(threads)];
+    if (peak > 0.0 && gbps >= (1.0 - config_.knee_tolerance) * peak) {
+      knee.threads = threads;
+      knee.gbps = gbps;
+      return knee;
+    }
+  }
+  knee.threads = max_threads;
+  knee.gbps = peak;
+  return knee;
+}
+
+BandwidthGovernor::Knee BandwidthGovernor::ReadKnee(
+    int socket, double service_factor) const {
+  return FindKnee(OpType::kRead, socket, service_factor);
+}
+
+BandwidthGovernor::Knee BandwidthGovernor::WriteKnee(
+    int socket, double service_factor) const {
+  return FindKnee(OpType::kWrite, socket, service_factor);
+}
+
+std::string BandwidthGovernor::StageName(const std::string& label) {
+  constexpr const char kProbePrefix[] = "probe-";
+  if (label.rfind(kProbePrefix, 0) == 0) {
+    return label.substr(sizeof(kProbePrefix) - 1);
+  }
+  if (label == "aggregate" || label == "intermediate") return "intermediates";
+  return std::string();
+}
+
+std::vector<StagingCandidate> BandwidthGovernor::StageTargets(
+    const TelemetrySample& sample, std::vector<std::string>* names) const {
+  names->clear();
+  if (!config_.stage_structures) return {};
+
+  // Merge per-class benefits into one candidate per structure name.
+  std::map<std::string, StagingCandidate> merged;
+  for (const ClassTelemetry& klass : sample.classes) {
+    if (klass.background) continue;
+    if (klass.gbps <= 0.0 || klass.bytes == 0) continue;
+    std::string name = StageName(klass.label);
+    if (name.empty()) continue;
+    // A PMEM class is a fresh candidate; a DRAM class is only interesting
+    // if it is DRAM *because we staged it* — then the benefit is judged
+    // against its counterfactual PMEM rate, so the act of staging does
+    // not erase the evidence that staging pays (no stage/evict flapping).
+    const bool already_staged =
+        klass.media == Media::kDram && decision_.IsStaged(name);
+    if (klass.media != Media::kPmem && !already_staged) continue;
+
+    // The same class shape on the other media: the rate the structure
+    // would see staged in DRAM (candidates) or back on PMEM (retention).
+    ThreadPlacer placer(model_->config().topology);
+    Result<ThreadPlacement> placement = placer.Place(
+        std::max(klass.threads, 1), PinningPolicy::kCores, klass.socket);
+    if (!placement.ok()) continue;
+    AccessClass other;
+    other.op = klass.op;
+    other.pattern = klass.pattern;
+    other.media = already_staged ? Media::kPmem : Media::kDram;
+    other.access_size = std::max<uint64_t>(klass.access_size, 64);
+    other.placement = std::move(placement.value());
+    other.data_socket = klass.socket;
+    other.region_bytes = klass.region_bytes;
+    other.run_index = 2;
+    WorkloadSpec spec;
+    spec.classes.push_back(std::move(other));
+    double other_gbps = model_->EvaluateOnce(spec).total_gbps;
+    double pmem_gbps = already_staged ? other_gbps : klass.gbps;
+    double dram_gbps = already_staged ? klass.gbps : other_gbps;
+    if (dram_gbps <= pmem_gbps) continue;
+
+    double benefit = static_cast<double>(klass.bytes) / 1e9 *
+                     (1.0 / pmem_gbps - 1.0 / dram_gbps);
+    StagingCandidate& candidate = merged[name];
+    candidate.name = name;
+    candidate.bytes = std::max(candidate.bytes, klass.region_bytes);
+    candidate.benefit_seconds += benefit;
+  }
+
+  std::vector<StagingCandidate> candidates;
+  for (auto& [name, candidate] : merged) {
+    (void)name;
+    if (candidate.benefit_seconds < config_.staging_min_benefit_seconds) {
+      continue;
+    }
+    candidates.push_back(candidate);
+  }
+  HybridPlacer placer(model_->config().topology);
+  StagingPlan plan =
+      placer.PlanStaging(candidates, config_.dram_staging_budget_bytes);
+  for (const StagingCandidate& candidate : plan.staged) {
+    names->push_back(candidate.name);
+  }
+  std::sort(names->begin(), names->end());
+  return plan.staged;
+}
+
+void BandwidthGovernor::Observe(const TelemetrySample& sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++quanta_;
+  decision_.quantum = quanta_;
+
+  double worst = sample.upi_capacity_factor;
+  for (const SocketTelemetry& socket : sample.sockets) {
+    worst = std::min(worst, socket.dimm_service_factor);
+  }
+  throttle_estimate_ = std::min(1.0, std::max(0.0, worst));
+
+  size_t sockets = sample.sockets.size();
+  if (decision_.read_workers.size() != sockets) {
+    decision_.read_workers.assign(sockets, 0);
+    pending_read_workers_ = decision_.read_workers;
+    read_streak_ = 0;
+  }
+
+  // Targets for this quantum.
+  int write_target = decision_.write_threads;
+  std::vector<int> read_target(sockets, 0);
+  if (config_.adapt_concurrency) {
+    double min_factor = 1.0;
+    for (const SocketTelemetry& socket : sample.sockets) {
+      min_factor = std::min(min_factor, socket.dimm_service_factor);
+    }
+    Knee write_knee = WriteKnee(0, min_factor);
+    write_target = std::min(std::max(write_knee.threads,
+                                     config_.min_write_threads),
+                            config_.max_write_threads);
+    for (size_t s = 0; s < sockets; ++s) {
+      if (sample.sockets[s].write_occupancy > config_.write_pressure_floor) {
+        read_target[s] =
+            ReadKnee(static_cast<int>(s),
+                     sample.sockets[s].dimm_service_factor)
+                .threads;
+      }
+    }
+  } else {
+    read_target = decision_.read_workers;
+  }
+  std::vector<std::string> stage_names;
+  std::vector<StagingCandidate> stage_candidates =
+      StageTargets(sample, &stage_names);
+  uint64_t stage_bytes = 0;
+  for (const StagingCandidate& candidate : stage_candidates) {
+    stage_bytes += candidate.bytes;
+  }
+
+  // Hysteresis: a changed target actuates only after persisting for N
+  // consecutive quanta; targets matching the current decision reset the
+  // streak.
+  int needed = std::max(config_.hysteresis_quanta, 1);
+  char line[192];
+
+  if (write_target == decision_.write_threads) {
+    write_streak_ = 0;
+  } else {
+    if (write_target != pending_write_threads_) {
+      pending_write_threads_ = write_target;
+      write_streak_ = 1;
+    } else {
+      ++write_streak_;
+    }
+    if (write_streak_ >= needed) {
+      std::snprintf(line, sizeof(line), "q=%d commit writers %d->%d", quanta_,
+                    decision_.write_threads, write_target);
+      log_.push_back(line);
+      decision_.write_threads = write_target;
+      write_streak_ = 0;
+    }
+  }
+
+  if (read_target == decision_.read_workers) {
+    read_streak_ = 0;
+  } else {
+    if (read_target != pending_read_workers_) {
+      pending_read_workers_ = read_target;
+      read_streak_ = 1;
+    } else {
+      ++read_streak_;
+    }
+    if (read_streak_ >= needed) {
+      std::snprintf(line, sizeof(line), "q=%d commit readers %s->%s", quanta_,
+                    JoinInts(decision_.read_workers).c_str(),
+                    JoinInts(read_target).c_str());
+      log_.push_back(line);
+      decision_.read_workers = read_target;
+      read_streak_ = 0;
+    }
+  }
+
+  if (stage_names == decision_.staged) {
+    stage_streak_ = 0;
+    decision_.staged_bytes = stage_bytes;
+  } else {
+    if (stage_names != pending_staged_) {
+      pending_staged_ = stage_names;
+      pending_staged_bytes_ = stage_bytes;
+      stage_streak_ = 1;
+    } else {
+      pending_staged_bytes_ = stage_bytes;
+      ++stage_streak_;
+    }
+    if (stage_streak_ >= needed) {
+      std::snprintf(line, sizeof(line), "q=%d commit staged %s->%s", quanta_,
+                    JoinNames(decision_.staged).c_str(),
+                    JoinNames(stage_names).c_str());
+      log_.push_back(line);
+      decision_.staged = stage_names;
+      decision_.staged_bytes = pending_staged_bytes_;
+      stage_streak_ = 0;
+    }
+  }
+
+  std::snprintf(line, sizeof(line),
+                "q=%d throttle=%.3f writers=%d readers=%s staged=%s shape=%d",
+                quanta_, throttle_estimate_, decision_.write_threads,
+                JoinInts(decision_.read_workers).c_str(),
+                JoinNames(decision_.staged).c_str(),
+                decision_.shape_morsels ? 1 : 0);
+  log_.push_back(line);
+}
+
+GovernorDecision BandwidthGovernor::decision() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return decision_;
+}
+
+double BandwidthGovernor::ThrottleEstimate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return throttle_estimate_;
+}
+
+std::vector<std::string> BandwidthGovernor::actuator_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+int BandwidthGovernor::quanta_observed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quanta_;
+}
+
+}  // namespace governor
+}  // namespace pmemolap

@@ -1,0 +1,121 @@
+#include "governor/telemetry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "topo/pinning.h"
+
+namespace pmemolap {
+namespace governor {
+namespace {
+
+/// Builds the model class for a record, mirroring the timing layer's
+/// construction so telemetry sees the same classes the timer costs.
+Result<AccessClass> BuildClass(const MemSystemModel& model,
+                               const TrafficRecord& record,
+                               PinningPolicy pinning) {
+  int worker_socket =
+      record.worker_socket >= 0 ? record.worker_socket : record.data_socket;
+  ThreadPlacer placer(model.config().topology);
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      ThreadPlacement placement,
+      placer.Place(std::max(record.threads, 1), pinning, worker_socket));
+  if (pinning != PinningPolicy::kNone) {
+    for (ThreadSlot& slot : placement.slots) {
+      slot.near_data = SystemTopology::IsNear(slot.socket, record.data_socket);
+    }
+  }
+  AccessClass klass;
+  klass.op = record.op;
+  klass.pattern = record.pattern;
+  klass.media = record.media;
+  klass.access_size = std::max<uint64_t>(record.access_size, 64);
+  klass.placement = std::move(placement);
+  klass.data_socket = record.data_socket;
+  klass.region_bytes = record.region_bytes;
+  klass.run_index = 2;  // steady state: the directory is warm
+  klass.label = record.label;
+  return klass;
+}
+
+}  // namespace
+
+TelemetrySample BuildTelemetry(const MemSystemModel& model,
+                               const std::vector<TrafficRecord>& query,
+                               const std::vector<TrafficRecord>& background,
+                               PinningPolicy pinning,
+                               const FaultInjector* injector) {
+  TelemetrySample sample;
+  int sockets = model.config().topology.sockets();
+  sample.sockets.resize(static_cast<size_t>(std::max(sockets, 1)));
+  for (int s = 0; s < sockets; ++s) {
+    sample.sockets[static_cast<size_t>(s)].dimm_service_factor =
+        injector != nullptr ? injector->DimmServiceFactor(s) : 1.0;
+  }
+  sample.upi_capacity_factor =
+      injector != nullptr ? injector->UpiCapacityFactor() : 1.0;
+
+  struct Origin {
+    const TrafficRecord* record;
+    bool background;
+  };
+  WorkloadSpec spec;
+  std::vector<Origin> origins;
+  int next_region = 0;
+  auto add = [&](const std::vector<TrafficRecord>& records, bool is_bg) {
+    for (const TrafficRecord& record : records) {
+      if (record.bytes == 0) continue;
+      Result<AccessClass> klass = BuildClass(model, record, pinning);
+      if (!klass.ok()) continue;
+      klass->region_id = (is_bg ? 2000 : 1000) + next_region++;
+      spec.classes.push_back(std::move(klass.value()));
+      origins.push_back({&record, is_bg});
+    }
+  };
+  add(query, false);
+  add(background, true);
+  if (spec.classes.empty()) return sample;
+
+  BandwidthResult result = model.EvaluateOnce(spec);
+  sample.upi_utilization = result.upi_utilization;
+  for (size_t i = 0; i < origins.size(); ++i) {
+    const TrafficRecord& record = *origins[i].record;
+    const ClassBandwidth& diag = result.per_class[i];
+
+    ClassTelemetry telemetry;
+    telemetry.label = record.label;
+    telemetry.op = record.op;
+    telemetry.pattern = record.pattern;
+    telemetry.media = record.media;
+    telemetry.socket = record.data_socket;
+    telemetry.threads = record.threads;
+    telemetry.bytes = record.bytes;
+    telemetry.access_size = record.access_size;
+    telemetry.region_bytes = record.region_bytes;
+    telemetry.gbps = diag.gbps;
+    telemetry.issue_bound_gbps = diag.issue_bound_gbps;
+    telemetry.device_bound_gbps = diag.device_bound_gbps;
+    telemetry.background = origins[i].background;
+    sample.classes.push_back(std::move(telemetry));
+
+    if (record.media != Media::kPmem) continue;
+    if (record.data_socket < 0 || record.data_socket >= sockets) continue;
+    SocketTelemetry& socket =
+        sample.sockets[static_cast<size_t>(record.data_socket)];
+    double demand = std::min(diag.issue_bound_gbps, diag.device_bound_gbps);
+    double occupancy = diag.device_bound_gbps > 0.0
+                           ? demand / diag.device_bound_gbps
+                           : 0.0;
+    if (record.op == OpType::kRead) {
+      socket.read_occupancy += occupancy;
+      socket.read_gbps += diag.gbps;
+    } else {
+      socket.write_occupancy += occupancy;
+      socket.write_gbps += diag.gbps;
+    }
+  }
+  return sample;
+}
+
+}  // namespace governor
+}  // namespace pmemolap

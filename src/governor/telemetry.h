@@ -1,0 +1,75 @@
+// Telemetry sampling for the bandwidth governor.
+//
+// One TelemetrySample is the governor's view of a scheduling quantum: the
+// query's recorded traffic and any standing background traffic (e.g. an
+// ingest load) evaluated JOINTLY through the MemSystemModel, reduced to
+// per-socket RPQ/WPQ demand occupancies, per-class effective bandwidths,
+// UPI utilization, and the fault layer's per-DIMM throttle state. It is
+// the modeled stand-in for the iMC performance counters a real governor
+// would sample.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.h"
+#include "fault/fault_injector.h"
+#include "memsys/mem_system.h"
+
+namespace pmemolap {
+namespace governor {
+
+/// Joint-model outcome for one recorded traffic class.
+struct ClassTelemetry {
+  std::string label;
+  OpType op = OpType::kRead;
+  Pattern pattern = Pattern::kSequentialIndividual;
+  Media media = Media::kPmem;
+  /// Socket whose DIMMs serve the class.
+  int socket = 0;
+  int threads = 1;
+  uint64_t bytes = 0;
+  uint64_t access_size = 64;
+  uint64_t region_bytes = 0;
+  /// Effective bandwidth under the joint (contended) evaluation.
+  double gbps = 0.0;
+  double issue_bound_gbps = 0.0;
+  double device_bound_gbps = 0.0;
+  /// True for standing background traffic (not part of the query).
+  bool background = false;
+};
+
+/// Modeled read/write queue pressure of one socket's PMEM pool.
+struct SocketTelemetry {
+  /// Demand occupancy (min(issue, device) / device bound, summed over the
+  /// socket's PMEM classes). > 1 means the pool is oversubscribed.
+  double read_occupancy = 0.0;
+  double write_occupancy = 0.0;
+  /// Jointly resolved bandwidth actually served, by direction.
+  double read_gbps = 0.0;
+  double write_gbps = 0.0;
+  /// Fault-injected DIMM throttle state (1.0 = healthy).
+  double dimm_service_factor = 1.0;
+};
+
+struct TelemetrySample {
+  std::vector<SocketTelemetry> sockets;
+  std::vector<ClassTelemetry> classes;
+  double upi_utilization = 0.0;
+  double upi_capacity_factor = 1.0;
+};
+
+/// Evaluates `query` and `background` records jointly through `model` and
+/// reduces the result to a TelemetrySample. Distinct records are placed in
+/// disjoint regions (the sample measures pool contention, not the paper's
+/// config-(v) shared-region collapse). `injector` supplies the throttle
+/// state and may be null (healthy platform).
+TelemetrySample BuildTelemetry(const MemSystemModel& model,
+                               const std::vector<TrafficRecord>& query,
+                               const std::vector<TrafficRecord>& background,
+                               PinningPolicy pinning,
+                               const FaultInjector* injector = nullptr);
+
+}  // namespace governor
+}  // namespace pmemolap

@@ -147,13 +147,20 @@ int AdmissionController::waiting() const {
 }
 
 double DegradationEstimate(const FaultInjector& injector) {
-  double worst = injector.UpiCapacityFactor();
+  double worst_dimm = 1.0;
   for (const ThrottleWindow& window : injector.spec().throttle_windows) {
     if (window.Contains(injector.now())) {
-      worst = std::min(worst, injector.DimmServiceFactor(window.socket));
+      worst_dimm =
+          std::min(worst_dimm, injector.DimmServiceFactor(window.socket));
     }
   }
-  return std::clamp(worst, 0.0, 1.0);
+  return DegradationEstimate(worst_dimm, injector.UpiCapacityFactor());
+}
+
+double DegradationEstimate(double dimm_service_factor,
+                           double upi_capacity_factor) {
+  return std::clamp(std::min(dimm_service_factor, upi_capacity_factor), 0.0,
+                    1.0);
 }
 
 }  // namespace pmemolap::qos

@@ -104,5 +104,88 @@ TEST(MorselTest, ReassignWithEmptyHealthyVectorIsNoop) {
   EXPECT_EQ(plan.queues[0].size(), 2u);
 }
 
+// --- 256 B XPLine morsel shaping -------------------------------------------
+
+TEST(MorselShaping, AlignedPlansAreUntouched) {
+  // 16 B tuples: 16 tuples per XPLine; morsels of 4096 tuples land every
+  // boundary on a line, so shaping is a no-op and amplification is zero.
+  MorselPlan plan;
+  AppendMorsels(0, 20'000, /*socket=*/0, /*morsel_tuples=*/4096, &plan);
+  MorselPlan shaped = plan;
+  AlignMorselPlan(&shaped, /*bytes_per_tuple=*/16);
+  ASSERT_EQ(shaped.queues.size(), plan.queues.size());
+  EXPECT_EQ(shaped.queues[0].size(), plan.queues[0].size());
+  for (size_t i = 0; i < plan.queues[0].size(); ++i) {
+    EXPECT_EQ(shaped.queues[0][i].begin, plan.queues[0][i].begin);
+    EXPECT_EQ(shaped.queues[0][i].end, plan.queues[0][i].end);
+  }
+  EXPECT_EQ(GranularityAmplifiedBytes(plan, 16), 0u);
+}
+
+TEST(MorselShaping, TornBoundariesSnapToLinesAndAmplificationDrops) {
+  // 16 B tuples: a line is 16 tuples; morsels of 100 tuples tear every
+  // interior boundary (100 % 16 != 0).
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  ASSERT_EQ(plan.queues[0].size(), 10u);
+  // 9 interior boundaries at byte offsets 1600*k; 1600*k % 256 == 0 only
+  // for k in {4, 8}, so 7 boundaries tear: one 256 B re-read each.
+  EXPECT_EQ(GranularityAmplifiedBytes(plan, 16), 7u * 256u);
+
+  AlignMorselPlan(&plan, 16);
+  EXPECT_EQ(GranularityAmplifiedBytes(plan, 16), 0u);
+  // Ranges survive: still [0, 1000), contiguous, in order.
+  uint64_t expected_begin = 0;
+  for (const Morsel& m : plan.queues[0]) {
+    EXPECT_EQ(m.begin, expected_begin);
+    EXPECT_LT(m.begin, m.end);
+    expected_begin = m.end;
+    // Interior boundaries are line-aligned (the final end is the range
+    // end, aligned or not).
+    if (m.end != 1000) {
+      EXPECT_EQ(m.end % 16, 0u);
+    }
+  }
+  EXPECT_EQ(expected_begin, 1000u);
+  EXPECT_EQ(plan.total_tuples(), 1000u);
+}
+
+TEST(MorselShaping, SnapCoalescesEmptiedMorsels) {
+  // 128 B tuples: 2 tuples per line. Morsels of 1 tuple: snapping the
+  // first boundary from 1 to 2 swallows the second morsel, and so on —
+  // the plan halves without losing a tuple.
+  MorselPlan plan;
+  AppendMorsels(0, 8, /*socket=*/0, /*morsel_tuples=*/1, &plan);
+  ASSERT_EQ(plan.queues[0].size(), 8u);
+  AlignMorselPlan(&plan, 128);
+  EXPECT_EQ(plan.queues[0].size(), 4u);
+  EXPECT_EQ(plan.total_tuples(), 8u);
+  EXPECT_EQ(GranularityAmplifiedBytes(plan, 128), 0u);
+}
+
+TEST(MorselShaping, RunBoundariesAndOtherQueuesAreIndependent) {
+  // Two sockets with their own queues: shaping one queue's interior never
+  // moves the other's morsels, and the start of each contiguous run stays
+  // where the partition put it.
+  MorselPlan plan;
+  AppendMorsels(100, 600, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AppendMorsels(600, 1100, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  AlignMorselPlan(&plan, 16);
+  EXPECT_EQ(plan.queues[0].front().begin, 100u);
+  EXPECT_EQ(plan.queues[0].back().end, 600u);
+  EXPECT_EQ(plan.queues[1].front().begin, 600u);
+  EXPECT_EQ(plan.queues[1].back().end, 1100u);
+  EXPECT_EQ(plan.total_tuples(), 1000u);
+}
+
+TEST(MorselShaping, ZeroBytesPerTupleIsANoop) {
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  MorselPlan copy = plan;
+  AlignMorselPlan(&plan, 0);
+  EXPECT_EQ(plan.queues[0].size(), copy.queues[0].size());
+  EXPECT_EQ(GranularityAmplifiedBytes(plan, 0), 0u);
+}
+
 }  // namespace
 }  // namespace pmemolap

@@ -1,0 +1,202 @@
+// Governor <-> engine integration: bit-identical outputs and seconds with
+// the governor off, bit-identical OUTPUTS with it on (staging probes
+// payload-identical replicas), deterministic actuator logs across runs,
+// and the shared degradation signal into admission control.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "governor/governor.h"
+#include "qos/admission.h"
+#include "ssb/reference.h"
+
+namespace pmemolap {
+namespace {
+
+using ssb::Database;
+using ssb::QueryId;
+
+/// Shared database + model (dbgen at sf 0.02, one-time cost).
+class GovernorEngineEnv {
+ public:
+  static GovernorEngineEnv& Get() {
+    static GovernorEngineEnv env;
+    return env;
+  }
+
+  const Database& db() const { return db_; }
+  const MemSystemModel& model() const { return model_; }
+  const ssb::ReferenceExecutor& reference() const { return reference_; }
+
+ private:
+  GovernorEngineEnv()
+      : db_(*ssb::Generate({.scale_factor = 0.02, .seed = 11})),
+        reference_(&db_) {}
+
+  Database db_;
+  MemSystemModel model_;
+  ssb::ReferenceExecutor reference_{&db_};
+};
+
+EngineConfig BaseConfig() {
+  EngineConfig config;
+  config.mode = EngineMode::kPmemAware;
+  config.media = Media::kPmem;
+  config.threads = 36;
+  config.project_to_sf = 50.0;
+  return config;
+}
+
+/// A standing per-socket PMEM ingest load (Fig. 11-style interference):
+/// enough write pressure to make the governor clamp writers and cap
+/// readers.
+std::vector<TrafficRecord> IngestBackground() {
+  std::vector<TrafficRecord> background;
+  for (int socket = 0; socket < 2; ++socket) {
+    TrafficRecord ingest;
+    ingest.op = OpType::kWrite;
+    ingest.pattern = Pattern::kSequentialIndividual;
+    ingest.media = Media::kPmem;
+    ingest.data_socket = socket;
+    ingest.worker_socket = socket;
+    ingest.bytes = 16ull * kGiB;
+    ingest.access_size = 4 * kKiB;
+    ingest.region_bytes = 64ull * kGiB;
+    ingest.threads = 18;
+    ingest.label = "ingest";
+    background.push_back(ingest);
+  }
+  return background;
+}
+
+TEST(EngineGovernorTest, GovernorOffIsBitIdentical) {
+  // EngineConfig::governor == nullptr must reproduce the pre-governor
+  // engine exactly: same outputs, same modeled seconds.
+  GovernorEngineEnv& env = GovernorEngineEnv::Get();
+  SsbEngine plain(&env.db(), &env.model(), BaseConfig());
+  ASSERT_TRUE(plain.Prepare().ok());
+  SsbEngine again(&env.db(), &env.model(), BaseConfig());
+  ASSERT_TRUE(again.Prepare().ok());
+  for (QueryId query : {QueryId::kQ1_1, QueryId::kQ2_2, QueryId::kQ4_1}) {
+    auto a = plain.Execute(query);
+    auto b = again.Execute(query);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(a->output == b->output);
+    EXPECT_DOUBLE_EQ(a->seconds, b->seconds);
+  }
+}
+
+TEST(EngineGovernorTest, GovernedOutputsMatchReferenceForAllQueries) {
+  // All 13 queries stay bit-identical to the reference with the governor
+  // on and converged (staged probes hit the payload-identical replicas).
+  GovernorEngineEnv& env = GovernorEngineEnv::Get();
+  governor::BandwidthGovernor governor(&env.model());
+  EngineConfig config = BaseConfig();
+  config.governor = &governor;
+  config.background = IngestBackground();
+  SsbEngine engine(&env.db(), &env.model(), config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  for (QueryId query : ssb::AllQueries()) {
+    // Two warmups converge the hysteresis; the third run executes under
+    // the committed actuators.
+    for (int warmup = 0; warmup < 2; ++warmup) {
+      ASSERT_TRUE(engine.Execute(query).ok());
+    }
+    auto run = engine.Execute(query);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->output == env.reference().Execute(query))
+        << ssb::QueryName(query);
+    EXPECT_GT(run->seconds, 0.0);
+  }
+  // The loop closed: one quantum per Execute.
+  EXPECT_EQ(governor.quanta_observed(), 13 * 3);
+  // Under heavy ingest the governor actually actuated something.
+  EXPECT_FALSE(governor.actuator_log().empty());
+}
+
+TEST(EngineGovernorTest, ActuatorLogIsDeterministicAcrossRuns) {
+  // Acceptance: same seed + workload -> same actuator log, verified by
+  // diffing two completely fresh governed runs.
+  GovernorEngineEnv& env = GovernorEngineEnv::Get();
+  std::vector<std::vector<std::string>> logs;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    governor::BandwidthGovernor governor(&env.model());
+    EngineConfig config = BaseConfig();
+    config.governor = &governor;
+    config.background = IngestBackground();
+    SsbEngine engine(&env.db(), &env.model(), config);
+    ASSERT_TRUE(engine.Prepare().ok());
+    for (QueryId query : {QueryId::kQ1_1, QueryId::kQ3_2, QueryId::kQ4_1}) {
+      for (int run = 0; run < 3; ++run) {
+        ASSERT_TRUE(engine.Execute(query).ok());
+      }
+    }
+    logs.push_back(governor.actuator_log());
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+TEST(EngineGovernorTest, StagingEvictionFallsBackBitIdentically) {
+  // A zero staging budget evicts everything (nothing ever stages): the
+  // outputs must match the staged run's outputs — the replica and the
+  // base map carry identical payloads.
+  GovernorEngineEnv& env = GovernorEngineEnv::Get();
+
+  governor::BandwidthGovernor staged_governor(&env.model());
+  EngineConfig staged_config = BaseConfig();
+  staged_config.governor = &staged_governor;
+  staged_config.background = IngestBackground();
+  SsbEngine staged(&env.db(), &env.model(), staged_config);
+  ASSERT_TRUE(staged.Prepare().ok());
+
+  governor::GovernorConfig evicted_cfg;
+  evicted_cfg.dram_staging_budget_bytes = 1;  // nothing fits: all evicted
+  governor::BandwidthGovernor evicted_governor(&env.model(), evicted_cfg);
+  EngineConfig evicted_config = staged_config;
+  evicted_config.governor = &evicted_governor;
+  SsbEngine evicted(&env.db(), &env.model(), evicted_config);
+  ASSERT_TRUE(evicted.Prepare().ok());
+
+  for (QueryId query : {QueryId::kQ2_1, QueryId::kQ3_1, QueryId::kQ4_2}) {
+    for (int warmup = 0; warmup < 2; ++warmup) {
+      ASSERT_TRUE(staged.Execute(query).ok());
+      ASSERT_TRUE(evicted.Execute(query).ok());
+    }
+    auto with_staging = staged.Execute(query);
+    auto without = evicted.Execute(query);
+    ASSERT_TRUE(with_staging.ok() && without.ok());
+    EXPECT_TRUE(with_staging->output == without->output)
+        << ssb::QueryName(query);
+    EXPECT_TRUE(with_staging->output == env.reference().Execute(query));
+  }
+  // The converged decisions differ only in staging.
+  EXPECT_FALSE(staged_governor.decision().staged.empty());
+  EXPECT_TRUE(evicted_governor.decision().staged.empty());
+}
+
+TEST(EngineGovernorTest, ThrottleEstimateFeedsAdmissionSignal) {
+  // The governor's throttle estimate reaches the admission controller's
+  // load signal (satellite: one shared health number). Seed the governor
+  // with a throttled telemetry sample, then Execute: the engine must
+  // publish min(injector estimate, governor estimate) = 0.3.
+  GovernorEngineEnv& env = GovernorEngineEnv::Get();
+  governor::BandwidthGovernor governor(&env.model());
+  governor::TelemetrySample throttled;
+  throttled.sockets.resize(2);
+  throttled.sockets[0].dimm_service_factor = 0.3;
+  governor.Observe(throttled);
+  ASSERT_DOUBLE_EQ(governor.ThrottleEstimate(), 0.3);
+
+  qos::AdmissionController admission{qos::AdmissionLimits{}};
+  EngineConfig config = BaseConfig();
+  config.governor = &governor;
+  config.admission = &admission;
+  SsbEngine engine(&env.db(), &env.model(), config);
+  ASSERT_TRUE(engine.Prepare().ok());
+  ASSERT_TRUE(engine.Execute(QueryId::kQ1_1).ok());
+  EXPECT_DOUBLE_EQ(admission.load_signal().degradation, 0.3);
+}
+
+}  // namespace
+}  // namespace pmemolap

@@ -214,6 +214,53 @@ TEST(PoolTest, RunWithControlEmptyPlanFillsStats) {
   EXPECT_EQ(stats.dropped, 0u);
 }
 
+TEST(PoolTest, RunControlQueueCapsBoundParticipants) {
+  // 4 workers over 2 queues: homes are {0,1,0,1}, ranks {0,0,1,1}. A cap
+  // of 1 on queue 0 excludes worker 2 (rank 1) from the whole run; queue
+  // 1 stays uncapped.
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  MorselPlan plan;
+  AppendMorsels(0, 2000, /*socket=*/0, /*morsel_tuples=*/20, &plan);
+  AppendMorsels(2000, 4000, /*socket=*/1, /*morsel_tuples=*/20, &plan);
+  std::atomic<uint64_t> tuples{0};
+  std::atomic<bool> excluded_ran{false};
+  WorkStealingPool::RunControl control;
+  control.workers_per_queue = {1, 0};
+  Status status = pool.RunWithControl(
+      plan,
+      [&](const Morsel& m, int worker) {
+        if (worker == 2) excluded_ran.store(true);
+        tuples.fetch_add(m.size());
+        return Status::OK();
+      },
+      control);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(tuples.load(), 4000u);
+  EXPECT_FALSE(excluded_ran.load());
+}
+
+TEST(PoolTest, NonPositiveCapsMeanUncapped) {
+  // Zero or negative cap entries (and missing entries for trailing
+  // queues) leave those queues uncapped: every worker participates and
+  // the whole plan drains.
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  MorselPlan plan;
+  AppendMorsels(0, 400, /*socket=*/0, /*morsel_tuples=*/40, &plan);
+  plan.queues.resize(2);
+  std::atomic<uint64_t> tuples{0};
+  WorkStealingPool::RunControl control;
+  control.workers_per_queue = {0, -1};
+  Status status = pool.RunWithControl(
+      plan,
+      [&](const Morsel& m, int) {
+        tuples.fetch_add(m.size());
+        return Status::OK();
+      },
+      control);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(tuples.load(), 400u);
+}
+
 // Steal stress: one persistent pool hammered with back-to-back runs whose
 // work all sits in queue 0, submitted from two racing threads (Run()
 // serializes internally), with a failing run mixed in every fourth
@@ -304,6 +351,90 @@ TEST(PoolStressTest, CancellationRacesStealsAcrossSubmitters) {
   for (std::thread& submitter : submitters) submitter.join();
   // trip_after == 0 happens for run 0 of each submitter at minimum, so
   // cancellation definitely exercised; most trip points land mid-plan.
+  EXPECT_GT(cancelled_runs.load(), 0u);
+}
+
+// Governor-style dynamic resizing stress: while two submitters hammer the
+// pool with imbalanced runs (all work in queue 0, queue-1 workers must
+// steal) and deadline cancellations, a third thread keeps flipping the
+// per-queue concurrency caps through SetConcurrency — exactly what the
+// bandwidth governor's reader actuator does between scheduling quanta.
+// Every run must still account for each morsel exactly once. Run under
+// the TSan CI job via the PoolStressTest filter.
+TEST(PoolStressTest, DynamicResizingRacesStealsAndCancellation) {
+  WorkStealingPool pool(/*threads=*/4, /*queues=*/2);
+  constexpr int kRunsPerSubmitter = 16;
+  constexpr uint64_t kMorselsPerRun = 60;
+  std::atomic<bool> stop_resizer{false};
+  std::thread resizer([&] {
+    int step = 0;
+    while (!stop_resizer.load()) {
+      switch (step++ % 4) {
+        case 0:
+          pool.SetConcurrency({1, 1});
+          break;
+        case 1:
+          pool.SetConcurrency({2, 0});
+          break;
+        case 2:
+          pool.SetConcurrency({});  // back to uncapped
+          break;
+        default:
+          pool.SetConcurrency({0, 1});
+          break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  std::vector<std::thread> submitters;
+  std::atomic<uint64_t> completed_runs{0};
+  std::atomic<uint64_t> cancelled_runs{0};
+  for (int submitter = 0; submitter < 2; ++submitter) {
+    submitters.emplace_back([&, submitter] {
+      for (int run = 0; run < kRunsPerSubmitter; ++run) {
+        MorselPlan plan;
+        AppendMorsels(0, kMorselsPerRun * 25, /*socket=*/0,
+                      /*morsel_tuples=*/25, &plan);
+        plan.queues.resize(2);
+        const bool cancel_this_run = run % 3 == 2;
+        std::atomic<uint64_t> checks{0};
+        WorkStealingPool::Stats stats;
+        WorkStealingPool::RunControl control;
+        // Half the runs also start under a cap of their own.
+        if (run % 2 == 0) control.workers_per_queue = {2, 2};
+        control.cancel = [&] {
+          if (!cancel_this_run || checks.fetch_add(1) < 15) {
+            return Status::OK();
+          }
+          return Status::DeadlineExceeded("resize-stress deadline");
+        };
+        control.stats = &stats;
+        std::atomic<uint64_t> tuples{0};
+        Status status = pool.RunWithControl(
+            plan,
+            [&](const Morsel& m, int) {
+              tuples.fetch_add(m.size());
+              return Status::OK();
+            },
+            control);
+        EXPECT_EQ(stats.executed + stats.dropped, plan.total_morsels())
+            << "submitter " << submitter << " run " << run;
+        if (status.ok()) {
+          EXPECT_EQ(tuples.load(), kMorselsPerRun * 25);
+          completed_runs.fetch_add(1);
+        } else {
+          EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+          cancelled_runs.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  stop_resizer.store(true);
+  resizer.join();
+  // Un-cancelled runs always finish, whatever caps were in force.
+  EXPECT_GE(completed_runs.load(),
+            2u * (kRunsPerSubmitter - kRunsPerSubmitter / 3));
   EXPECT_GT(cancelled_runs.load(), 0u);
 }
 

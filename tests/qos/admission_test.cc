@@ -208,5 +208,36 @@ TEST(AdmissionTest, DegradationEstimateTracksThrottlesAndUpi) {
   EXPECT_DOUBLE_EQ(DegradationEstimate(upi), 0.6);
 }
 
+TEST(AdmissionTest, PureDegradationEstimateIsTheSharedSignal) {
+  // The factor form: min of the two reductions, clamped to [0, 1]. This
+  // is the signal the bandwidth governor's ThrottleEstimate publishes, so
+  // shedding and governance act on one health number.
+  EXPECT_DOUBLE_EQ(DegradationEstimate(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(DegradationEstimate(0.25, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(DegradationEstimate(1.0, 0.6), 0.6);
+  EXPECT_DOUBLE_EQ(DegradationEstimate(0.25, 0.6), 0.25);
+  EXPECT_DOUBLE_EQ(DegradationEstimate(-0.5, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(DegradationEstimate(2.0, 3.0), 1.0);
+}
+
+TEST(AdmissionTest, InjectorEstimateDelegatesToThePureForm) {
+  // Same inputs, same answer: the injector overload is a convenience
+  // wrapper over the shared (dimm, upi) reduction.
+  FaultSpec spec;
+  spec.upi_capacity_factor = 0.7;
+  ThrottleWindow window;
+  window.socket = 1;
+  window.start_seconds = 0.0;
+  window.end_seconds = 100.0;
+  window.service_factor = 0.4;
+  spec.throttle_windows.push_back(window);
+  FaultInjector injector(spec);
+  injector.AdvanceTo(50.0);
+  EXPECT_DOUBLE_EQ(
+      DegradationEstimate(injector),
+      DegradationEstimate(injector.DimmServiceFactor(1),
+                          injector.UpiCapacityFactor()));
+}
+
 }  // namespace
 }  // namespace pmemolap::qos

@@ -1,0 +1,9 @@
+// Linted as src/governor/<file>.cc: the governor samples the model and
+// publishes decisions the executors PULL — it must never reach up into
+// the engine (or exec) tier above it.
+#include "engine/engine.h"
+#include "exec/pool.h"
+
+namespace pmemolap::governor {
+int GovernorMustNotSeeExecutors() { return 1; }
+}  // namespace pmemolap::governor

@@ -257,6 +257,45 @@ TEST(LintDeterminism, QosLayerMayReadClocks) {
   EXPECT_FALSE(RulesHit(report).count("determinism"));
 }
 
+// --- governor layering -----------------------------------------------------
+
+TEST(LintLayering, GovernorSitsBetweenModelAndExecutors) {
+  // governor -> engine/exec reaches up across the tier boundary.
+  Report upward =
+      LintFixtureAs("governor_tier_violation.cc", "src/governor/fixture.cc");
+  ASSERT_EQ(upward.diagnostics.size(), 2u);  // engine/ and exec/ includes
+  EXPECT_EQ(upward.diagnostics[0].rule, "layering");
+  EXPECT_EQ(upward.diagnostics[1].rule, "layering");
+  // governor -> {memsys, core, fault} is the sampling direction: clean.
+  Report clean =
+      LintFixtureAs("governor_tier_clean.cc", "src/governor/fixture.cc");
+  EXPECT_TRUE(clean.clean()) << clean.diagnostics[0].ToString();
+  // engine and exec pull decisions from the governor below them: clean.
+  Report engine;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"governor/governor.h\"\n", &engine);
+  EXPECT_TRUE(engine.clean());
+  Report exec;
+  LintFileContent("src/exec/fixture.cc",
+                  "#include \"governor/governor.h\"\n", &exec);
+  EXPECT_TRUE(exec.clean());
+  // memsys -> governor inverts the DAG: the model must not know who
+  // samples it.
+  Report memsys;
+  LintFileContent("src/memsys/fixture.cc",
+                  "#include \"governor/governor.h\"\n", &memsys);
+  ASSERT_EQ(memsys.diagnostics.size(), 1u);
+  EXPECT_EQ(memsys.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, GovernorIsADeterministicLayer) {
+  // Identical telemetry must produce identical actuator decisions, so
+  // the governor may not read host clocks or entropy.
+  Report report =
+      LintFixtureAs("determinism_violation.cc", "src/governor/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {

@@ -15,19 +15,23 @@ namespace {
 // The declared layer DAG.
 //
 //   common <- topo <- device <- memsys <- sim <- core/fault
-//          <- exec/engine/ssb/dash/qos
+//          <- governor <- exec/engine/ssb/dash/qos
 //
 // A layer may include itself and any layer of strictly lower rank. Layers
 // sharing a rank are independent unless an explicit intra-tier edge is
 // declared below (the edge set must stay acyclic by inspection):
-// engine -> {exec, ssb, dash, qos} and fault -> core.
+// engine -> {exec, ssb, dash, qos} and fault -> core. The governor tier
+// sits between the model layers it samples (memsys, core, fault) and the
+// executors it actuates (exec, engine): it may read the model, never the
+// engine — the engine pulls decisions, the governor never pushes.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0}, {"topo", 1}, {"device", 2}, {"memsys", 3},
-      {"sim", 4},    {"core", 5}, {"fault", 5},  {"exec", 6},
-      {"engine", 6}, {"ssb", 6},  {"dash", 6},   {"qos", 6},
+      {"common", 0}, {"topo", 1},     {"device", 2}, {"memsys", 3},
+      {"sim", 4},    {"core", 5},     {"fault", 5},  {"governor", 6},
+      {"exec", 7},   {"engine", 7},   {"ssb", 7},    {"dash", 7},
+      {"qos", 7},
   };
   return kRanks;
 }
@@ -50,8 +54,8 @@ const std::set<std::pair<std::string, std::string>>& IntraTierEdges() {
 /// deadlines are a host-time concept by definition) may touch host time.
 const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
-      "common", "topo", "device", "memsys", "sim",
-      "core",   "fault", "ssb",   "dash",
+      "common", "topo",  "device", "memsys",   "sim",
+      "core",   "fault", "ssb",    "governor", "dash",
   };
   return kLayers;
 }
@@ -328,7 +332,7 @@ void CheckLayering(const FileContext& ctx) {
       Emit(ctx, static_cast<int>(i), "layering",
            "layer '" + ctx.layer + "' must not include layer '" + dep +
                "' (declared DAG: common <- topo <- device <- memsys <- "
-               "sim <- core/fault <- exec/engine/ssb/dash)");
+               "sim <- core/fault <- governor <- exec/engine/ssb/dash)");
     }
   }
 }
