@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kUnavailable:
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:

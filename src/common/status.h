@@ -24,6 +24,10 @@ enum class StatusCode {
   /// Unrecoverable data corruption or loss (e.g. a poisoned PMEM line that
   /// survived retry, scrub, and failover).
   kDataLoss,
+  /// Data is present but wrong: a CRC-verified structure (guarded chunk,
+  /// redo-log record) failed its checksum — torn writes and bit rot,
+  /// distinct from kDataLoss's "the media cannot serve the bytes at all".
+  kCorruption,
   /// The resource is temporarily unusable (e.g. a DIMM in a thermal
   /// throttle window, a degraded UPI link); retrying later may succeed.
   kUnavailable,
@@ -80,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));

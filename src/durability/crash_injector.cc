@@ -1,0 +1,38 @@
+#include "durability/crash_injector.h"
+
+#include "durability/persistent_region.h"
+
+namespace pmemolap {
+
+bool CrashInjector::HitsNextBoundary() {
+  if (crashed_) return false;  // already dead; primitives fail fast
+  uint64_t boundary = boundary_counter_++;
+  return plan_.boundary_index >= 0 &&
+         boundary == static_cast<uint64_t>(plan_.boundary_index);
+}
+
+Rng CrashInjector::BoundaryRng(uint64_t stream) const {
+  // Keyed strictly by (seed, boundary): any failure reproduces from the
+  // pair alone, independent of how many draws earlier boundaries made.
+  Rng base(seed_);
+  return base.Fork(static_cast<uint64_t>(plan_.boundary_index) + 1)
+      .Fork(stream);
+}
+
+void CrashInjector::TriggerCrash() {
+  if (crashed_) return;
+  crashed_ = true;
+  report_ = CrashReport();
+  report_.boundary = plan_.boundary_index;
+  Rng survival = BoundaryRng(/*stream=*/2);
+  for (PersistentRegion* region : regions_) {
+    region->ApplyCrash(&survival, plan_.accepted_survival_p, &report_);
+  }
+}
+
+void CrashInjector::AcknowledgeCrash() {
+  crashed_ = false;
+  plan_.boundary_index = -1;
+}
+
+}  // namespace pmemolap

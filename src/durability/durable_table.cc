@@ -1,0 +1,209 @@
+#include "durability/durable_table.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "durability/crash_injector.h"
+#include "durability/recovery.h"
+#include "durability/redo_log.h"
+#include "memsys/workload.h"
+
+namespace pmemolap {
+
+Result<std::unique_ptr<DurableTable>> DurableTable::Create(
+    PmemSpace* space, CrashInjector* crash, Options options) {
+  std::unique_ptr<DurableTable> table(new DurableTable(options, crash));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      table->table_,
+      PersistentRegion::Create(space, options.capacity_bytes, options.socket,
+                               crash, &table->cost_));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      table->log_,
+      PersistentRegion::Create(space, options.log_bytes, options.socket,
+                               crash, &table->cost_));
+  return table;
+}
+
+Result<uint64_t> DurableTable::Append(const std::byte* data, uint64_t bytes) {
+  if (bytes == 0) return Status::InvalidArgument("empty ingest epoch");
+  if (bytes > ~uint32_t{0}) {
+    return Status::InvalidArgument("ingest epoch exceeds record framing");
+  }
+  uint64_t epoch;
+  uint64_t table_offset;
+  uint64_t tail;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    epoch = epoch_bytes_.size();  // committed_epoch + 1
+    table_offset = epoch_bytes_.back();
+    tail = log_tail_;
+  }
+  if (table_offset + bytes > options_.capacity_bytes) {
+    return Status::ResourceExhausted("durable table full at epoch " +
+                                     std::to_string(epoch));
+  }
+  std::vector<std::byte> data_record =
+      EncodeDataRecord(epoch, table_offset, data,
+                       static_cast<uint32_t>(bytes));
+  std::vector<std::byte> commit_record = EncodeCommitRecord(epoch);
+  if (tail + data_record.size() + commit_record.size() > options_.log_bytes) {
+    return Status::ResourceExhausted("redo log full at epoch " +
+                                     std::to_string(epoch));
+  }
+
+  // 1+2: the epoch's payload becomes durable in the log.
+  if (options_.ntstore_log) {
+    PMEMOLAP_RETURN_NOT_OK(
+        log_->NtStore(tail, data_record.data(), data_record.size()));
+  } else {
+    PMEMOLAP_RETURN_NOT_OK(
+        log_->Store(tail, data_record.data(), data_record.size()));
+    PMEMOLAP_RETURN_NOT_OK(log_->FlushRange(tail, data_record.size()));
+  }
+  PMEMOLAP_RETURN_NOT_OK(log_->Fence());
+
+  // 3+4: the commit marker becomes durable — the epoch's point of no
+  // return. Ordered strictly after the payload by the fence above.
+  uint64_t commit_offset = tail + data_record.size();
+  if (options_.ntstore_log) {
+    PMEMOLAP_RETURN_NOT_OK(log_->NtStore(commit_offset, commit_record.data(),
+                                         commit_record.size()));
+  } else {
+    PMEMOLAP_RETURN_NOT_OK(log_->Store(commit_offset, commit_record.data(),
+                                       commit_record.size()));
+    PMEMOLAP_RETURN_NOT_OK(
+        log_->FlushRange(commit_offset, commit_record.size()));
+  }
+  PMEMOLAP_RETURN_NOT_OK(log_->Fence());
+
+  // 5: apply to the table image (a crash from here on replays from the
+  // log, so this is a durable cache refresh, not a correctness step).
+  PMEMOLAP_RETURN_NOT_OK(table_->Store(table_offset, data, bytes));
+  PMEMOLAP_RETURN_NOT_OK(table_->FlushRange(table_offset, bytes));
+  PMEMOLAP_RETURN_NOT_OK(table_->Fence());
+
+  // 6: publish to readers.
+  AdvanceCommitted(epoch, table_offset + bytes,
+                   commit_offset + commit_record.size());
+  RecordIngestTraffic(data_record.size() + commit_record.size(), bytes);
+  return epoch;
+}
+
+void DurableTable::AdvanceCommitted(uint64_t epoch, uint64_t total_bytes,
+                                    uint64_t log_tail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  (void)epoch;  // always epoch_bytes_.size() by construction
+  epoch_bytes_.push_back(total_bytes);
+  log_tail_ = log_tail;
+}
+
+void DurableTable::RestoreCommitted(std::vector<uint64_t> epoch_bytes,
+                                    uint64_t log_tail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  epoch_bytes_ = std::move(epoch_bytes);
+  log_tail_ = log_tail;
+}
+
+uint64_t DurableTable::committed_epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_bytes_.size() - 1;
+}
+
+Result<uint64_t> DurableTable::SnapshotBytes(uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t committed = epoch_bytes_.size() - 1;
+  if (epoch == kLatestEpoch) epoch = committed;
+  if (epoch > committed) {
+    return Status::NotFound("epoch " + std::to_string(epoch) +
+                            " not committed (latest is " +
+                            std::to_string(committed) + ")");
+  }
+  return epoch_bytes_[epoch];
+}
+
+Status DurableTable::ReadSnapshot(uint64_t epoch, uint64_t offset,
+                                  uint64_t size, std::byte* dst) const {
+  if (crash_ != nullptr && crash_->crashed()) {
+    return Status::Unavailable("modeled process crashed; recover first");
+  }
+  PMEMOLAP_ASSIGN_OR_RETURN(uint64_t limit, SnapshotBytes(epoch));
+  if (offset + size > limit || offset + size < offset) {
+    return Status::InvalidArgument(
+        "snapshot read [" + std::to_string(offset) + ", " +
+        std::to_string(offset + size) + ") past committed bytes " +
+        std::to_string(limit));
+  }
+  std::memcpy(dst, table_->data() + offset, size);
+  return Status::OK();
+}
+
+Result<RecoveryStats> DurableTable::Recover() {
+  RecoveryManager manager(this);
+  return manager.Run();
+}
+
+std::vector<TrafficRecord> DurableTable::BuildTraffic(
+    uint64_t log_bytes, uint64_t apply_bytes) const {
+  std::vector<TrafficRecord> records;
+  if (log_bytes > 0) {
+    TrafficRecord log;
+    log.op = OpType::kWrite;
+    log.pattern = Pattern::kSequentialGrouped;
+    log.media = Media::kPmem;
+    log.data_socket = options_.socket;
+    log.bytes = log_bytes;
+    log.access_size = kOptaneLineBytes;
+    log.region_bytes = options_.log_bytes;
+    log.threads = 1;
+    log.label = "ingest-log";
+    records.push_back(std::move(log));
+  }
+  if (apply_bytes > 0) {
+    TrafficRecord apply;
+    apply.op = OpType::kWrite;
+    apply.pattern = Pattern::kSequentialGrouped;
+    apply.media = Media::kPmem;
+    apply.data_socket = options_.socket;
+    apply.bytes = apply_bytes;
+    apply.access_size = 4 * kKiB;
+    apply.region_bytes = options_.capacity_bytes;
+    apply.threads = 1;
+    apply.label = "ingest-apply";
+    records.push_back(std::move(apply));
+  }
+  return records;
+}
+
+void DurableTable::RecordIngestTraffic(uint64_t log_bytes,
+                                       uint64_t apply_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_log_bytes_ += log_bytes;
+  pending_apply_bytes_ += apply_bytes;
+}
+
+std::vector<TrafficRecord> DurableTable::DrainIngestTraffic() {
+  uint64_t log_bytes;
+  uint64_t apply_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    log_bytes = pending_log_bytes_;
+    apply_bytes = pending_apply_bytes_;
+    pending_log_bytes_ = 0;
+    pending_apply_bytes_ = 0;
+  }
+  return BuildTraffic(log_bytes, apply_bytes);
+}
+
+std::vector<TrafficRecord> DurableTable::standing_traffic() const {
+  uint64_t log_bytes;
+  uint64_t apply_bytes;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    log_bytes = pending_log_bytes_;
+    apply_bytes = pending_apply_bytes_;
+  }
+  return BuildTraffic(log_bytes, apply_bytes);
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,133 @@
+// DurableTable — crash-consistent append-only ingest over the modeled
+// persistence domain.
+//
+// Two PersistentRegions: the table image (what SSB scans read) and the
+// redo log. One Append() is one *epoch* with write-ahead ordering:
+//
+//   1. data record into the log          (ntstore, or store+clwb)
+//   2. sfence                            — payload durable
+//   3. commit marker into the log
+//   4. sfence                            — epoch committed
+//   5. payload applied to the table image (store+clwb+sfence)
+//   6. AdvanceCommitted(epoch)           — volatile publish to readers
+//
+// A crash anywhere before step 4's completion leaves the epoch
+// uncommitted; recovery truncates it. A crash after step 4 finds the
+// commit marker and replays the payload from the log — the table image is
+// a rebuildable cache of the committed log prefix. Readers never see an
+// epoch before its bytes are applied (publish is last), and snapshot
+// reads pin an epoch so concurrent scans stay consistent while ingest
+// runs: epochs are append-only, so epoch e's first epoch_bytes(e) table
+// bytes are immutable once published.
+//
+// Threading: one ingest thread calls Append/Recover; any number of reader
+// threads call ReadSnapshot/committed_epoch concurrently (epoch metadata
+// is mutex-published, committed table bytes are no longer written).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pmem_space.h"
+#include "core/profile.h"
+#include "durability/persistent_region.h"
+#include "memsys/persist.h"
+
+namespace pmemolap {
+
+class CrashInjector;
+class RecoveryManager;
+struct RecoveryStats;
+
+class DurableTable {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 16 * kMiB;  ///< table region size
+    uint64_t log_bytes = 32 * kMiB;       ///< redo-log region size
+    int socket = 0;
+    /// ntstore log appends (the paper's pick for streaming writes);
+    /// false uses cached stores + clwb — dearer, exercised by tests.
+    bool ntstore_log = true;
+    PersistSpec persist;  ///< primitive pricing
+  };
+
+  /// `crash` may be nullptr (no crash surface — plain durable ingest).
+  static Result<std::unique_ptr<DurableTable>> Create(PmemSpace* space,
+                                                      CrashInjector* crash,
+                                                      Options options);
+
+  /// Reads at the latest committed epoch.
+  static constexpr uint64_t kLatestEpoch = ~uint64_t{0};
+
+  /// One crash-consistent ingest epoch; returns the committed epoch id
+  /// (1-based). Unavailable once the modeled process crashed.
+  Result<uint64_t> Append(const std::byte* data, uint64_t bytes);
+
+  /// Copies [offset, offset+size) of the table image as of `epoch`
+  /// (kLatestEpoch = newest). Fails InvalidArgument past the snapshot's
+  /// committed bytes and NotFound for an uncommitted epoch.
+  Status ReadSnapshot(uint64_t epoch, uint64_t offset, uint64_t size,
+                      std::byte* dst) const;
+
+  uint64_t committed_epoch() const;
+  /// Table bytes committed as of `epoch` (kLatestEpoch = newest).
+  Result<uint64_t> SnapshotBytes(uint64_t epoch) const;
+
+  /// Scans the log, truncates the abandoned suffix, idempotently replays
+  /// every committed epoch into the table image and republishes the
+  /// epoch map. Safe to call on a healthy table (no-op replay) and again
+  /// after a crash *during* recovery.
+  Result<RecoveryStats> Recover();
+
+  /// Modeled PMEM write traffic of ingest since the last drain — the log
+  /// stream and the table-apply stream, labeled "ingest-log" /
+  /// "ingest-apply" for the governor's write-knee telemetry.
+  std::vector<TrafficRecord> DrainIngestTraffic();
+  /// Same records without resetting (peek for engine background merging).
+  std::vector<TrafficRecord> standing_traffic() const;
+
+  /// Modeled seconds spent in persistence primitives so far (both
+  /// regions) — the durability tax on ingest.
+  double modeled_seconds() const {
+    return table_->modeled_seconds() + log_->modeled_seconds();
+  }
+
+  const Options& options() const { return options_; }
+  PersistentRegion& table_region() { return *table_; }
+  PersistentRegion& log_region() { return *log_; }
+  const PersistCostModel& cost() const { return cost_; }
+
+ private:
+  friend class RecoveryManager;
+
+  DurableTable(Options options, CrashInjector* crash)
+      : options_(options), crash_(crash), cost_(options.persist) {}
+
+  /// Volatile publish of a committed epoch (readers see it from here on).
+  void AdvanceCommitted(uint64_t epoch, uint64_t total_bytes,
+                        uint64_t log_tail);
+  /// Recovery's republish of the whole epoch map.
+  void RestoreCommitted(std::vector<uint64_t> epoch_bytes,
+                        uint64_t log_tail);
+  void RecordIngestTraffic(uint64_t log_bytes, uint64_t apply_bytes);
+  std::vector<TrafficRecord> BuildTraffic(uint64_t log_bytes,
+                                          uint64_t apply_bytes) const;
+
+  Options options_;
+  CrashInjector* crash_;
+  PersistCostModel cost_;
+  std::unique_ptr<PersistentRegion> table_;
+  std::unique_ptr<PersistentRegion> log_;
+
+  mutable std::mutex mutex_;
+  /// epoch_bytes_[e] = committed table bytes through epoch e; [0] = 0.
+  std::vector<uint64_t> epoch_bytes_{0};
+  uint64_t log_tail_ = 0;
+  uint64_t pending_log_bytes_ = 0;
+  uint64_t pending_apply_bytes_ = 0;
+};
+
+}  // namespace pmemolap

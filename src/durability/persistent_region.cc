@@ -1,0 +1,224 @@
+#include "durability/persistent_region.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <string>
+
+#include "durability/crash_injector.h"
+
+namespace pmemolap {
+
+Result<std::unique_ptr<PersistentRegion>> PersistentRegion::Create(
+    PmemSpace* space, uint64_t size, int socket, CrashInjector* crash,
+    const PersistCostModel* cost) {
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      Allocation allocation,
+      space->AllocateAligned(size, kOptaneLineBytes,
+                             MemPlacement{Media::kPmem, socket}));
+  std::unique_ptr<PersistentRegion> region(new PersistentRegion(
+      space, std::move(allocation), crash, cost));
+  if (crash != nullptr) crash->Register(region.get());
+  return region;
+}
+
+PersistentRegion::PersistentRegion(PmemSpace* space, Allocation allocation,
+                                   CrashInjector* crash,
+                                   const PersistCostModel* cost)
+    : space_(space),
+      allocation_(std::move(allocation)),
+      persisted_(allocation_.size()),
+      tracker_(allocation_.size()),
+      crash_(crash),
+      cost_(cost) {
+  // A fresh region models newly created storage, so both images start as
+  // zeros. The space hands out raw bytes — zero the volatile image
+  // explicitly (persisted_ is value-initialized), or a recycled heap
+  // block would make an empty log scan as a torn tail.
+  std::memset(allocation_.data(), 0, allocation_.size());
+}
+
+PersistentRegion::~PersistentRegion() {
+  if (space_ != nullptr) space_->Release(allocation_);
+}
+
+Status PersistentRegion::CheckAlive() const {
+  if (crash_ != nullptr && crash_->crashed()) {
+    return Status::Unavailable(
+        "modeled process crashed at persistence boundary " +
+        std::to_string(crash_->report().boundary));
+  }
+  return Status::OK();
+}
+
+Status PersistentRegion::BoundsCheck(uint64_t offset, uint64_t size) const {
+  if (offset + size > allocation_.size() || offset + size < offset) {
+    return Status::InvalidArgument(
+        "persistent access [" + std::to_string(offset) + ", " +
+        std::to_string(offset + size) + ") outside region of " +
+        std::to_string(allocation_.size()) + " bytes");
+  }
+  return Status::OK();
+}
+
+Status PersistentRegion::CrashNow() {
+  crash_->TriggerCrash();
+  return Status::Unavailable(
+      "modeled process crashed at persistence boundary " +
+      std::to_string(crash_->report().boundary));
+}
+
+Status PersistentRegion::CrashDuringWrite(uint64_t offset, const void* src,
+                                          uint64_t size, bool accepted) {
+  // A cached store cut mid-flight loses everything (the bytes only made
+  // it into the modeled caches); an ntstore keeps a seeded prefix that
+  // had already been posted to a write-pending queue, torn mid-line when
+  // the plan allows sub-line tears.
+  if (accepted && size > 0) {
+    Rng prefix_rng = crash_->BoundaryRng(/*stream=*/1);
+    uint64_t keep = prefix_rng.NextBelow(size + 1);
+    if (!crash_->plan().allow_subline_tear) {
+      keep = keep / kCacheLineBytes * kCacheLineBytes;
+    }
+    if (keep > 0) {
+      std::memcpy(allocation_.data() + offset, src, keep);
+      tracker_.MarkAccepted(offset, keep);
+    }
+  }
+  return CrashNow();
+}
+
+Status PersistentRegion::Store(uint64_t offset, const void* src,
+                               uint64_t size) {
+  PMEMOLAP_RETURN_NOT_OK(CheckAlive());
+  PMEMOLAP_RETURN_NOT_OK(BoundsCheck(offset, size));
+  if (crash_ != nullptr && crash_->HitsNextBoundary()) {
+    return CrashDuringWrite(offset, src, size, /*accepted=*/false);
+  }
+  std::memcpy(allocation_.data() + offset, src, size);
+  tracker_.MarkDirty(offset, size);
+  uint64_t lines = PersistCostModel::LinesCovering(offset, size);
+  store_lines_ += lines;
+  modeled_seconds_ += cost_->StoreSeconds(lines);
+  return Status::OK();
+}
+
+Status PersistentRegion::NtStore(uint64_t offset, const void* src,
+                                 uint64_t size) {
+  PMEMOLAP_RETURN_NOT_OK(CheckAlive());
+  PMEMOLAP_RETURN_NOT_OK(BoundsCheck(offset, size));
+  if (crash_ != nullptr && crash_->HitsNextBoundary()) {
+    return CrashDuringWrite(offset, src, size, /*accepted=*/true);
+  }
+  std::memcpy(allocation_.data() + offset, src, size);
+  tracker_.MarkAccepted(offset, size);
+  uint64_t lines = PersistCostModel::LinesCovering(offset, size);
+  store_lines_ += lines;
+  modeled_seconds_ += cost_->NtStoreSeconds(lines);
+  return Status::OK();
+}
+
+Status PersistentRegion::FlushRange(uint64_t offset, uint64_t size) {
+  PMEMOLAP_RETURN_NOT_OK(CheckAlive());
+  PMEMOLAP_RETURN_NOT_OK(BoundsCheck(offset, size));
+  if (crash_ != nullptr && crash_->HitsNextBoundary()) {
+    // The flush partially issued: a seeded prefix of the range's dirty
+    // lines had their write-backs posted before power cut.
+    Rng prefix_rng = crash_->BoundaryRng(/*stream=*/1);
+    uint64_t keep = prefix_rng.NextBelow(size + 1) / kCacheLineBytes *
+                    kCacheLineBytes;
+    if (keep > 0) tracker_.AcceptDirtyRange(offset, keep);
+    return CrashNow();
+  }
+  uint64_t moved = tracker_.AcceptDirtyRange(offset, size);
+  flush_lines_ += moved;
+  modeled_seconds_ += cost_->FlushSeconds(moved);
+  return Status::OK();
+}
+
+Status PersistentRegion::TruncateTo(uint64_t offset) {
+  PMEMOLAP_RETURN_NOT_OK(CheckAlive());
+  PMEMOLAP_RETURN_NOT_OK(BoundsCheck(offset, 0));
+  if (crash_ != nullptr && crash_->HitsNextBoundary()) {
+    return CrashNow();  // tail pointer never flipped; suffix still there
+  }
+  uint64_t tail = allocation_.size() - offset;
+  std::memset(allocation_.data() + offset, 0, tail);
+  std::memset(persisted_.data() + offset, 0, tail);
+  // Priced as the tail-pointer update, not the (modeled-only) zeroing.
+  modeled_seconds_ += cost_->StoreSeconds(1) + cost_->FlushSeconds(1) +
+                      cost_->FenceSeconds(1);
+  ++fences_;
+  return Status::OK();
+}
+
+Status PersistentRegion::Fence() {
+  PMEMOLAP_RETURN_NOT_OK(CheckAlive());
+  if (crash_ != nullptr && crash_->HitsNextBoundary()) {
+    // Drain never completed; accepted lines face the survival lottery.
+    return CrashNow();
+  }
+  std::vector<uint64_t> drained;
+  uint64_t pending = tracker_.DrainAccepted(&drained);
+  for (uint64_t line : drained) {
+    uint64_t begin = line * kCacheLineBytes;
+    uint64_t bytes = std::min(kCacheLineBytes, allocation_.size() - begin);
+    std::memcpy(persisted_.data() + begin, allocation_.data() + begin, bytes);
+  }
+  ++fences_;
+  modeled_seconds_ += cost_->FenceSeconds(pending);
+  return Status::OK();
+}
+
+void PersistentRegion::ApplyCrash(Rng* survival, double survival_p,
+                                  CrashReport* report) {
+  constexpr uint64_t kPerXPLine = kOptaneLineBytes / kCacheLineBytes;
+  uint64_t dirty_lost = 0;
+  uint64_t accepted_lost = 0;
+  uint64_t accepted_survived = 0;
+  // Track which XPLines ended up with a mix of survived and lost in-flight
+  // lines — those are the torn XPLines readers must never see raw.
+  std::vector<uint64_t> xp_survived;
+  std::vector<uint64_t> xp_lost;
+  for (uint64_t line = 0; line < tracker_.lines(); ++line) {
+    PersistLineState state = tracker_.state(line);
+    if (state == PersistLineState::kClean) continue;
+    bool survives = state == PersistLineState::kAcceptedWpq &&
+                    survival->NextBool(survival_p);
+    if (survives) {
+      uint64_t begin = line * kCacheLineBytes;
+      uint64_t bytes = std::min(kCacheLineBytes, allocation_.size() - begin);
+      std::memcpy(persisted_.data() + begin, allocation_.data() + begin,
+                  bytes);
+      ++accepted_survived;
+      xp_survived.push_back(line / kPerXPLine);
+    } else if (state == PersistLineState::kAcceptedWpq) {
+      ++accepted_lost;
+      xp_lost.push_back(line / kPerXPLine);
+    } else {
+      ++dirty_lost;
+      xp_lost.push_back(line / kPerXPLine);
+    }
+  }
+  // Restart: the volatile image IS the persisted image.
+  std::memcpy(allocation_.data(), persisted_.data(), allocation_.size());
+  tracker_.Reset();
+  if (report != nullptr) {
+    report->dirty_lines_lost += dirty_lost;
+    report->accepted_lines_lost += accepted_lost;
+    report->accepted_lines_survived += accepted_survived;
+    auto unique_sorted = [](std::vector<uint64_t>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    unique_sorted(&xp_survived);
+    unique_sorted(&xp_lost);
+    std::vector<uint64_t> torn;
+    std::set_intersection(xp_survived.begin(), xp_survived.end(),
+                          xp_lost.begin(), xp_lost.end(),
+                          std::back_inserter(torn));
+    report->torn_xplines += torn.size();
+  }
+}
+
+}  // namespace pmemolap

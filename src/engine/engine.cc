@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <thread>
 
 #include "governor/telemetry.h"
@@ -51,6 +52,19 @@ double SsbEngine::ActualScaleFactor() const {
 }
 
 Status SsbEngine::Prepare() {
+  if (config_.fault != nullptr && config_.durable != nullptr) {
+    // Guarded reads repair from db_ in place; durable reads come out of a
+    // snapshot epoch. Combining them would give two owners of the row
+    // bytes — keep the robustness modes orthogonal.
+    return Status::InvalidArgument(
+        "fault (guarded) and durable modes are mutually exclusive");
+  }
+  if (config_.durable != nullptr &&
+      config_.durable->options().capacity_bytes <
+          db_->lineorder.size() * sizeof(ssb::LineorderRow)) {
+    return Status::InvalidArgument(
+        "durable table capacity below the database's lineorder bytes");
+  }
   IndexKind kind = config_.mode == EngineMode::kPmemAware
                        ? IndexKind::kDash
                        : IndexKind::kChained;
@@ -214,7 +228,7 @@ Status SsbEngine::Prepare() {
   // Host-execution structures: the columnar projection + dense date map
   // for the vectorized kernels (fault mode always reads through the
   // guarded scalar path), and the persistent work-stealing pool.
-  if (config_.vectorized && !guarded) {
+  if (config_.vectorized && !guarded && config_.durable == nullptr) {
     columns_ = ssb::ColumnStore(db_->lineorder);
     date_dense_.Build(db_->date);
     std::vector<int32_t> keys;
@@ -269,9 +283,11 @@ Status SsbEngine::Prepare() {
 
 Status SsbEngine::ExecuteRange(QueryId query, int socket,
                                const TupleRange& range,
-                               ssb::QueryOutput* out, ProbeCounters* probes,
+                               uint64_t snapshot_epoch, ssb::QueryOutput* out,
+                               ProbeCounters* probes,
                                uint64_t* qualifying) const {
   const bool guarded = guarded_fact_ != nullptr;
+  const bool durable = config_.durable != nullptr;
   // Probe lambdas stay infallible for the 13-query switch below; a fault
   // that survives failover and repair is parked in `fault_status` and
   // aborts the range at the end of the row.
@@ -314,8 +330,17 @@ Status SsbEngine::ExecuteRange(QueryId query, int socket,
       PMEMOLAP_RETURN_NOT_OK(guarded_fact_->Read(
           i * sizeof(ssb::LineorderRow), sizeof(ssb::LineorderRow),
           reinterpret_cast<std::byte*>(&scratch)));
+    } else if (durable) {
+      // Durable mode: the row is served from the pinned committed
+      // snapshot — ranges were clamped to it, so the read cannot run
+      // past the epoch's bytes even while ingest keeps committing.
+      PMEMOLAP_RETURN_NOT_OK(config_.durable->ReadSnapshot(
+          snapshot_epoch, i * sizeof(ssb::LineorderRow),
+          sizeof(ssb::LineorderRow),
+          reinterpret_cast<std::byte*>(&scratch)));
     }
-    const ssb::LineorderRow& lo = guarded ? scratch : db_->lineorder[i];
+    const ssb::LineorderRow& lo =
+        guarded || durable ? scratch : db_->lineorder[i];
     switch (query) {
       // --- Flight 1: cheap tuple filters first, then one date probe --------
       case QueryId::kQ1_1: {
@@ -636,6 +661,7 @@ void SsbEngine::RecordSocketTraffic(
 
 Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
                                    const TupleRange& range, bool vectorized,
+                                   uint64_t snapshot_epoch,
                                    const governor::GovernorDecision* decision,
                                    WorkerState* state) const {
   if (state->probes.size() < partitions_.size()) {
@@ -644,8 +670,9 @@ Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
   }
   const SocketPartition& partition = partitions_[slot];
   if (!vectorized) {
-    return ExecuteRange(query, partition.socket, range, &state->output,
-                        &state->probes[slot], &state->qualifying[slot]);
+    return ExecuteRange(query, partition.socket, range, snapshot_epoch,
+                        &state->output, &state->probes[slot],
+                        &state->qualifying[slot]);
   }
   // Staged dimensions probe the DRAM replica; the payloads are identical
   // copies, so eviction (falling back to the base map) cannot change any
@@ -685,6 +712,32 @@ ssb::QueryOutput SsbEngine::DrainWorkerOutput(WorkerState* state) {
   }
   state->groups.MergeInto(&out.groups);
   return out;
+}
+
+Result<uint64_t> SsbEngine::Ingest(const ssb::LineorderRow* rows,
+                                   uint64_t count) {
+  if (config_.durable == nullptr) {
+    return Status::FailedPrecondition(
+        "Ingest requires a durable table (EngineConfig::durable)");
+  }
+  if (count == 0) return Status::InvalidArgument("empty ingest batch");
+  return config_.durable->Append(
+      reinterpret_cast<const std::byte*>(rows),
+      count * sizeof(ssb::LineorderRow));
+}
+
+Result<RecoveryStats> SsbEngine::Recover() {
+  if (config_.durable == nullptr) {
+    return Status::FailedPrecondition(
+        "Recover requires a durable table (EngineConfig::durable)");
+  }
+  if (config_.admission != nullptr) config_.admission->PauseForRecovery();
+  RecoveryManager recovery(config_.durable);
+  Result<RecoveryStats> stats = recovery.Run();
+  if (config_.admission != nullptr) {
+    config_.admission->ResumeAfterRecovery();
+  }
+  return stats;
 }
 
 Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {
@@ -775,7 +828,25 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
                                                 partitions_.size())));
 
   const bool guarded = guarded_fact_ != nullptr;
-  const bool vectorized = config_.vectorized && !guarded;
+  const bool durable = config_.durable != nullptr;
+  // Durable mode pins the snapshot once, post-admission: however many
+  // epochs commit while the query runs, every range reads the same
+  // committed prefix. Ranges are clamped to the snapshot's rows below.
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_rows = db_->lineorder.size();
+  if (durable) {
+    snapshot_epoch = options.snapshot_epoch == qos::kLatestSnapshot
+                         ? config_.durable->committed_epoch()
+                         : options.snapshot_epoch;
+    PMEMOLAP_ASSIGN_OR_RETURN(uint64_t snapshot_bytes,
+                              config_.durable->SnapshotBytes(snapshot_epoch));
+    snapshot_rows = snapshot_bytes / sizeof(ssb::LineorderRow);
+  }
+  auto clamp_range = [snapshot_rows](const TupleRange& range) {
+    return TupleRange{std::min(range.begin, snapshot_rows),
+                      std::min(range.end, snapshot_rows)};
+  };
+  const bool vectorized = config_.vectorized && !guarded && !durable;
   const ExecutorKind executor = config_.parallel_execution
                                     ? config_.executor
                                     : ExecutorKind::kSerial;
@@ -790,6 +861,20 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     // queues, idle workers steal across sockets, first failure cancels.
     MorselPlan plan =
         Partitioner::ToMorsels(partitions_, config_.morsel_tuples);
+    if (durable && snapshot_rows < db_->lineorder.size()) {
+      // Clamp the work list to the snapshot before shaping/reassignment:
+      // uncommitted rows don't exist for this query.
+      for (std::vector<Morsel>& queue : plan.queues) {
+        for (Morsel& morsel : queue) {
+          morsel.begin = std::min(morsel.begin, snapshot_rows);
+          morsel.end = std::min(morsel.end, snapshot_rows);
+        }
+        queue.erase(std::remove_if(
+                        queue.begin(), queue.end(),
+                        [](const Morsel& m) { return m.size() == 0; }),
+                    queue.end());
+      }
+    }
     if (governed) {
       const uint64_t bpt = ScanBytesPerTuple(query);
       if (decision.shape_morsels) {
@@ -827,8 +912,8 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
         [&](const Morsel& morsel, int worker) {
           return ExecuteRangeInto(
               query, slot_of_socket[static_cast<size_t>(morsel.socket)],
-              {morsel.begin, morsel.end}, vectorized, decision_ptr,
-              &states[static_cast<size_t>(worker)]);
+              {morsel.begin, morsel.end}, vectorized, snapshot_epoch,
+              decision_ptr, &states[static_cast<size_t>(worker)]);
         },
         control);
     progress.units_executed = stats.executed;
@@ -847,9 +932,10 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
       const size_t workers = partition.worker_ranges.size();
       if (workers <= 1) {
         states.emplace_back();
-        PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(query, slot, partition.tuples,
-                                                vectorized, decision_ptr,
-                                                &states.back()));
+        PMEMOLAP_RETURN_NOT_OK(
+            ExecuteRangeInto(query, slot, clamp_range(partition.tuples),
+                             vectorized, snapshot_epoch, decision_ptr,
+                             &states.back()));
         ++progress.units_executed;
         continue;
       }
@@ -863,9 +949,9 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
       threads.reserve(workers);
       for (size_t w = 0; w < workers; ++w) {
         threads.emplace_back([&, slot, w, base] {
-          statuses[w] =
-              ExecuteRangeInto(query, slot, partitions_[slot].worker_ranges[w],
-                               vectorized, decision_ptr, &states[base + w]);
+          statuses[w] = ExecuteRangeInto(
+              query, slot, clamp_range(partitions_[slot].worker_ranges[w]),
+              vectorized, snapshot_epoch, decision_ptr, &states[base + w]);
         });
       }
       // lint:allow(raw-thread): join of the baseline executor above.
@@ -881,10 +967,10 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     states.emplace_back();
     for (size_t slot = 0; slot < slots; ++slot) {
       PMEMOLAP_RETURN_NOT_OK(token.Check());
-      PMEMOLAP_RETURN_NOT_OK(ExecuteRangeInto(query, slot,
-                                              partitions_[slot].tuples,
-                                              vectorized, decision_ptr,
-                                              &states[0]));
+      PMEMOLAP_RETURN_NOT_OK(
+          ExecuteRangeInto(query, slot, clamp_range(partitions_[slot].tuples),
+                           vectorized, snapshot_epoch, decision_ptr,
+                           &states[0]));
       ++progress.units_executed;
     }
   }
@@ -909,10 +995,11 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
 
   for (size_t slot = 0; slot < slots; ++slot) {
     const SocketPartition& partition = partitions_[slot];
-    RecordSocketTraffic(query, partition.socket, partition.tuples.size(),
+    const uint64_t scanned_tuples = clamp_range(partition.tuples).size();
+    RecordSocketTraffic(query, partition.socket, scanned_tuples,
                         slot_probes[slot], slot_qualifying[slot],
                         threads_per_socket, decision_ptr, &run.profile);
-    run.cpu.tuples_scanned += partition.tuples.size();
+    run.cpu.tuples_scanned += scanned_tuples;
     run.cpu.probes += slot_probes[slot].total();
     run.cpu.agg_updates += slot_qualifying[slot];
   }
@@ -923,7 +1010,8 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     // region (too sparse for the LLC to help).
     uint64_t fact_bytes = 0;
     for (const SocketPartition& partition : partitions_) {
-      fact_bytes += partition.tuples.size() * ScanBytesPerTuple(query);
+      fact_bytes +=
+          clamp_range(partition.tuples).size() * ScanBytesPerTuple(query);
     }
     TrafficRecord torn;
     torn.op = OpType::kRead;
@@ -985,6 +1073,16 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
   // the whole platform's PMEM writers sit at 4–6 per socket, not just the
   // query's own) — ungoverned runs see the background as configured.
   std::vector<TrafficRecord> background = config_.background;
+  if (durable) {
+    // The ingest load's PMEM write stream (redo log + table apply) rides
+    // along as standing background: the query is costed jointly with it,
+    // and — below — the governor's writer clamp applies to it like any
+    // other PMEM writer, so log writes enter the write-knee loop.
+    std::vector<TrafficRecord> ingest = config_.durable->standing_traffic();
+    background.insert(background.end(),
+                      std::make_move_iterator(ingest.begin()),
+                      std::make_move_iterator(ingest.end()));
+  }
   if (governed && decision.write_threads > 0) {
     for (TrafficRecord& record : background) {
       if (record.op == OpType::kWrite && record.media == Media::kPmem) {

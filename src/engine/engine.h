@@ -24,6 +24,8 @@
 #include "common/status.h"
 #include "core/partitioner.h"
 #include "core/profile.h"
+#include "durability/durable_table.h"
+#include "durability/recovery.h"
 #include "engine/dimension_index.h"
 #include "engine/kernels.h"
 #include "engine/timer.h"
@@ -126,6 +128,16 @@ struct EngineConfig {
   /// (Fig. 11 interference). Given at model scale — project_to_sf does
   /// not rescale it. Empty = today's solo-query timing, bit-identical.
   std::vector<TrafficRecord> background;
+  /// Non-null switches the engine into durable mode: the fact rows live
+  /// in this crash-consistent DurableTable (fed epoch-by-epoch through
+  /// Ingest) instead of db_->lineorder, every read pins a committed
+  /// snapshot epoch (QueryOptions::snapshot_epoch), and the table's
+  /// standing ingest write traffic joins the query's background classes —
+  /// so log writes show up at the governor's write knee. Queries scan
+  /// only committed rows: a crash mid-epoch can never surface torn data
+  /// to a reader. Mutually exclusive with `fault` guarded mode; forces
+  /// the scalar path. Must outlive the engine.
+  DurableTable* durable = nullptr;
   TimerConfig timer;
 };
 
@@ -164,6 +176,21 @@ class SsbEngine {
   Result<QueryRun> Execute(ssb::QueryId query,
                            const qos::QueryOptions& options) const;
 
+  /// Durable mode: appends `count` rows as one crash-consistent ingest
+  /// epoch and returns the committed epoch id. The rows become visible to
+  /// queries whose snapshot is at or past that epoch. For results to stay
+  /// validatable against the reference executor, ingest must follow
+  /// db->lineorder prefix order (epoch k extends the ingested prefix).
+  Result<uint64_t> Ingest(const ssb::LineorderRow* rows, uint64_t count);
+
+  /// Durable mode: runs crash recovery over the redo log. While recovery
+  /// is replaying, config().admission (if set) is paused — TryAdmit fails
+  /// fast with kUnavailable and Admit waiters queue — so no query can pin
+  /// a snapshot against a half-replayed table; the pause lifts before
+  /// returning (on every path, error included). FailedPrecondition
+  /// without a durable table.
+  Result<RecoveryStats> Recover();
+
   const EngineConfig& config() const { return config_; }
   /// Scale factor of the loaded database (lineorder rows / 6M).
   double ActualScaleFactor() const;
@@ -180,10 +207,13 @@ class SsbEngine {
   /// Runs the query over one contiguous tuple range (probing `socket`'s
   /// index replicas), accumulating results and probe counts. In fault
   /// mode rows and dimension payloads come through the guarded read path
-  /// and an unrecoverable fault surfaces as the returned Status.
+  /// and an unrecoverable fault surfaces as the returned Status. In
+  /// durable mode rows come out of the DurableTable's pinned
+  /// `snapshot_epoch` (ignored otherwise).
   Status ExecuteRange(ssb::QueryId query, int socket,
-                      const TupleRange& range, ssb::QueryOutput* out,
-                      ProbeCounters* probes, uint64_t* qualifying) const;
+                      const TupleRange& range, uint64_t snapshot_epoch,
+                      ssb::QueryOutput* out, ProbeCounters* probes,
+                      uint64_t* qualifying) const;
 
   /// Accumulator of one host worker. A worker may execute morsels of
   /// several sockets (stealing), so probe/qualifying counts are kept per
@@ -205,6 +235,7 @@ class SsbEngine {
   /// the DRAM replicas (identical payloads: results are bit-identical).
   Status ExecuteRangeInto(ssb::QueryId query, size_t slot,
                           const TupleRange& range, bool vectorized,
+                          uint64_t snapshot_epoch,
                           const governor::GovernorDecision* decision,
                           WorkerState* state) const;
 

@@ -2,7 +2,9 @@
 // guarded PMEM, one CRC-chunked GuardedTable per column. Scans run
 // chunk-wise through the guarded read path, so poisoned columns are
 // retried, scrubbed or repaired transparently and the scan result stays
-// bit-identical to the in-DRAM ColumnStore.
+// bit-identical to the in-DRAM ColumnStore. Irreparable CRC mismatches
+// surface as kCorruption (bytes present but provably wrong); kDataLoss is
+// reserved for media that cannot serve the bytes at all.
 #pragma once
 
 #include <cstdint>

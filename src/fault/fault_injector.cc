@@ -140,6 +140,7 @@ FaultCounters FaultInjector::counters() const {
   c.retries = retries_.load(kRelaxed);
   c.transient_clears = transient_clears_.load(kRelaxed);
   c.crc_failures = crc_failures_.load(kRelaxed);
+  c.corrupt_lines = corrupt_lines_.load(kRelaxed);
   c.chunks_scrubbed = chunks_scrubbed_.load(kRelaxed);
   c.chunks_repaired = chunks_repaired_.load(kRelaxed);
   c.bytes_repaired = bytes_repaired_.load(kRelaxed);

@@ -36,6 +36,10 @@ struct FaultCounters {
   uint64_t retries = 0;
   uint64_t transient_clears = 0;
   uint64_t crc_failures = 0;
+  /// 256 B XPLines whose bytes diverged from the repair source (or, with
+  /// the source dropped, permanently poisoned lines) inside CRC-failed
+  /// chunks — the per-line forensics of the scrub report.
+  uint64_t corrupt_lines = 0;
   uint64_t chunks_scrubbed = 0;
   uint64_t chunks_repaired = 0;
   uint64_t bytes_repaired = 0;
@@ -103,6 +107,9 @@ class FaultInjector {
   }
   void CountTransientClear() { transient_clears_.fetch_add(1, kRelaxed); }
   void CountCrcFailure() { crc_failures_.fetch_add(1, kRelaxed); }
+  void CountCorruptLines(uint64_t lines) {
+    corrupt_lines_.fetch_add(lines, kRelaxed);
+  }
   void CountScrub() { chunks_scrubbed_.fetch_add(1, kRelaxed); }
   void CountRepair(uint64_t bytes) {
     chunks_repaired_.fetch_add(1, kRelaxed);
@@ -139,6 +146,7 @@ class FaultInjector {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> transient_clears_{0};
   std::atomic<uint64_t> crc_failures_{0};
+  std::atomic<uint64_t> corrupt_lines_{0};
   std::atomic<uint64_t> chunks_scrubbed_{0};
   std::atomic<uint64_t> chunks_repaired_{0};
   std::atomic<uint64_t> bytes_repaired_{0};

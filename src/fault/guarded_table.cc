@@ -171,7 +171,6 @@ Result<bool> GuardedTable::ScrubChunkLocked(int stripe, uint64_t chunk) {
   const uint64_t begin = chunk * options_.chunk_bytes;
   const uint64_t len = std::min(options_.chunk_bytes, StripeLen(stripe) - begin);
   const bool crc_ok = VerifyChunk(stripe, chunk);
-  if (!crc_ok) injector_->CountCrcFailure();
   std::vector<uint64_t> lines = region.PoisonedLinesIn(begin, len);
   if (crc_ok) {
     // Bytes are intact (transient poison never corrupts data): a rewrite
@@ -179,8 +178,30 @@ Result<bool> GuardedTable::ScrubChunkLocked(int stripe, uint64_t chunk) {
     for (uint64_t line : lines) region.ScrubLine(line);
     return false;
   }
-  if (source_ == nullptr) {
-    return Status::DataLoss("chunk CRC mismatch and no repair source");
+  injector_->CountCrcFailure();
+  if (source_ != nullptr) {
+    // Per-XPLine forensics for the scrub report: which 256 B lines of the
+    // failed chunk actually diverge from the truth.
+    const std::byte* truth = source_ + StripeBase(stripe) + begin;
+    uint64_t corrupt_lines = 0;
+    for (uint64_t pos = 0; pos < len; pos += kOptaneLineBytes) {
+      const uint64_t line_len = std::min(kOptaneLineBytes, len - pos);
+      if (std::memcmp(region.data() + begin + pos, truth + pos, line_len) !=
+          0) {
+        ++corrupt_lines;
+      }
+    }
+    injector_->CountCorruptLines(corrupt_lines);
+  } else {
+    // No truth to diff against: every permanently poisoned line of the
+    // chunk is presumed corrupt (transient poison never mutates bytes).
+    uint64_t corrupt_lines = 0;
+    for (uint64_t line : region.PermanentPoisonedLines()) {
+      const uint64_t line_begin = line * kOptaneLineBytes;
+      if (line_begin >= begin && line_begin < begin + len) ++corrupt_lines;
+    }
+    injector_->CountCorruptLines(corrupt_lines);
+    return Status::Corruption("chunk CRC mismatch and no repair source");
   }
   std::memcpy(region.data() + begin, source_ + StripeBase(stripe) + begin,
               len);

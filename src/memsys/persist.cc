@@ -1,0 +1,38 @@
+#include "memsys/persist.h"
+
+namespace pmemolap {
+
+namespace {
+constexpr double kNanosecond = 1e-9;
+}  // namespace
+
+uint64_t PersistCostModel::LinesCovering(uint64_t offset, uint64_t bytes) {
+  if (bytes == 0) return 0;
+  const uint64_t first = offset / kCacheLineBytes;
+  const uint64_t last = (offset + bytes - 1) / kCacheLineBytes;
+  return last - first + 1;
+}
+
+double PersistCostModel::StoreSeconds(uint64_t lines) const {
+  return static_cast<double>(lines) * spec_.store_line_ns * kNanosecond;
+}
+
+double PersistCostModel::FlushSeconds(uint64_t lines) const {
+  return static_cast<double>(lines) * spec_.clwb_line_ns * kNanosecond;
+}
+
+double PersistCostModel::NtStoreSeconds(uint64_t lines) const {
+  return static_cast<double>(lines) * spec_.ntstore_line_ns * kNanosecond;
+}
+
+double PersistCostModel::ScanSeconds(uint64_t lines) const {
+  return static_cast<double>(lines) * spec_.log_scan_line_ns * kNanosecond;
+}
+
+double PersistCostModel::FenceSeconds(uint64_t pending_lines) const {
+  return (spec_.sfence_base_ns +
+          static_cast<double>(pending_lines) * spec_.sfence_pending_line_ns) *
+         kNanosecond;
+}
+
+}  // namespace pmemolap

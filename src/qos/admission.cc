@@ -54,6 +54,7 @@ int AdmissionController::EffectiveQueueLimit(QueryPriority priority) const {
 }
 
 bool AdmissionController::CanRunLocked(int priority) const {
+  if (recovery_paused_) return false;
   if (running_ >= std::max(1, limits_.max_concurrent)) return false;
   for (int p = 0; p < priority; ++p) {
     if (waiting_[p] > 0) return false;  // higher-priority waiter first
@@ -65,6 +66,10 @@ Result<AdmissionTicket> AdmissionController::TryAdmit(
     QueryPriority priority) {
   std::lock_guard<std::mutex> lock(mutex_);
   const int p = static_cast<int>(priority);
+  if (recovery_paused_) {
+    ++counters_.shed;
+    return Status::Unavailable("admission paused (recovery in progress)");
+  }
   if (!CanRunLocked(p)) {
     ++counters_.shed;
     return Status::ResourceExhausted(
@@ -118,6 +123,24 @@ Result<AdmissionTicket> AdmissionController::Admit(QueryPriority priority,
       counters_.peak_running, static_cast<uint64_t>(running_));
   ++counters_.admitted;
   return AdmissionTicket(this);
+}
+
+void AdmissionController::PauseForRecovery() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recovery_paused_ = true;
+}
+
+void AdmissionController::ResumeAfterRecovery() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recovery_paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionController::recovery_paused() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_paused_;
 }
 
 void AdmissionController::Release() {

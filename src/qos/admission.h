@@ -118,6 +118,17 @@ class AdmissionController {
   /// shrinkage — 0 means "shed unless a slot is free".
   int EffectiveQueueLimit(QueryPriority priority) const;
 
+  /// Recovery gate: while paused no new query is admitted. TryAdmit fails
+  /// fast with kUnavailable ("recovery in progress"); Admit queues (its
+  /// class bound still applies) and wakes on ResumeAfterRecovery — or
+  /// leaves with its token's terminal status if the deadline fires first.
+  /// Queries already running keep their tickets; crash-consistent recovery
+  /// only needs to stop NEW snapshots from being pinned while the redo log
+  /// is being replayed. Idempotent; pause depth is not counted.
+  void PauseForRecovery();
+  void ResumeAfterRecovery();
+  bool recovery_paused() const;
+
   AdmissionCounters counters() const;
   int running() const;
   int waiting() const;
@@ -135,6 +146,7 @@ class AdmissionController {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   LoadSignal signal_;
+  bool recovery_paused_ = false;
   int running_ = 0;
   int waiting_[kNumPriorities] = {0, 0, 0};
   AdmissionCounters counters_;

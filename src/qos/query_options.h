@@ -69,6 +69,9 @@ struct QueryProgress {
   uint64_t units_stolen = 0;    ///< executed via work stealing
 };
 
+/// Sentinel for "read at the newest committed ingest epoch".
+inline constexpr uint64_t kLatestSnapshot = ~uint64_t{0};
+
 /// Per-query lifecycle options accepted by SsbEngine::Execute and
 /// ExecutePlanParallel. Default-constructed options change nothing: no
 /// deadline, normal priority, unlimited retries.
@@ -86,6 +89,11 @@ struct QueryOptions {
   /// Optional out-param: filled with partial-progress stats whether the
   /// query completes, sheds or expires. Must outlive the Execute call.
   QueryProgress* progress = nullptr;
+  /// Durable-mode snapshot pin: the committed ingest epoch this query
+  /// reads at. kLatestSnapshot resolves once at the start of Execute, so
+  /// a query's view never advances mid-run while ingest keeps committing.
+  /// Ignored outside durable mode.
+  uint64_t snapshot_epoch = kLatestSnapshot;
 };
 
 }  // namespace pmemolap::qos

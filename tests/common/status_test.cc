@@ -31,6 +31,7 @@ TEST(StatusTest, AllFactoryCodesRoundTrip) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
@@ -57,6 +58,7 @@ TEST(StatusTest, StatusCodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");

@@ -1,0 +1,291 @@
+// Persistence model unit tests: primitive pricing (memsys/persist),
+// per-line persistence-domain tracking (device/persistence_domain), and
+// the PersistentRegion volatile/persisted image split the durability
+// protocol is built on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "durability/crash_injector.h"
+#include "durability/persistent_region.h"
+#include "memsys/persist.h"
+
+namespace pmemolap {
+namespace {
+
+// --- PersistCostModel ------------------------------------------------------
+
+TEST(PersistCostModelTest, LinesCoveringCountsTouchedCacheLines) {
+  EXPECT_EQ(PersistCostModel::LinesCovering(0, 0), 0u);
+  EXPECT_EQ(PersistCostModel::LinesCovering(0, 1), 1u);
+  EXPECT_EQ(PersistCostModel::LinesCovering(0, kCacheLineBytes), 1u);
+  EXPECT_EQ(PersistCostModel::LinesCovering(0, kCacheLineBytes + 1), 2u);
+  // Two bytes straddling a line boundary touch two lines.
+  EXPECT_EQ(PersistCostModel::LinesCovering(kCacheLineBytes - 1, 2), 2u);
+  EXPECT_EQ(PersistCostModel::LinesCovering(kCacheLineBytes, 64), 1u);
+}
+
+TEST(PersistCostModelTest, CachedStorePlusClwbPricesAboveNtStore) {
+  // van Renen et al.: streaming writes want ntstore; the cached path pays
+  // the read-allocate. The model must preserve that ordering.
+  PersistCostModel cost;
+  for (uint64_t lines : {1u, 4u, 64u}) {
+    EXPECT_GT(cost.StoreSeconds(lines) + cost.FlushSeconds(lines),
+              cost.NtStoreSeconds(lines))
+        << lines << " lines";
+  }
+}
+
+TEST(PersistCostModelTest, SingleLineNtStoreAppendIsHalfMicroBallpark) {
+  PersistCostModel cost;
+  double append = cost.NtStoreSeconds(1) + cost.FenceSeconds(1);
+  EXPECT_GT(append, 0.3e-6);
+  EXPECT_LT(append, 0.7e-6);
+}
+
+TEST(PersistCostModelTest, FenceGrowsWithPendingLines) {
+  PersistCostModel cost;
+  EXPECT_GT(cost.FenceSeconds(0), 0.0) << "ordering stall floor";
+  EXPECT_GT(cost.FenceSeconds(8), cost.FenceSeconds(1));
+  EXPECT_GT(cost.ScanSeconds(100), cost.ScanSeconds(10));
+  EXPECT_EQ(cost.StoreSeconds(0), 0.0);
+}
+
+// --- PersistenceTracker ----------------------------------------------------
+
+TEST(PersistenceTrackerTest, StoreFlushFenceWalksTheThreeStages) {
+  PersistenceTracker tracker(4 * kCacheLineBytes);
+  EXPECT_EQ(tracker.lines(), 4u);
+  EXPECT_EQ(tracker.dirty_lines(), 0u);
+
+  tracker.MarkDirty(0, 2 * kCacheLineBytes);
+  EXPECT_EQ(tracker.dirty_lines(), 2u);
+  EXPECT_EQ(tracker.accepted_lines(), 0u);
+
+  // clwb moves exactly the dirty lines in range; clean lines cost nothing.
+  EXPECT_EQ(tracker.AcceptDirtyRange(0, 4 * kCacheLineBytes), 2u);
+  EXPECT_EQ(tracker.dirty_lines(), 0u);
+  EXPECT_EQ(tracker.accepted_lines(), 2u);
+  EXPECT_EQ(tracker.AcceptDirtyRange(0, 4 * kCacheLineBytes), 0u);
+
+  std::vector<uint64_t> drained;
+  EXPECT_EQ(tracker.DrainAccepted(&drained), 2u);
+  EXPECT_EQ(drained, (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(tracker.accepted_lines(), 0u);
+}
+
+TEST(PersistenceTrackerTest, RestoreOfAcceptedLineDropsBackToDirty) {
+  // A new cached store re-dirties the cache line: the earlier write-back
+  // no longer covers the line's current contents.
+  PersistenceTracker tracker(2 * kCacheLineBytes);
+  tracker.MarkDirty(0, kCacheLineBytes);
+  tracker.AcceptDirtyRange(0, kCacheLineBytes);
+  EXPECT_EQ(tracker.accepted_lines(), 1u);
+  tracker.MarkDirty(0, kCacheLineBytes);
+  EXPECT_EQ(tracker.accepted_lines(), 0u);
+  EXPECT_EQ(tracker.dirty_lines(), 1u);
+}
+
+TEST(PersistenceTrackerTest, NtStoreBypassesTheDirtyStage) {
+  PersistenceTracker tracker(8 * kCacheLineBytes);
+  tracker.MarkAccepted(2 * kCacheLineBytes, 3 * kCacheLineBytes);
+  EXPECT_EQ(tracker.dirty_lines(), 0u);
+  EXPECT_EQ(tracker.accepted_lines(), 3u);
+  EXPECT_EQ(tracker.LinesInState(PersistLineState::kAcceptedWpq),
+            (std::vector<uint64_t>{2, 3, 4}));
+}
+
+TEST(PersistenceTrackerTest, XPLineAggregationUses256ByteGranularity) {
+  // 8 cache lines = 2 XPLines; dirtying lines 0 and 5 touches both.
+  PersistenceTracker tracker(8 * kCacheLineBytes);
+  tracker.MarkDirty(0, 1);
+  tracker.MarkDirty(5 * kCacheLineBytes, 1);
+  EXPECT_EQ(tracker.XPLinesInState(PersistLineState::kDirtyCache), 2u);
+  tracker.Reset();
+  EXPECT_EQ(tracker.XPLinesInState(PersistLineState::kDirtyCache), 0u);
+}
+
+// --- PersistentRegion ------------------------------------------------------
+
+class PersistentRegionTest : public ::testing::Test {
+ protected:
+  SystemTopology topo_ = SystemTopology::PaperServer();
+  PmemSpace space_{topo_};
+  PersistCostModel cost_;
+};
+
+std::vector<std::byte> Pattern(uint64_t size, int salt) {
+  std::vector<std::byte> bytes(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<std::byte>((salt * 131 + i * 7) & 0xFF);
+  }
+  return bytes;
+}
+
+TEST_F(PersistentRegionTest, StoreAloneIsNotDurable) {
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                         /*socket=*/0, nullptr, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::byte> payload = Pattern(100, 1);
+  ASSERT_TRUE((*region)->Store(0, payload.data(), payload.size()).ok());
+  // Volatile image sees the bytes; the persisted image does not.
+  EXPECT_EQ(std::memcmp((*region)->data(), payload.data(), payload.size()),
+            0);
+  EXPECT_EQ((*region)->persisted()[0], std::byte{0});
+  EXPECT_EQ((*region)->tracker().dirty_lines(), 2u);  // 100 B = 2 lines
+
+  ASSERT_TRUE((*region)->FlushRange(0, payload.size()).ok());
+  EXPECT_EQ((*region)->persisted()[0], std::byte{0})
+      << "clwb accepts into the WPQ; only the fence drains it";
+  ASSERT_TRUE((*region)->Fence().ok());
+  EXPECT_EQ(std::memcmp((*region)->persisted(), payload.data(),
+                        payload.size()),
+            0);
+  EXPECT_EQ((*region)->tracker().dirty_lines(), 0u);
+  EXPECT_EQ((*region)->tracker().accepted_lines(), 0u);
+}
+
+TEST_F(PersistentRegionTest, NtStorePlusFencePersists) {
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                         /*socket=*/0, nullptr, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::byte> payload = Pattern(kOptaneLineBytes, 2);
+  ASSERT_TRUE(
+      (*region)->NtStore(kOptaneLineBytes, payload.data(), payload.size())
+          .ok());
+  EXPECT_EQ((*region)->tracker().accepted_lines(), 4u);
+  ASSERT_TRUE((*region)->Fence().ok());
+  EXPECT_EQ(std::memcmp((*region)->persisted() + kOptaneLineBytes,
+                        payload.data(), payload.size()),
+            0);
+}
+
+TEST_F(PersistentRegionTest, AccruesModeledSecondsPerPrimitive) {
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                         /*socket=*/0, nullptr, &cost_);
+  ASSERT_TRUE(region.ok());
+  EXPECT_EQ((*region)->modeled_seconds(), 0.0);
+  std::vector<std::byte> payload = Pattern(128, 3);
+  ASSERT_TRUE((*region)->Store(0, payload.data(), payload.size()).ok());
+  ASSERT_TRUE((*region)->FlushRange(0, payload.size()).ok());
+  ASSERT_TRUE((*region)->Fence().ok());
+  double expected = cost_.StoreSeconds(2) + cost_.FlushSeconds(2) +
+                    cost_.FenceSeconds(2);
+  EXPECT_DOUBLE_EQ((*region)->modeled_seconds(), expected);
+  EXPECT_EQ((*region)->store_lines(), 2u);
+  EXPECT_EQ((*region)->flush_lines(), 2u);
+  EXPECT_EQ((*region)->fences(), 1u);
+}
+
+TEST_F(PersistentRegionTest, BoundsAreChecked) {
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes,
+                                         /*socket=*/0, nullptr, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::byte byte{0xAA};
+  EXPECT_EQ((*region)->Store(kOptaneLineBytes, &byte, 1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*region)->FlushRange(0, kOptaneLineBytes + 1).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PersistentRegionTest, TruncateZeroesBothImagesPastOffset) {
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 2,
+                                         /*socket=*/0, nullptr, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::byte> payload = Pattern(2 * kOptaneLineBytes, 4);
+  ASSERT_TRUE((*region)->NtStore(0, payload.data(), payload.size()).ok());
+  ASSERT_TRUE((*region)->Fence().ok());
+  ASSERT_TRUE((*region)->TruncateTo(10).ok());
+  EXPECT_EQ(std::memcmp((*region)->data(), payload.data(), 10), 0);
+  for (uint64_t i = 10; i < 2 * kOptaneLineBytes; ++i) {
+    ASSERT_EQ((*region)->data()[i], std::byte{0}) << i;
+    ASSERT_EQ((*region)->persisted()[i], std::byte{0}) << i;
+  }
+}
+
+// --- Crash semantics at a single boundary ----------------------------------
+
+TEST_F(PersistentRegionTest, CrashAtStoreBoundaryLosesTheCachedWrite) {
+  CrashInjector crash(/*seed=*/7, CrashPlan{/*boundary_index=*/0});
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                         /*socket=*/0, &crash, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::byte> payload = Pattern(200, 5);
+  Status status = (*region)->Store(0, payload.data(), payload.size());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(crash.crashed());
+  // The cached store never reached the persistence domain: after the
+  // restart reconciliation both images are the original zeros.
+  for (uint64_t i = 0; i < payload.size(); ++i) {
+    ASSERT_EQ((*region)->data()[i], std::byte{0}) << i;
+  }
+  // A dead process cannot issue primitives until recovery acknowledges.
+  EXPECT_EQ((*region)->Fence().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(crash.report().boundary, 0);
+}
+
+TEST_F(PersistentRegionTest, CrashAtFenceRunsTheSurvivalLottery) {
+  // survival_p = 1: every WPQ-accepted line survives the power cut even
+  // though the fence never completed.
+  CrashInjector crash(/*seed=*/7,
+                      CrashPlan{/*boundary_index=*/1,
+                                /*accepted_survival_p=*/1.0});
+  auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                         /*socket=*/0, &crash, &cost_);
+  ASSERT_TRUE(region.ok());
+  std::vector<std::byte> payload = Pattern(kOptaneLineBytes, 6);
+  ASSERT_TRUE(
+      (*region)->NtStore(0, payload.data(), payload.size()).ok());  // b0
+  EXPECT_EQ((*region)->Fence().code(), StatusCode::kUnavailable);   // b1
+  EXPECT_EQ(std::memcmp((*region)->persisted(), payload.data(),
+                        payload.size()),
+            0);
+  EXPECT_EQ(crash.report().accepted_lines_survived, 4u);
+  EXPECT_EQ(crash.report().torn_xplines, 0u);
+
+  // survival_p = 0: the same crash loses every accepted line.
+  CrashInjector crash0(/*seed=*/7,
+                       CrashPlan{/*boundary_index=*/1,
+                                 /*accepted_survival_p=*/0.0});
+  auto region0 = PersistentRegion::Create(&space_, kOptaneLineBytes * 4,
+                                          /*socket=*/0, &crash0, &cost_);
+  ASSERT_TRUE(region0.ok());
+  ASSERT_TRUE(
+      (*region0)->NtStore(0, payload.data(), payload.size()).ok());
+  EXPECT_EQ((*region0)->Fence().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*region0)->persisted()[0], std::byte{0});
+  EXPECT_EQ(crash0.report().accepted_lines_lost, 4u);
+}
+
+TEST_F(PersistentRegionTest, CrashReportIsDeterministicFromSeedAndBoundary) {
+  auto run = [&](uint64_t seed, int64_t boundary) {
+    CrashInjector crash(seed, CrashPlan{boundary});
+    auto region = PersistentRegion::Create(&space_, kOptaneLineBytes * 8,
+                                           /*socket=*/0, &crash, &cost_);
+    EXPECT_TRUE(region.ok());
+    std::vector<std::byte> payload = Pattern(5 * kOptaneLineBytes, 8);
+    Status status = (*region)->NtStore(0, payload.data(), payload.size());
+    if (status.ok()) status = (*region)->Fence();
+    EXPECT_FALSE(status.ok());
+    return crash.report();
+  };
+  for (int64_t boundary : {0, 1}) {
+    CrashReport a = run(42, boundary);
+    CrashReport b = run(42, boundary);
+    EXPECT_EQ(a.boundary, b.boundary);
+    EXPECT_EQ(a.dirty_lines_lost, b.dirty_lines_lost);
+    EXPECT_EQ(a.accepted_lines_lost, b.accepted_lines_lost);
+    EXPECT_EQ(a.accepted_lines_survived, b.accepted_lines_survived);
+    EXPECT_EQ(a.torn_xplines, b.torn_xplines);
+  }
+  // A different seed draws a different partial prefix at the same
+  // boundary (5 XPLines of in-flight ntstore leave room to differ).
+  CrashReport a = run(42, 0);
+  CrashReport c = run(43, 0);
+  EXPECT_TRUE(a.accepted_lines_survived != c.accepted_lines_survived ||
+              a.accepted_lines_lost != c.accepted_lines_lost);
+}
+
+}  // namespace
+}  // namespace pmemolap

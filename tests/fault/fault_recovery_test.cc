@@ -138,7 +138,12 @@ TEST_F(FaultRecoveryTest, DropSourceMakesCorruptionUnrecoverable) {
   (*table)->DropSource();
   std::vector<std::byte> readback(source.size());
   Status status = (*table)->Read(0, source.size(), readback.data());
-  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  // CRC mismatch with the repair source dropped: the bytes are present
+  // but provably wrong — kCorruption, not kDataLoss (the media served
+  // them fine).
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  // The scrub report pins the damage to individual 256 B XPLines.
+  EXPECT_GT(injector.counters().corrupt_lines, 0u);
 }
 
 TEST_F(FaultRecoveryTest, GuardedDimensionServesFromHealthyReplica) {

@@ -181,6 +181,69 @@ TEST(AdmissionTest, ExecutorDepthEatsQueueRoom) {
   EXPECT_EQ(gate.EffectiveQueueLimit(QueryPriority::kHigh), 0);
 }
 
+TEST(AdmissionTest, RecoveryPauseShedsTryAdmitAndParksAdmit) {
+  AdmissionController gate(SmallLimits());
+  gate.PauseForRecovery();
+  EXPECT_TRUE(gate.recovery_paused());
+
+  // TryAdmit fails fast with kUnavailable — distinct from the
+  // kResourceExhausted a full slot table produces — and counts a shed.
+  Result<AdmissionTicket> shed = gate.TryAdmit(QueryPriority::kHigh);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(gate.counters().shed, 1u);
+  EXPECT_EQ(gate.running(), 0);
+
+  // Admit queues within its class bound and wakes on resume.
+  Status waiter_status = Status::Internal("never set");
+  std::thread waiter([&] {
+    Result<AdmissionTicket> ticket = gate.Admit(QueryPriority::kHigh);
+    waiter_status = ticket.status();
+  });
+  ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 1; }));
+  // The pause, not slot pressure, is what holds the waiter: the slot
+  // table is empty the whole time.
+  EXPECT_EQ(gate.running(), 0);
+
+  gate.ResumeAfterRecovery();
+  EXPECT_FALSE(gate.recovery_paused());
+  waiter.join();
+  EXPECT_TRUE(waiter_status.ok()) << waiter_status.ToString();
+  EXPECT_EQ(gate.counters().admitted, 1u);
+}
+
+TEST(AdmissionTest, RecoveryPauseIsIdempotentAndLeavesTicketsAlone) {
+  AdmissionController gate(SmallLimits());
+  Result<AdmissionTicket> running = gate.TryAdmit(QueryPriority::kNormal);
+  ASSERT_TRUE(running.ok());
+
+  gate.PauseForRecovery();
+  gate.PauseForRecovery();  // depth is not counted
+  EXPECT_TRUE(gate.recovery_paused());
+  // The query already running keeps its ticket and releases normally.
+  EXPECT_EQ(gate.running(), 1);
+  running->Release();
+  EXPECT_EQ(gate.running(), 0);
+
+  gate.ResumeAfterRecovery();
+  EXPECT_FALSE(gate.recovery_paused());
+  EXPECT_TRUE(gate.TryAdmit(QueryPriority::kNormal).ok());
+}
+
+TEST(AdmissionTest, DeadlineFiresWhileRecoveryPauseHolds) {
+  AdmissionController gate(SmallLimits());
+  gate.PauseForRecovery();
+  // A token whose wall budget is already spent leaves the queue with its
+  // terminal status even though the pause never lifts.
+  CancelToken token;
+  token.ArmWall(0.0);
+  Result<AdmissionTicket> expired = gate.Admit(QueryPriority::kHigh, &token);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(gate.waiting(), 0);
+  gate.ResumeAfterRecovery();
+}
+
 TEST(AdmissionTest, DegradationEstimateTracksThrottlesAndUpi) {
   // Healthy platform: estimate is exactly 1.
   FaultInjector healthy(FaultSpec::Healthy());

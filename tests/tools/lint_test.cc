@@ -296,6 +296,79 @@ TEST(LintDeterminism, GovernorIsADeterministicLayer) {
   EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
 }
 
+// --- persist-discipline ----------------------------------------------------
+
+TEST(LintPersistDiscipline, FlagsPublishWithPendingStores) {
+  Report report = LintFixtureAs("persist_discipline_violation.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"persist-discipline"});
+  ASSERT_EQ(report.diagnostics.size(), 2u);  // dirty-cache + unfenced WPQ
+  EXPECT_NE(report.diagnostics[0].message.find("dirty in the modeled cache"),
+            std::string::npos);
+  EXPECT_NE(report.diagnostics[1].message.find("pending in the WPQ"),
+            std::string::npos);
+}
+
+TEST(LintPersistDiscipline, CompleteLaddersAndFunctionResetsAreClean) {
+  Report report = LintFixtureAs("persist_discipline_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistDiscipline, OnlyTheDurabilityLayerIsChecked) {
+  // The engine calls no persistence primitive directly; the rule would
+  // only produce noise outside src/durability/.
+  Report engine = LintFixtureAs("persist_discipline_violation.cc",
+                                "src/engine/fixture.cc");
+  EXPECT_FALSE(RulesHit(engine).count("persist-discipline"));
+  Report tests = LintFixtureAs("persist_discipline_violation.cc",
+                               "tests/durability/fixture.cc");
+  EXPECT_FALSE(RulesHit(tests).count("persist-discipline"));
+}
+
+// --- durability layering ---------------------------------------------------
+
+TEST(LintLayering, DurabilitySharesTheGovernorTier) {
+  // durability -> fault/memsys reads downward: clean.
+  Report down;
+  LintFileContent("src/durability/fixture.cc",
+                  "#include \"fault/fault_injector.h\"\n"
+                  "#include \"memsys/persist.h\"\n",
+                  &down);
+  EXPECT_TRUE(down.clean());
+  // engine -> durability pulls from above: clean.
+  Report engine;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"durability/durable_table.h\"\n", &engine);
+  EXPECT_TRUE(engine.clean());
+  // durability -> engine inverts the DAG.
+  Report upward;
+  LintFileContent("src/durability/fixture.cc",
+                  "#include \"engine/engine.h\"\n", &upward);
+  ASSERT_EQ(upward.diagnostics.size(), 1u);
+  EXPECT_EQ(upward.diagnostics[0].rule, "layering");
+  // durability and governor are same-rank strangers, both directions.
+  Report to_governor;
+  LintFileContent("src/durability/fixture.cc",
+                  "#include \"governor/governor.h\"\n", &to_governor);
+  ASSERT_EQ(to_governor.diagnostics.size(), 1u);
+  EXPECT_EQ(to_governor.diagnostics[0].rule, "layering");
+  Report from_governor;
+  LintFileContent("src/governor/fixture.cc",
+                  "#include \"durability/durable_table.h\"\n",
+                  &from_governor);
+  ASSERT_EQ(from_governor.diagnostics.size(), 1u);
+  EXPECT_EQ(from_governor.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, DurabilityIsADeterministicLayer) {
+  // Crash schedules and recovery replay must be reproducible from
+  // (seed, boundary_index) alone; no host clocks or entropy.
+  Report report = LintFixtureAs("determinism_violation.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {
@@ -346,8 +419,8 @@ TEST(LintReport, DiagnosticFormatIsFileLineRule) {
 }
 
 TEST(LintReport, RuleNamesAreStable) {
-  EXPECT_EQ(RuleNames().size(), 8u);
-  EXPECT_EQ(RuleNames().back(), "pool-deadline");
+  EXPECT_EQ(RuleNames().size(), 9u);
+  EXPECT_EQ(RuleNames().back(), "persist-discipline");
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ namespace {
 // The declared layer DAG.
 //
 //   common <- topo <- device <- memsys <- sim <- core/fault
-//          <- governor <- exec/engine/ssb/dash/qos
+//          <- governor/durability <- exec/engine/ssb/dash/qos
 //
 // A layer may include itself and any layer of strictly lower rank. Layers
 // sharing a rank are independent unless an explicit intra-tier edge is
@@ -23,15 +23,19 @@ namespace {
 // engine -> {exec, ssb, dash, qos} and fault -> core. The governor tier
 // sits between the model layers it samples (memsys, core, fault) and the
 // executors it actuates (exec, engine): it may read the model, never the
-// engine — the engine pulls decisions, the governor never pushes.
+// engine — the engine pulls decisions, the governor never pushes. The
+// durability tier shares the governor's rank: it builds on the fault and
+// model layers (crash schedules, persist pricing) and is pulled by the
+// engine above; durability and governor never include each other — the
+// governor sees ingest only as TrafficRecords the engine forwards.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0}, {"topo", 1},     {"device", 2}, {"memsys", 3},
-      {"sim", 4},    {"core", 5},     {"fault", 5},  {"governor", 6},
-      {"exec", 7},   {"engine", 7},   {"ssb", 7},    {"dash", 7},
-      {"qos", 7},
+      {"common", 0},   {"topo", 1},       {"device", 2}, {"memsys", 3},
+      {"sim", 4},      {"core", 5},       {"fault", 5},  {"governor", 6},
+      {"durability", 6}, {"exec", 7},     {"engine", 7}, {"ssb", 7},
+      {"dash", 7},     {"qos", 7},
   };
   return kRanks;
 }
@@ -56,6 +60,7 @@ const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
       "common", "topo",  "device", "memsys",   "sim",
       "core",   "fault", "ssb",    "governor", "dash",
+      "durability",
   };
   return kLayers;
 }
@@ -332,7 +337,8 @@ void CheckLayering(const FileContext& ctx) {
       Emit(ctx, static_cast<int>(i), "layering",
            "layer '" + ctx.layer + "' must not include layer '" + dep +
                "' (declared DAG: common <- topo <- device <- memsys <- "
-               "sim <- core/fault <- governor <- exec/engine/ssb/dash)");
+               "sim <- core/fault <- governor/durability <- "
+               "exec/engine/ssb/dash)");
     }
   }
 }
@@ -599,6 +605,50 @@ void CheckUnseededRng(const FileContext& ctx) {
   }
 }
 
+// --- Rule: persist-discipline ----------------------------------------------
+
+/// The durability layer's WAL contract: the volatile publish
+/// (AdvanceCommitted) must never run while modeled stores are still
+/// unpersisted — dirty in the modeled cache (Store without a FlushRange)
+/// or sitting in the WPQ (FlushRange/NtStore without a Fence). Recovery
+/// correctness depends on store -> flush -> fence -> publish at every
+/// call site, so the discipline is checked lexically: per function
+/// (tracking resets at column-0 lines, where definitions start and
+/// statements never do), Store marks the cache dirty, FlushRange moves
+/// dirty to WPQ-accepted, NtStore marks accepted directly, Fence drains
+/// accepted. AdvanceCommitted with anything still pending is an error.
+void CheckPersistDiscipline(const FileContext& ctx) {
+  if (ctx.in_tests || ctx.layer != "durability") return;
+  bool dirty = false;     // Store since the last FlushRange
+  bool accepted = false;  // FlushRange/NtStore since the last Fence
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    size_t first = code.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    if (first == 0) {  // top-level line: a new function begins
+      dirty = false;
+      accepted = false;
+    }
+    if (CallsFunction(code, "AdvanceCommitted") && (dirty || accepted)) {
+      Emit(ctx, static_cast<int>(i), "persist-discipline",
+           std::string("AdvanceCommitted() while stores are still ") +
+               (dirty ? "dirty in the modeled cache (Store without a "
+                        "FlushRange)"
+                      : "pending in the WPQ (no Fence since the last "
+                        "FlushRange/NtStore)") +
+               "; the publish order is store -> flush -> fence -> "
+               "publish, or recovery can expose uncommitted bytes");
+    }
+    if (CallsFunction(code, "Store")) dirty = true;
+    if (CallsFunction(code, "FlushRange")) {
+      dirty = false;
+      accepted = true;
+    }
+    if (CallsFunction(code, "NtStore")) accepted = true;
+    if (CallsFunction(code, "Fence")) accepted = false;
+  }
+}
+
 }  // namespace
 
 std::string Diagnostic::ToString() const {
@@ -609,7 +659,7 @@ std::string Diagnostic::ToString() const {
 std::vector<std::string> RuleNames() {
   return {"layering",      "determinism",      "raw-thread",
           "volatile-sync", "header-static",    "discarded-status",
-          "unseeded-rng",  "pool-deadline"};
+          "unseeded-rng",  "pool-deadline",    "persist-discipline"};
 }
 
 void LintFileContent(const std::string& path, const std::string& content,
@@ -629,6 +679,7 @@ void LintFileContent(const std::string& path, const std::string& content,
   CheckDiscardedStatus(ctx);
   CheckUnseededRng(ctx);
   CheckPoolDeadline(ctx);
+  CheckPersistDiscipline(ctx);
   ++report->files_scanned;
 }
 
