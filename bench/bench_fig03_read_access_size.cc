@@ -1,7 +1,14 @@
 // Figure 3: Sequential read bandwidth dependent on access size and thread
 // count, for grouped (one global stream) and individual (per-thread
-// regions) access on one socket's PMEM.
+// regions) access on one socket's PMEM. Extended with an encoded-scan
+// series: scanning the compressed column store moves the same physical
+// bytes per second, but each physical byte carries more tuples, so the
+// *effective* (raw-equivalent) scan rate multiplies by the compression
+// ratio.
 #include "bench_util.h"
+#include "ssb/column_store.h"
+#include "ssb/dbgen.h"
+#include "ssb/encoded_column_store.h"
 
 using namespace pmemolap;
 using namespace pmemolap::bench;
@@ -28,9 +35,41 @@ int main() {
                      Media::kPmem, FigureAccessSizes(), ReadThreadCounts(),
                      options);
 
+  // (c) Encoded scans: physical PMEM bandwidth is the ceiling either way;
+  // compression raises the tuples each physical byte carries. The ratio
+  // comes from actually encoding a generated lineorder store.
+  auto db = ssb::Generate({.scale_factor = 0.01, .seed = 42});
+  if (!db.ok()) {
+    std::printf("dbgen failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const ssb::ColumnStore columns(db->lineorder);
+  const ssb::EncodedColumnStore encoded(columns);
+  const double ratio = static_cast<double>(encoded.TotalRawBytes()) /
+                       static_cast<double>(encoded.TotalEncodedBytes());
+  std::printf("\n(c) Effective scan rate, raw vs encoded columns "
+              "[raw-equivalent GB/s]\n");
+  std::printf("    (lineorder store encodes %.2fx smaller; individual "
+              "access, 18 threads)\n", ratio);
+  TablePrinter table({"Access size", "Raw scan", "Encoded scan"});
+  for (uint64_t size : FigureAccessSizes()) {
+    auto gbps = runner.Bandwidth(OpType::kRead, Pattern::kSequentialIndividual,
+                                 Media::kPmem, size, 18, options);
+    if (!gbps.ok()) {
+      std::printf("model error: %s\n", gbps.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({FormatBytes(size), FormatBandwidth(*gbps),
+                  FormatBandwidth(*gbps * ratio)});
+  }
+  table.Print();
+
   std::printf(
       "\nInsight #1: read data from individual memory regions or in "
       "consecutive 4 KB chunks.\nInsight #2: use all physical cores for "
-      "maximum read bandwidth; avoid hyperthreaded reads.\n");
+      "maximum read bandwidth; avoid hyperthreaded reads.\n"
+      "Insight (extension): compression multiplies the tuples behind each "
+      "physical byte — a %.2fx smaller store scans %.2fx more tuples per "
+      "second at the same PMEM bandwidth ceiling.\n", ratio, ratio);
   return 0;
 }

@@ -79,8 +79,12 @@ uint64_t ReassignQuarantinedQueues(MorselPlan* plan,
 
 void AlignMorselPlan(MorselPlan* plan, uint64_t bytes_per_tuple) {
   if (bytes_per_tuple == 0) return;
-  uint64_t align = AlignTuples(bytes_per_tuple);
-  if (align <= 1) return;  // every boundary already falls on an XPLine
+  AlignMorselPlanTuples(plan, AlignTuples(bytes_per_tuple));
+}
+
+void AlignMorselPlanTuples(MorselPlan* plan, uint64_t quantum_tuples) {
+  const uint64_t align = quantum_tuples;
+  if (align <= 1) return;  // every boundary is already aligned
 
   for (auto& queue : plan->queues) {
     std::vector<Morsel> shaped;
@@ -105,24 +109,29 @@ void AlignMorselPlan(MorselPlan* plan, uint64_t bytes_per_tuple) {
   }
 }
 
-uint64_t GranularityAmplifiedBytes(const MorselPlan& plan,
-                                   uint64_t bytes_per_tuple) {
-  if (bytes_per_tuple == 0) return 0;
-  uint64_t align = AlignTuples(bytes_per_tuple);
+uint64_t TornBoundaries(const MorselPlan& plan, uint64_t quantum_tuples) {
+  const uint64_t align = quantum_tuples;
   if (align <= 1) return 0;
 
-  uint64_t amplified = 0;
+  uint64_t torn = 0;
   for (const auto& queue : plan.queues) {
     for (size_t i = 1; i < queue.size(); ++i) {
       const Morsel& prev = queue[i - 1];
       const Morsel& cur = queue[i];
       if (prev.end == cur.begin && prev.socket == cur.socket &&
           cur.begin % align != 0) {
-        amplified += kXPLineBytes;  // both sides re-read the torn line
+        ++torn;
       }
     }
   }
-  return amplified;
+  return torn;
+}
+
+uint64_t GranularityAmplifiedBytes(const MorselPlan& plan,
+                                   uint64_t bytes_per_tuple) {
+  if (bytes_per_tuple == 0) return 0;
+  // Both sides re-read the torn 256 B line.
+  return TornBoundaries(plan, AlignTuples(bytes_per_tuple)) * kXPLineBytes;
 }
 
 }  // namespace pmemolap

@@ -83,6 +83,21 @@ inline constexpr uint64_t kXPLineBytes = 256;
 /// split points move. A `bytes_per_tuple` of 0 leaves the plan unchanged.
 void AlignMorselPlan(MorselPlan* plan, uint64_t bytes_per_tuple);
 
+/// Generic tuple-quantum variant of AlignMorselPlan: snaps every interior
+/// boundary of a contiguous same-queue run up to the next multiple of
+/// `quantum_tuples`, coalescing morsels the snap empties. Encoded scans
+/// align morsels to whole code frames (a frame's packed words are one
+/// indivisible decode block, the way an XPLine is one indivisible device
+/// read), where a byte width per tuple does not exist. A quantum of 0 or
+/// 1 leaves the plan unchanged.
+void AlignMorselPlanTuples(MorselPlan* plan, uint64_t quantum_tuples);
+
+/// Interior boundaries of contiguous same-queue runs that do not fall on
+/// a multiple of `quantum_tuples` — each one splits a code frame so both
+/// neighboring morsels decode it. 0 after AlignMorselPlanTuples with the
+/// same quantum.
+uint64_t TornBoundaries(const MorselPlan& plan, uint64_t quantum_tuples);
+
 /// Extra device bytes the plan's torn interior boundaries would cost: one
 /// re-read XPLine (256 B) per contiguous same-queue boundary that is not
 /// 256 B-aligned. 0 after AlignMorselPlan — the before/after evidence for

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <thread>
 
+#include "encoding/encoding.h"
 #include "governor/telemetry.h"
 
 namespace pmemolap {
@@ -58,6 +59,19 @@ Status SsbEngine::Prepare() {
     // bytes — keep the robustness modes orthogonal.
     return Status::InvalidArgument(
         "fault (guarded) and durable modes are mutually exclusive");
+  }
+  if (config_.encoding) {
+    if (!config_.columnar) {
+      // Encoded pricing refines the columnar per-column widths; pricing a
+      // 128 B row scan at encoded column bytes would be dishonest.
+      return Status::InvalidArgument(
+          "encoding requires the columnar layout (EngineConfig::columnar)");
+    }
+    if (config_.fault != nullptr || config_.durable != nullptr) {
+      return Status::InvalidArgument(
+          "encoding is incompatible with fault/durable modes (both scan "
+          "the guarded/durable row image)");
+    }
   }
   if (config_.durable != nullptr &&
       config_.durable->options().capacity_bytes <
@@ -227,9 +241,15 @@ Status SsbEngine::Prepare() {
   }
   // Host-execution structures: the columnar projection + dense date map
   // for the vectorized kernels (fault mode always reads through the
-  // guarded scalar path), and the persistent work-stealing pool.
-  if (config_.vectorized && !guarded && config_.durable == nullptr) {
+  // guarded scalar path), and the persistent work-stealing pool. The
+  // encoded store is built even when `vectorized` is off: modeled scan
+  // pricing must be a function of the config alone, identical across all
+  // executor modes, so the scalar path prices encoded scans too.
+  encoded_ = ssb::EncodedColumnStore();
+  if ((config_.vectorized || config_.encoding) && !guarded &&
+      config_.durable == nullptr) {
     columns_ = ssb::ColumnStore(db_->lineorder);
+    if (config_.encoding) encoded_ = ssb::EncodedColumnStore(columns_);
     date_dense_.Build(db_->date);
     std::vector<int32_t> keys;
     std::vector<uint64_t> payloads;
@@ -507,6 +527,16 @@ uint64_t SsbEngine::ScanBytesPerTuple(ssb::QueryId query) const {
   }
 }
 
+uint64_t SsbEngine::ScanBytesForTuples(ssb::QueryId query,
+                                       uint64_t tuples) const {
+  if (!config_.encoding || encoded_.empty()) {
+    return tuples * ScanBytesPerTuple(query);
+  }
+  // Encoded layout: sum the real per-column encoded widths of the
+  // columns this query's scan touches (fractional bytes per tuple).
+  return encoded_.ScanBytes(ssb::ScanColumnsFor(query), tuples);
+}
+
 void SsbEngine::RecordSocketTraffic(
     ssb::QueryId query, int socket, uint64_t tuples,
     const ProbeCounters& probes, uint64_t qualifying, int threads_per_socket,
@@ -526,7 +556,7 @@ void SsbEngine::RecordSocketTraffic(
       decision != nullptr && decision->write_threads > 0
           ? std::min(threads_per_socket, decision->write_threads)
           : threads_per_socket;
-  uint64_t scan_bytes = tuples * ScanBytesPerTuple(query);
+  uint64_t scan_bytes = ScanBytesForTuples(query, tuples);
 
   // Fact scan.
   if (aware && config_.use_both_sockets && !config_.numa_aware_placement) {
@@ -679,6 +709,11 @@ Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
   // query result.
   KernelContext ctx;
   ctx.columns = &columns_;
+  // Decode-on-scan: with encoding on, the kernels read block-decoded
+  // frames (and run flight-1 predicates on the encoded data directly)
+  // instead of the raw columns. Same values, bit-identical results.
+  ctx.encoded =
+      config_.encoding && !encoded_.empty() ? &encoded_ : nullptr;
   ctx.date = decision != nullptr && decision->IsStaged("date")
                  ? &date_staged_
                  : &date_dense_;
@@ -876,13 +911,26 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
       }
     }
     if (governed) {
-      const uint64_t bpt = ScanBytesPerTuple(query);
-      if (decision.shape_morsels) {
-        // Snap boundaries to XPLines before quarantine reassignment —
-        // reassignment breaks the queue contiguity shaping relies on.
-        AlignMorselPlan(&plan, bpt);
+      if (config_.encoding && !encoded_.empty()) {
+        // Encoded columns have no whole-byte tuple width: morsels align
+        // to whole 32-value code frames instead, and a torn boundary
+        // makes both neighbors re-read that frame's XPLine in every
+        // scanned column.
+        if (decision.shape_morsels) {
+          AlignMorselPlanTuples(&plan, encoding::kFrameValues);
+        }
+        xpline_amplified_bytes =
+            TornBoundaries(plan, encoding::kFrameValues) * kXPLineBytes *
+            ssb::ScanColumnsFor(query).size();
+      } else {
+        const uint64_t bpt = ScanBytesPerTuple(query);
+        if (decision.shape_morsels) {
+          // Snap boundaries to XPLines before quarantine reassignment —
+          // reassignment breaks the queue contiguity shaping relies on.
+          AlignMorselPlan(&plan, bpt);
+        }
+        xpline_amplified_bytes = GranularityAmplifiedBytes(plan, bpt);
       }
-      xpline_amplified_bytes = GranularityAmplifiedBytes(plan, bpt);
     }
     if (config_.fault != nullptr && config_.fault->breakers != nullptr) {
       // Quarantined fault domains don't get "near" work: their queued
@@ -1011,7 +1059,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     uint64_t fact_bytes = 0;
     for (const SocketPartition& partition : partitions_) {
       fact_bytes +=
-          clamp_range(partition.tuples).size() * ScanBytesPerTuple(query);
+          ScanBytesForTuples(query, clamp_range(partition.tuples).size());
     }
     TrafficRecord torn;
     torn.op = OpType::kRead;

@@ -39,6 +39,7 @@
 #include "qos/query_options.h"
 #include "ssb/column_store.h"
 #include "ssb/dbgen.h"
+#include "ssb/encoded_column_store.h"
 #include "ssb/queries.h"
 
 namespace pmemolap {
@@ -100,6 +101,18 @@ struct EngineConfig {
   /// probes, flat per-worker aggregation) instead of the row-at-a-time
   /// interpreter. Fault mode always takes the scalar guarded read path.
   bool vectorized = true;
+  /// Scan the compressed encoded column store (src/encoding): each
+  /// lineorder column is FoR-bit-packed, dictionary-encoded, or raw —
+  /// whichever is smallest — at Prepare; the vectorized kernels
+  /// block-decode frames on scan (flight-1 predicates run against the
+  /// encoded frames directly) and fact-scan traffic is priced at the
+  /// per-column *encoded* byte widths, so modeled seconds drop by the
+  /// bytes the encodings save. Requires `columnar` (encoded pricing is a
+  /// column-width refinement); incompatible with fault/durable modes
+  /// (both read the guarded/durable row image). Results are bit-identical
+  /// to the raw path in every executor mode; off reproduces today's
+  /// modeled seconds exactly.
+  bool encoding = false;
   /// Tuples per morsel for the work-stealing executor (0 = default).
   uint64_t morsel_tuples = kDefaultMorselTuples;
   /// Non-null switches the engine into fault mode: the fact table and the
@@ -258,6 +271,10 @@ class SsbEngine {
   /// in columnar layout.
   uint64_t ScanBytesPerTuple(ssb::QueryId query) const;
 
+  /// Fact bytes a scan of `tuples` tuples moves: encoded per-column
+  /// widths when encoding is on, tuples * ScanBytesPerTuple otherwise.
+  uint64_t ScanBytesForTuples(ssb::QueryId query, uint64_t tuples) const;
+
   /// One replica per socket in aware multi-socket mode (the paper
   /// replicates the dimensions so probes stay near, §6.2), one shared
   /// copy otherwise.
@@ -279,6 +296,10 @@ class SsbEngine {
   /// Columnar projection + dense dimension maps for the vectorized
   /// kernels (built in Prepare unless running in fault mode).
   ssb::ColumnStore columns_;
+  /// Compressed view of columns_ (EngineConfig::encoding): scheme picked
+  /// per column at Prepare. Built in every executor mode so encoded scan
+  /// pricing is identical whether or not the kernels actually decode.
+  ssb::EncodedColumnStore encoded_;
   DenseDimMap date_dense_;
   DenseDimMap customer_dense_;
   DenseDimMap supplier_dense_;

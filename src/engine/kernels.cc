@@ -7,6 +7,7 @@ namespace pmemolap {
 
 namespace {
 
+using ssb::LineorderColumn;
 using ssb::QueryId;
 
 constexpr int kUnitedStates = 9;
@@ -14,6 +15,45 @@ constexpr int kUnitedKingdom = 19;
 constexpr int kRegionAmerica = 1;
 constexpr int kRegionAsia = 2;
 constexpr int kRegionEurope = 3;
+
+const std::vector<int32_t>& RawColumn(const ssb::ColumnStore& columns,
+                                      LineorderColumn column) {
+  switch (column) {
+    case LineorderColumn::kOrderdate:
+      return columns.orderdate();
+    case LineorderColumn::kCustkey:
+      return columns.custkey();
+    case LineorderColumn::kPartkey:
+      return columns.partkey();
+    case LineorderColumn::kSuppkey:
+      return columns.suppkey();
+    case LineorderColumn::kQuantity:
+      return columns.quantity();
+    case LineorderColumn::kDiscount:
+      return columns.discount();
+    case LineorderColumn::kExtendedprice:
+      return columns.extendedprice();
+    case LineorderColumn::kRevenue:
+      return columns.revenue();
+    case LineorderColumn::kSupplycost:
+      return columns.supplycost();
+  }
+  return columns.orderdate();
+}
+
+/// The morsel's view of one column: a zero-copy slice of the raw vector,
+/// or (encoded path) a block decode of [begin, end) into the scratch
+/// buffer for that column — the vectorized decode-on-scan step.
+ColumnSlice SliceFor(const KernelContext& ctx, LineorderColumn column,
+                     uint64_t begin, uint64_t end, KernelScratch* s) {
+  if (ctx.encoded == nullptr) {
+    return ColumnSlice{RawColumn(*ctx.columns, column).data(), 0};
+  }
+  std::vector<int32_t>& buffer = s->decoded[static_cast<size_t>(column)];
+  buffer.resize(end - begin);
+  ctx.encoded->column(column).Decode(begin, end, buffer.data());
+  return ColumnSlice{buffer.data(), begin};
+}
 
 /// Loads sel with every tuple of the morsel (stage-1 "probe all rows").
 void SelectAll(uint64_t begin, uint64_t end, KernelScratch* s) {
@@ -23,7 +63,7 @@ void SelectAll(uint64_t begin, uint64_t end, KernelScratch* s) {
 
 /// Gathers `col` at the sel positions through the dense dimension map,
 /// leaving payloads aligned with sel. Counts |sel| probes into `count`.
-void ProbeSelected(const DenseDimMap& dim, const std::vector<int32_t>& col,
+void ProbeSelected(const DenseDimMap& dim, ColumnSlice col,
                    KernelScratch* s, uint64_t* count) {
   const size_t n = s->sel.size();
   *count += n;
@@ -62,10 +102,10 @@ constexpr auto kNoCarry = [](uint64_t) { return 0; };
 /// Final stage of the join flights: dense date lookup per survivor,
 /// year filter, group-aggregate update.
 template <typename Keep, typename Key, typename Value>
-void DateAggregate(const KernelContext& ctx, KernelScratch* s,
-                   AggTable* groups, KernelCounters* counters, Keep keep,
-                   Key key, Value value) {
-  const std::vector<int32_t>& orderdate = ctx.columns->orderdate();
+void DateAggregate(const KernelContext& ctx, ColumnSlice orderdate,
+                   KernelScratch* s, AggTable* groups,
+                   KernelCounters* counters, Keep keep, Key key,
+                   Value value) {
   counters->date_probes += s->sel.size();
   for (size_t i = 0; i < s->sel.size(); ++i) {
     const uint64_t idx = s->sel[i];
@@ -76,9 +116,96 @@ void DateAggregate(const KernelContext& ctx, KernelScratch* s,
   }
 }
 
+/// Flight-1 predicate bounds: discount in [d_lo, d_hi], quantity in
+/// [q_lo, q_hi] (Q1.1's `quantity < 25` as an inclusive range).
+struct Flight1Predicate {
+  int32_t d_lo, d_hi, q_lo, q_hi;
+};
+
+Flight1Predicate Flight1PredicateOf(QueryId query) {
+  switch (query) {
+    case QueryId::kQ1_1:
+      return {1, 3, std::numeric_limits<int32_t>::min(), 24};
+    case QueryId::kQ1_2:
+      return {4, 6, 26, 35};
+    default:  // kQ1_3
+      return {5, 7, 26, 35};
+  }
+}
+
+/// Flight-1 date filter + sum over the final selection, shared by the raw
+/// and encoded paths. `orderdate_at`/`price_at`/`discount_at` map a sel
+/// position to the tuple's attribute values.
+template <typename Date, typename Price, typename Discount>
+void Flight1Aggregate(QueryId query, const KernelContext& ctx,
+                      KernelScratch* s, int64_t* scalar_sum,
+                      KernelCounters* counters, Date orderdate_at,
+                      Price price_at, Discount discount_at) {
+  counters->date_probes += s->sel.size();
+  int64_t sum = 0;
+  uint64_t qualifying = 0;
+  for (size_t i = 0; i < s->sel.size(); ++i) {
+    const uint64_t payload = ctx.date->Lookup(orderdate_at(i));
+    bool keep;
+    if (query == QueryId::kQ1_1) {
+      keep = (payload >> 40) == 1993;
+    } else if (query == QueryId::kQ1_2) {
+      keep = ((payload >> 16) & 0xFFFFFF) == 199401;
+    } else {
+      const DateAttrs d = DecodeDate(payload);
+      keep = d.week == 6 && d.year == 1994;
+    }
+    if (!keep) continue;
+    sum += static_cast<int64_t>(price_at(i)) * discount_at(i);
+    ++qualifying;
+  }
+  *scalar_sum += sum;
+  counters->qualifying += qualifying;
+}
+
+/// Encoded flight 1: the discount range predicate runs directly against
+/// the encoded frames (FoR frame-skipping / dictionary code rewriting —
+/// no decode for frames whose bounds miss the range), the quantity
+/// refinement and the aggregate inputs come through frame-cached gathers
+/// at the surviving positions. Selection order and counts match the raw
+/// loop exactly.
+void Flight1Encoded(QueryId query, const KernelContext& ctx, uint64_t begin,
+                    uint64_t end, KernelScratch* s, int64_t* scalar_sum,
+                    KernelCounters* counters) {
+  const ssb::EncodedColumnStore& enc = *ctx.encoded;
+  const Flight1Predicate pred = Flight1PredicateOf(query);
+
+  s->sel.clear();
+  enc.column(LineorderColumn::kDiscount)
+      .AppendMatchingRange(pred.d_lo, pred.d_hi, begin, end, &s->sel);
+  // Refine by quantity: gather at the discount survivors, compact.
+  enc.column(LineorderColumn::kQuantity).GatherInto(s->sel, &s->attr_a);
+  size_t out = 0;
+  for (size_t i = 0; i < s->sel.size(); ++i) {
+    if (s->attr_a[i] >= pred.q_lo && s->attr_a[i] <= pred.q_hi) {
+      s->sel[out++] = s->sel[i];
+    }
+  }
+  s->sel.resize(out);
+
+  enc.column(LineorderColumn::kOrderdate).GatherInto(s->sel, &s->attr_a);
+  enc.column(LineorderColumn::kExtendedprice)
+      .GatherInto(s->sel, &s->attr_b);
+  enc.column(LineorderColumn::kDiscount).GatherInto(s->sel, &s->attr_c);
+  Flight1Aggregate(
+      query, ctx, s, scalar_sum, counters,
+      [&](size_t i) { return s->attr_a[i]; },
+      [&](size_t i) { return s->attr_b[i]; },
+      [&](size_t i) { return s->attr_c[i]; });
+}
+
 void Flight1(QueryId query, const KernelContext& ctx, uint64_t begin,
              uint64_t end, KernelScratch* s, int64_t* scalar_sum,
              KernelCounters* counters) {
+  if (ctx.encoded != nullptr) {
+    Flight1Encoded(query, ctx, begin, end, s, scalar_sum, counters);
+    return;
+  }
   const std::vector<int32_t>& discount = ctx.columns->discount();
   const std::vector<int32_t>& quantity = ctx.columns->quantity();
   const std::vector<int32_t>& orderdate = ctx.columns->orderdate();
@@ -111,34 +238,26 @@ void Flight1(QueryId query, const KernelContext& ctx, uint64_t begin,
       break;
   }
 
-  counters->date_probes += s->sel.size();
-  int64_t sum = 0;
-  uint64_t qualifying = 0;
-  for (uint64_t idx : s->sel) {
-    const uint64_t payload = ctx.date->Lookup(orderdate[idx]);
-    bool keep;
-    if (query == QueryId::kQ1_1) {
-      keep = (payload >> 40) == 1993;
-    } else if (query == QueryId::kQ1_2) {
-      keep = ((payload >> 16) & 0xFFFFFF) == 199401;
-    } else {
-      const DateAttrs d = DecodeDate(payload);
-      keep = d.week == 6 && d.year == 1994;
-    }
-    if (!keep) continue;
-    sum += static_cast<int64_t>(price[idx]) * discount[idx];
-    ++qualifying;
-  }
-  *scalar_sum += sum;
-  counters->qualifying += qualifying;
+  Flight1Aggregate(
+      query, ctx, s, scalar_sum, counters,
+      [&](size_t i) { return orderdate[s->sel[i]]; },
+      [&](size_t i) { return price[s->sel[i]]; },
+      [&](size_t i) { return discount[s->sel[i]]; });
 }
 
 void Flight2(QueryId query, const KernelContext& ctx, uint64_t begin,
              uint64_t end, KernelScratch* s, AggTable* groups,
              KernelCounters* counters) {
+  const ColumnSlice partkey =
+      SliceFor(ctx, LineorderColumn::kPartkey, begin, end, s);
+  const ColumnSlice suppkey =
+      SliceFor(ctx, LineorderColumn::kSuppkey, begin, end, s);
+  const ColumnSlice orderdate =
+      SliceFor(ctx, LineorderColumn::kOrderdate, begin, end, s);
+  const ColumnSlice revenue =
+      SliceFor(ctx, LineorderColumn::kRevenue, begin, end, s);
   SelectAll(begin, end, s);
-  ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
-                &counters->part_probes);
+  ProbeSelected(*ctx.part, partkey, s, &counters->part_probes);
   auto brand = [](uint64_t payload) {
     return DecodePart(payload).brand_id;
   };
@@ -162,15 +281,14 @@ void Flight2(QueryId query, const KernelContext& ctx, uint64_t begin,
   const int wanted_region = query == QueryId::kQ2_1   ? kRegionAmerica
                             : query == QueryId::kQ2_2 ? kRegionAsia
                                                       : kRegionEurope;
-  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
-                &counters->supplier_probes);
+  ProbeSelected(*ctx.supplier, suppkey, s, &counters->supplier_probes);
   CompactStage(s, &s->attr_a, nullptr,
                [&](uint64_t p) { return DecodeGeo(p).region == wanted_region; },
                kNoCarry);
 
-  const std::vector<int32_t>& revenue = ctx.columns->revenue();
   DateAggregate(
-      ctx, s, groups, counters, [](const DateAttrs&) { return true; },
+      ctx, orderdate, s, groups, counters,
+      [](const DateAttrs&) { return true; },
       [&](const DateAttrs& d, size_t i) {
         return ssb::GroupKey{d.year, s->attr_a[i], 0};
       },
@@ -180,9 +298,16 @@ void Flight2(QueryId query, const KernelContext& ctx, uint64_t begin,
 void Flight3(QueryId query, const KernelContext& ctx, uint64_t begin,
              uint64_t end, KernelScratch* s, AggTable* groups,
              KernelCounters* counters) {
+  const ColumnSlice custkey =
+      SliceFor(ctx, LineorderColumn::kCustkey, begin, end, s);
+  const ColumnSlice suppkey =
+      SliceFor(ctx, LineorderColumn::kSuppkey, begin, end, s);
+  const ColumnSlice orderdate =
+      SliceFor(ctx, LineorderColumn::kOrderdate, begin, end, s);
+  const ColumnSlice revenue =
+      SliceFor(ctx, LineorderColumn::kRevenue, begin, end, s);
   SelectAll(begin, end, s);
-  ProbeSelected(*ctx.customer, ctx.columns->custkey(), s,
-                &counters->customer_probes);
+  ProbeSelected(*ctx.customer, custkey, s, &counters->customer_probes);
   auto is_uk_city = [](int city_id) {
     return city_id == ssb::CityId(kUnitedKingdom, 1) ||
            city_id == ssb::CityId(kUnitedKingdom, 5);
@@ -203,8 +328,7 @@ void Flight3(QueryId query, const KernelContext& ctx, uint64_t begin,
   }
 
   // Supplier stage: filter + carry the second grouping attribute.
-  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
-                &counters->supplier_probes);
+  ProbeSelected(*ctx.supplier, suppkey, s, &counters->supplier_probes);
   if (query == QueryId::kQ3_1) {
     CompactStage(s, &s->attr_a, &s->attr_b,
                  [](uint64_t p) { return DecodeGeo(p).region == kRegionAsia; },
@@ -219,13 +343,12 @@ void Flight3(QueryId query, const KernelContext& ctx, uint64_t begin,
                  [](uint64_t p) { return DecodeGeo(p).city_id; });
   }
 
-  const std::vector<int32_t>& revenue = ctx.columns->revenue();
   auto keep_date = [&](const DateAttrs& d) {
     if (query == QueryId::kQ3_4) return d.yearmonthnum == 199712;
     return d.year >= 1992 && d.year <= 1997;
   };
   DateAggregate(
-      ctx, s, groups, counters, keep_date,
+      ctx, orderdate, s, groups, counters, keep_date,
       [&](const DateAttrs& d, size_t i) {
         return ssb::GroupKey{s->attr_a[i], s->attr_b[i], d.year};
       },
@@ -235,27 +358,33 @@ void Flight3(QueryId query, const KernelContext& ctx, uint64_t begin,
 void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
              uint64_t end, KernelScratch* s, AggTable* groups,
              KernelCounters* counters) {
+  const ColumnSlice suppkey =
+      SliceFor(ctx, LineorderColumn::kSuppkey, begin, end, s);
+  const ColumnSlice partkey =
+      SliceFor(ctx, LineorderColumn::kPartkey, begin, end, s);
+  const ColumnSlice orderdate =
+      SliceFor(ctx, LineorderColumn::kOrderdate, begin, end, s);
+  const ColumnSlice revenue =
+      SliceFor(ctx, LineorderColumn::kRevenue, begin, end, s);
+  const ColumnSlice supplycost =
+      SliceFor(ctx, LineorderColumn::kSupplycost, begin, end, s);
   SelectAll(begin, end, s);
-  const std::vector<int32_t>& revenue = ctx.columns->revenue();
-  const std::vector<int32_t>& supplycost = ctx.columns->supplycost();
   auto profit = [&](uint64_t idx) {
     return static_cast<int64_t>(revenue[idx]) - supplycost[idx];
   };
 
   if (query == QueryId::kQ4_3) {
     // supplier (nation, carry city) -> part (category, carry brand) -> date
-    ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
-                  &counters->supplier_probes);
+    ProbeSelected(*ctx.supplier, suppkey, s, &counters->supplier_probes);
     CompactStage(s, nullptr, &s->attr_a,
                  [](uint64_t p) { return DecodeGeo(p).nation == kUnitedStates; },
                  [](uint64_t p) { return DecodeGeo(p).city_id; });
-    ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
-                  &counters->part_probes);
+    ProbeSelected(*ctx.part, partkey, s, &counters->part_probes);
     CompactStage(s, &s->attr_a, &s->attr_b,
                  [](uint64_t p) { return DecodePart(p).category_id == 14; },
                  [](uint64_t p) { return DecodePart(p).brand_id; });
     DateAggregate(
-        ctx, s, groups, counters,
+        ctx, orderdate, s, groups, counters,
         [](const DateAttrs& d) { return d.year == 1997 || d.year == 1998; },
         [&](const DateAttrs& d, size_t i) {
           return ssb::GroupKey{d.year, s->attr_a[i], s->attr_b[i]};
@@ -265,8 +394,9 @@ void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
   }
 
   // Q4.1 / Q4.2: customer -> supplier -> part -> date.
-  ProbeSelected(*ctx.customer, ctx.columns->custkey(), s,
-                &counters->customer_probes);
+  const ColumnSlice custkey =
+      SliceFor(ctx, LineorderColumn::kCustkey, begin, end, s);
+  ProbeSelected(*ctx.customer, custkey, s, &counters->customer_probes);
   if (query == QueryId::kQ4_1) {
     CompactStage(s, nullptr, &s->attr_a,
                  [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
@@ -277,8 +407,7 @@ void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
                  kNoCarry);
   }
 
-  ProbeSelected(*ctx.supplier, ctx.columns->suppkey(), s,
-                &counters->supplier_probes);
+  ProbeSelected(*ctx.supplier, suppkey, s, &counters->supplier_probes);
   if (query == QueryId::kQ4_1) {
     CompactStage(s, &s->attr_a, nullptr,
                  [](uint64_t p) { return DecodeGeo(p).region == kRegionAmerica; },
@@ -289,8 +418,7 @@ void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
                  [](uint64_t p) { return DecodeGeo(p).nation; });
   }
 
-  ProbeSelected(*ctx.part, ctx.columns->partkey(), s,
-                &counters->part_probes);
+  ProbeSelected(*ctx.part, partkey, s, &counters->part_probes);
   if (query == QueryId::kQ4_1) {
     CompactStage(s, &s->attr_a, nullptr,
                  [](uint64_t p) {
@@ -299,7 +427,8 @@ void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
                  },
                  kNoCarry);
     DateAggregate(
-        ctx, s, groups, counters, [](const DateAttrs&) { return true; },
+        ctx, orderdate, s, groups, counters,
+        [](const DateAttrs&) { return true; },
         [&](const DateAttrs& d, size_t i) {
           return ssb::GroupKey{d.year, s->attr_a[i], 0};
         },
@@ -312,7 +441,7 @@ void Flight4(QueryId query, const KernelContext& ctx, uint64_t begin,
                  },
                  [](uint64_t p) { return DecodePart(p).category_id; });
     DateAggregate(
-        ctx, s, groups, counters,
+        ctx, orderdate, s, groups, counters,
         [](const DateAttrs& d) { return d.year == 1997 || d.year == 1998; },
         [&](const DateAttrs& d, size_t i) {
           return ssb::GroupKey{d.year, s->attr_a[i], s->attr_b[i]};

@@ -24,6 +24,7 @@
 // the vectorized kernels share one definition.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -31,6 +32,7 @@
 #include "engine/dimension_index.h"
 #include "ssb/column_store.h"
 #include "ssb/dbgen.h"
+#include "ssb/encoded_column_store.h"
 #include "ssb/queries.h"
 
 namespace pmemolap {
@@ -122,10 +124,29 @@ class DenseDimMap {
 
 // --- Morsel kernel ----------------------------------------------------------
 
+/// One column of a morsel as the kernels see it: a base pointer plus the
+/// global index of its first element. The raw path slices the ColumnStore
+/// vector directly (base 0, zero copy); the encoded path slices a
+/// morsel-local decode buffer (base = morsel begin). The staged flight
+/// code is written once against this view.
+struct ColumnSlice {
+  const int32_t* data = nullptr;
+  uint64_t base = 0;
+
+  int32_t operator[](uint64_t global_index) const {
+    return data[global_index - base];
+  }
+};
+
 /// Everything one worker needs to execute a morsel: the column store plus
-/// the dense dimension lookup arrays.
+/// the dense dimension lookup arrays. A non-null `encoded` switches the
+/// kernels to decode-on-scan: flight predicates run against the encoded
+/// frames (FoR frame-skipping, dictionary code rewriting) and the staged
+/// kernels read block-decoded morsel buffers instead of the raw columns.
+/// Results and probe counts are bit-identical either way.
 struct KernelContext {
   const ssb::ColumnStore* columns = nullptr;
+  const ssb::EncodedColumnStore* encoded = nullptr;
   const DenseDimMap* date = nullptr;
   const DenseDimMap* customer = nullptr;
   const DenseDimMap* supplier = nullptr;
@@ -150,6 +171,10 @@ struct KernelScratch {
   std::vector<uint64_t> payloads;  ///< probed payloads, aligned with sel
   std::vector<int32_t> attr_a;     ///< carried attribute, aligned with sel
   std::vector<int32_t> attr_b;     ///< second carried attribute
+  std::vector<int32_t> attr_c;     ///< third carried attribute (flight 1)
+  /// Morsel-local decode buffers for the encoded path, one per lineorder
+  /// column (only the flight's touched columns are filled).
+  std::array<std::vector<int32_t>, ssb::kNumLineorderColumns> decoded;
 };
 
 /// Executes `query` over tuples [begin, end) with the staged columnar

@@ -25,6 +25,12 @@ ColumnStore::ColumnStore(const std::vector<LineorderRow>& rows) {
   }
 }
 
+ColumnStore::ColumnStore(std::vector<LineorderRow>&& rows)
+    : ColumnStore(static_cast<const std::vector<LineorderRow>&>(rows)) {
+  rows.clear();
+  rows.shrink_to_fit();
+}
+
 int64_t ColumnStore::ScanDiscountedRevenue(int32_t discount_lo,
                                            int32_t discount_hi,
                                            int32_t quantity_below) const {

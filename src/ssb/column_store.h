@@ -20,6 +20,11 @@ class ColumnStore {
   ColumnStore() = default;
   /// Builds the SoA projection from row storage.
   explicit ColumnStore(const std::vector<LineorderRow>& rows);
+  /// Builds the SoA projection and releases the source rows: after the
+  /// call `rows` is empty with zero capacity, so the 128 B row image and
+  /// the columnar image are never resident together (the row copy would
+  /// cost 3.5x the nine 4 B columns).
+  explicit ColumnStore(std::vector<LineorderRow>&& rows);
 
   size_t size() const { return orderdate_.size(); }
   bool empty() const { return orderdate_.empty(); }

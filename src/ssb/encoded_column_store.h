@@ -1,0 +1,78 @@
+// EncodedColumnStore — the compressed view of the lineorder column store:
+// each of the nine int32 columns encoded with the cheapest scheme
+// (FoR bit-packing, sorted dictionary, or raw pass-through) at load time.
+//
+// The engine scans this view when EngineConfig::encoding is on: kernels
+// block-decode the columns a flight touches (or evaluate predicates on
+// the encoded frames directly), and scan traffic is priced at the encoded
+// byte widths reported here — so modeled seconds drop by exactly the
+// bytes the encodings save.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/encoding.h"
+#include "ssb/column_store.h"
+#include "ssb/queries.h"
+
+namespace pmemolap::ssb {
+
+/// The nine projected lineorder columns, in ColumnStore order.
+enum class LineorderColumn {
+  kOrderdate = 0,
+  kCustkey,
+  kPartkey,
+  kSuppkey,
+  kQuantity,
+  kDiscount,
+  kExtendedprice,
+  kRevenue,
+  kSupplycost,
+};
+
+inline constexpr int kNumLineorderColumns = 9;
+
+const char* LineorderColumnName(LineorderColumn column);
+
+/// The columns a query's scan actually touches — the columnar-pricing
+/// contract SsbEngine::ScanBytesPerTuple encodes as 16/20/24 B widths
+/// (4 B per column), now as an explicit set so encoded pricing can sum
+/// real per-column encoded widths.
+std::vector<LineorderColumn> ScanColumnsFor(QueryId query);
+
+class EncodedColumnStore {
+ public:
+  EncodedColumnStore() = default;
+  /// Encodes all nine columns of `columns` (scheme per column by size).
+  explicit EncodedColumnStore(const ColumnStore& columns);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const encoding::EncodedColumn& column(LineorderColumn column) const {
+    return columns_[static_cast<size_t>(column)];
+  }
+
+  /// Encoded bytes of one column / of all nine.
+  uint64_t EncodedBytes(LineorderColumn column) const {
+    return this->column(column).EncodedBytes();
+  }
+  uint64_t TotalEncodedBytes() const;
+  /// Raw bytes the same nine int32 columns occupy (4 B per value each).
+  uint64_t TotalRawBytes() const {
+    return size_ * kNumLineorderColumns * sizeof(int32_t);
+  }
+
+  /// Bytes a scan of `tuples` tuples moves over the given column set at
+  /// the store's per-column encoded widths (fractional bytes-per-tuple,
+  /// rounded once per column — deterministic for a fixed store).
+  uint64_t ScanBytes(const std::vector<LineorderColumn>& columns,
+                     uint64_t tuples) const;
+
+ private:
+  uint64_t size_ = 0;
+  encoding::EncodedColumn columns_[kNumLineorderColumns];
+};
+
+}  // namespace pmemolap::ssb

@@ -187,5 +187,78 @@ TEST(MorselShaping, ZeroBytesPerTupleIsANoop) {
   EXPECT_EQ(GranularityAmplifiedBytes(plan, 0), 0u);
 }
 
+// --- Code-frame morsel shaping (encoded scans) ------------------------------
+
+TEST(MorselFrameShaping, TornBoundariesCountsUnalignedInteriors) {
+  // Frames of 32 tuples; morsels of 100 tuples: 9 interior boundaries at
+  // 100*k, and 100*k % 32 == 0 only for k = 8 — so 8 boundaries tear.
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  EXPECT_EQ(TornBoundaries(plan, 32), 8u);
+  // Frame-multiple morsels never tear.
+  MorselPlan aligned;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/128, &aligned);
+  EXPECT_EQ(TornBoundaries(aligned, 32), 0u);
+}
+
+TEST(MorselFrameShaping, AlignTuplesSnapsToFramesAndPreservesCoverage) {
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AlignMorselPlanTuples(&plan, 32);
+  EXPECT_EQ(TornBoundaries(plan, 32), 0u);
+  // Ranges survive: still [0, 1000), contiguous, in order, interior
+  // boundaries on frame multiples (the final end is the range end).
+  uint64_t expected_begin = 0;
+  for (const Morsel& m : plan.queues[0]) {
+    EXPECT_EQ(m.begin, expected_begin);
+    EXPECT_LT(m.begin, m.end);
+    expected_begin = m.end;
+    if (m.end != 1000) {
+      EXPECT_EQ(m.end % 32, 0u);
+    }
+  }
+  EXPECT_EQ(expected_begin, 1000u);
+  EXPECT_EQ(plan.total_tuples(), 1000u);
+}
+
+TEST(MorselFrameShaping, AlignTuplesCoalescesSwallowedMorsels) {
+  // Morsels of 1 tuple against 32-tuple frames: snapping swallows whole
+  // runs of tiny morsels without losing a tuple.
+  MorselPlan plan;
+  AppendMorsels(0, 64, /*socket=*/0, /*morsel_tuples=*/1, &plan);
+  ASSERT_EQ(plan.queues[0].size(), 64u);
+  AlignMorselPlanTuples(&plan, 32);
+  EXPECT_EQ(plan.queues[0].size(), 2u);
+  EXPECT_EQ(plan.total_tuples(), 64u);
+  EXPECT_EQ(TornBoundaries(plan, 32), 0u);
+}
+
+TEST(MorselFrameShaping, QuantumOfZeroOrOneIsANoop) {
+  MorselPlan plan;
+  AppendMorsels(0, 1000, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  MorselPlan copy = plan;
+  AlignMorselPlanTuples(&plan, 0);
+  EXPECT_EQ(plan.queues[0].size(), copy.queues[0].size());
+  AlignMorselPlanTuples(&plan, 1);
+  EXPECT_EQ(plan.queues[0].size(), copy.queues[0].size());
+  EXPECT_EQ(TornBoundaries(plan, 0), 0u);
+  EXPECT_EQ(TornBoundaries(plan, 1), 0u);
+}
+
+TEST(MorselFrameShaping, SeparateQueueRunsShapeIndependently) {
+  // Two sockets: each queue's run start stays where the partition put it
+  // and only its own interior boundaries snap.
+  MorselPlan plan;
+  AppendMorsels(100, 600, /*socket=*/0, /*morsel_tuples=*/100, &plan);
+  AppendMorsels(600, 1100, /*socket=*/1, /*morsel_tuples=*/100, &plan);
+  AlignMorselPlanTuples(&plan, 32);
+  EXPECT_EQ(plan.queues[0].front().begin, 100u);
+  EXPECT_EQ(plan.queues[0].back().end, 600u);
+  EXPECT_EQ(plan.queues[1].front().begin, 600u);
+  EXPECT_EQ(plan.queues[1].back().end, 1100u);
+  EXPECT_EQ(plan.total_tuples(), 1000u);
+  EXPECT_EQ(TornBoundaries(plan, 32), 0u);
+}
+
 }  // namespace
 }  // namespace pmemolap

@@ -1,0 +1,356 @@
+#include "encoding/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "ssb/dbgen.h"
+#include "ssb/encoded_column_store.h"
+
+namespace pmemolap::encoding {
+namespace {
+
+constexpr int32_t kInt32Min = std::numeric_limits<int32_t>::min();
+constexpr int32_t kInt32Max = std::numeric_limits<int32_t>::max();
+
+/// Scalar reference for the predicate fast paths.
+std::vector<uint64_t> ReferenceMatches(const std::vector<int32_t>& values,
+                                       int32_t lo, int32_t hi,
+                                       uint64_t begin, uint64_t end) {
+  std::vector<uint64_t> sel;
+  for (uint64_t i = begin; i < end && i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] <= hi) sel.push_back(i);
+  }
+  return sel;
+}
+
+void ExpectRoundTrip(const EncodedColumn& column,
+                     const std::vector<int32_t>& values) {
+  ASSERT_EQ(column.size(), values.size());
+  // Point access.
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(column.Get(i), values[i]) << "index " << i;
+  }
+  // Block decode of the whole column and of unaligned sub-ranges.
+  std::vector<int32_t> decoded(values.size());
+  column.Decode(0, values.size(), decoded.data());
+  EXPECT_EQ(decoded, values);
+  if (values.size() > 3) {
+    const uint64_t begin = 1;
+    const uint64_t end = values.size() - 2;
+    std::vector<int32_t> part(end - begin);
+    column.Decode(begin, end, part.data());
+    for (uint64_t i = begin; i < end; ++i) {
+      ASSERT_EQ(part[i - begin], values[i]) << "index " << i;
+    }
+  }
+}
+
+// --- round-trip property tests ---------------------------------------------
+
+TEST(EncodingRoundTrip, AllWidthsForBitPack) {
+  Rng rng(7);
+  // Every code width 1..32: domains of size 2^w, with a random (possibly
+  // negative) base so references exercise the full int32 range.
+  for (int width = 1; width <= 32; ++width) {
+    const uint64_t domain =
+        width == 32 ? 0 : (uint64_t{1} << width);  // 0 = full uint32 wrap
+    std::vector<int32_t> values(3 * kFrameValues + 7);
+    const int64_t base =
+        width == 32 ? kInt32Min
+                    : rng.NextInRange(kInt32Min,
+                                      kInt32Max - static_cast<int64_t>(
+                                                      domain == 0 ? 0
+                                                                  : domain -
+                                                                        1));
+    for (int32_t& v : values) {
+      const uint64_t offset =
+          domain == 0 ? rng.Next() & 0xFFFFFFFFull : rng.NextBelow(domain);
+      v = static_cast<int32_t>(base + static_cast<int64_t>(offset));
+    }
+    EncodedColumn column = EncodedColumn::EncodeWith(Scheme::kForBitPack,
+                                                     values);
+    ASSERT_NO_FATAL_FAILURE(ExpectRoundTrip(column, values))
+        << "width " << width;
+  }
+}
+
+TEST(EncodingRoundTrip, AllSchemesOnRandomDomains) {
+  Rng rng(21);
+  for (int round = 0; round < 20; ++round) {
+    Rng local = rng.Fork(static_cast<uint64_t>(round));
+    const uint64_t n = local.NextBelow(5 * kFrameValues) + 1;
+    const int64_t lo = local.NextInRange(-1'000'000, 1'000'000);
+    const int64_t hi = lo + static_cast<int64_t>(local.NextBelow(100'000));
+    std::vector<int32_t> values(n);
+    for (int32_t& v : values) {
+      v = static_cast<int32_t>(local.NextInRange(lo, hi));
+    }
+    for (Scheme scheme :
+         {Scheme::kRaw, Scheme::kForBitPack, Scheme::kDictionary}) {
+      EncodedColumn column = EncodedColumn::EncodeWith(scheme, values);
+      EXPECT_EQ(column.scheme(), scheme);
+      ASSERT_NO_FATAL_FAILURE(ExpectRoundTrip(column, values))
+          << SchemeName(scheme) << " round " << round;
+    }
+    // The automatic pick round-trips too, whatever it chose.
+    EncodedColumn best = EncodedColumn::Encode(values);
+    ASSERT_NO_FATAL_FAILURE(ExpectRoundTrip(best, values));
+  }
+}
+
+TEST(EncodingRoundTrip, FrameBoundaries) {
+  // Sizes straddling frame boundaries, including empty and single-value.
+  for (uint64_t n : {uint64_t{0}, uint64_t{1}, kFrameValues - 1,
+                     kFrameValues, kFrameValues + 1, 2 * kFrameValues,
+                     2 * kFrameValues + 1}) {
+    std::vector<int32_t> values(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      values[i] = static_cast<int32_t>(i * 3 % 97);
+    }
+    EncodedColumn column = EncodedColumn::Encode(values);
+    ASSERT_NO_FATAL_FAILURE(ExpectRoundTrip(column, values)) << "n " << n;
+  }
+}
+
+TEST(EncodingRoundTrip, ConstantColumnPacksToDirectoryOnly) {
+  std::vector<int32_t> values(4 * kFrameValues, -123456);
+  EncodedColumn column = EncodedColumn::EncodeWith(Scheme::kForBitPack,
+                                                   values);
+  ExpectRoundTrip(column, values);
+  // Width-0 frames carry no packed words: only the frame directory.
+  EXPECT_LT(column.EncodedBytes(), values.size());
+}
+
+TEST(EncodingRoundTrip, ExtremeValues) {
+  std::vector<int32_t> values = {kInt32Min, kInt32Max, 0, -1, 1,
+                                 kInt32Min, kInt32Max};
+  for (Scheme scheme :
+       {Scheme::kRaw, Scheme::kForBitPack, Scheme::kDictionary}) {
+    EncodedColumn column = EncodedColumn::EncodeWith(scheme, values);
+    ASSERT_NO_FATAL_FAILURE(ExpectRoundTrip(column, values))
+        << SchemeName(scheme);
+  }
+}
+
+// --- scheme selection -------------------------------------------------------
+
+TEST(EncodingSelection, NarrowRangePicksForBitPack) {
+  Rng rng(3);
+  std::vector<int32_t> values(10 * kFrameValues);
+  for (int32_t& v : values) {
+    v = static_cast<int32_t>(rng.NextInRange(1, 50));  // quantity-like
+  }
+  EncodedColumn column = EncodedColumn::Encode(values);
+  EXPECT_EQ(column.scheme(), Scheme::kForBitPack);
+  EXPECT_GT(column.CompressionRatio(), 3.0);
+}
+
+TEST(EncodingSelection, LowCardinalityWideValuesPickDictionary) {
+  Rng rng(5);
+  // 16 distinct values scattered over the full int32 range: FoR frames
+  // stay wide (the spread inside a frame is huge) but 16 dictionary codes
+  // need only 4 bits.
+  std::vector<int32_t> domain(16);
+  for (int32_t& v : domain) {
+    v = static_cast<int32_t>(rng.NextInRange(kInt32Min, kInt32Max));
+  }
+  std::vector<int32_t> values(10 * kFrameValues);
+  for (int32_t& v : values) {
+    v = domain[rng.NextBelow(domain.size())];
+  }
+  EncodedColumn column = EncodedColumn::Encode(values);
+  EXPECT_EQ(column.scheme(), Scheme::kDictionary);
+  EXPECT_GT(column.CompressionRatio(), 3.0);
+}
+
+TEST(EncodingSelection, IncompressiblePicksRaw) {
+  Rng rng(9);
+  // Full-range random values: every frame spans ~32 bits and nearly every
+  // value is distinct, so both encodings cost more than 4 B/value.
+  std::vector<int32_t> values(10 * kFrameValues);
+  for (int32_t& v : values) {
+    v = static_cast<int32_t>(rng.NextInRange(kInt32Min, kInt32Max));
+  }
+  EncodedColumn column = EncodedColumn::Encode(values);
+  EXPECT_EQ(column.scheme(), Scheme::kRaw);
+  EXPECT_EQ(column.EncodedBytes(), column.RawBytes());
+}
+
+// --- predicate-on-encoded equivalence ---------------------------------------
+
+TEST(EncodingPredicate, RangeMatchesScalarReference) {
+  Rng rng(31);
+  for (int round = 0; round < 30; ++round) {
+    Rng local = rng.Fork(static_cast<uint64_t>(round));
+    const uint64_t n = local.NextBelow(6 * kFrameValues) + 1;
+    const int64_t lo_v = local.NextInRange(-500, 500);
+    const int64_t hi_v = lo_v + static_cast<int64_t>(local.NextBelow(200));
+    std::vector<int32_t> values(n);
+    for (int32_t& v : values) {
+      v = static_cast<int32_t>(local.NextInRange(lo_v, hi_v));
+    }
+    const int32_t plo = static_cast<int32_t>(
+        local.NextInRange(lo_v - 10, hi_v + 10));
+    const int32_t phi = static_cast<int32_t>(
+        plo + local.NextInRange(0, (hi_v - lo_v) + 20));
+    const uint64_t begin = local.NextBelow(n);
+    const uint64_t end = begin + local.NextBelow(n - begin) + 1;
+    const std::vector<uint64_t> expect =
+        ReferenceMatches(values, plo, phi, begin, end);
+    for (Scheme scheme :
+         {Scheme::kRaw, Scheme::kForBitPack, Scheme::kDictionary}) {
+      EncodedColumn column = EncodedColumn::EncodeWith(scheme, values);
+      std::vector<uint64_t> sel;
+      column.AppendMatchingRange(plo, phi, begin, end, &sel);
+      EXPECT_EQ(sel, expect) << SchemeName(scheme) << " round " << round;
+    }
+  }
+}
+
+TEST(EncodingPredicate, EqualsMatchesScalarReference) {
+  Rng rng(47);
+  std::vector<int32_t> values(4 * kFrameValues);
+  for (int32_t& v : values) {
+    v = static_cast<int32_t>(rng.NextInRange(0, 20));
+  }
+  for (int32_t probe = -2; probe <= 22; ++probe) {
+    const std::vector<uint64_t> expect =
+        ReferenceMatches(values, probe, probe, 0, values.size());
+    for (Scheme scheme :
+         {Scheme::kRaw, Scheme::kForBitPack, Scheme::kDictionary}) {
+      EncodedColumn column = EncodedColumn::EncodeWith(scheme, values);
+      std::vector<uint64_t> sel;
+      column.AppendMatchingEquals(probe, 0, values.size(), &sel);
+      EXPECT_EQ(sel, expect) << SchemeName(scheme) << " probe " << probe;
+    }
+  }
+}
+
+TEST(EncodingPredicate, FrameSkipQualifiesWholeFramesWithoutDecode) {
+  // Frame 0 holds 0..31, frame 1 holds 1000..1031, frame 2 holds 5..36:
+  // a [900, 2000] predicate must skip frames 0 and 2 and take all of
+  // frame 1 via the bounds check.
+  std::vector<int32_t> values;
+  for (int32_t i = 0; i < 32; ++i) values.push_back(i);
+  for (int32_t i = 0; i < 32; ++i) values.push_back(1000 + i);
+  for (int32_t i = 0; i < 32; ++i) values.push_back(5 + i);
+  EncodedColumn column = EncodedColumn::EncodeWith(Scheme::kForBitPack,
+                                                   values);
+  std::vector<uint64_t> sel;
+  column.AppendMatchingRange(900, 2000, 0, values.size(), &sel);
+  ASSERT_EQ(sel.size(), 32u);
+  for (uint64_t i = 0; i < 32; ++i) EXPECT_EQ(sel[i], 32 + i);
+}
+
+TEST(EncodingPredicate, DictionaryAbsentValueMatchesNothing) {
+  std::vector<int32_t> values(2 * kFrameValues, 10);
+  for (size_t i = 0; i < values.size(); i += 2) values[i] = 20;
+  EncodedColumn column = EncodedColumn::EncodeWith(Scheme::kDictionary,
+                                                   values);
+  std::vector<uint64_t> sel;
+  column.AppendMatchingEquals(15, 0, values.size(), &sel);  // absent
+  EXPECT_TRUE(sel.empty());
+}
+
+// --- gather ------------------------------------------------------------------
+
+TEST(EncodingGather, MatchesPointAccess) {
+  Rng rng(61);
+  std::vector<int32_t> values(8 * kFrameValues);
+  for (int32_t& v : values) {
+    v = static_cast<int32_t>(rng.NextInRange(-1000, 1000));
+  }
+  std::vector<uint64_t> sel;
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (rng.NextBool(0.2)) sel.push_back(i);
+  }
+  for (Scheme scheme :
+       {Scheme::kRaw, Scheme::kForBitPack, Scheme::kDictionary}) {
+    EncodedColumn column = EncodedColumn::EncodeWith(scheme, values);
+    std::vector<int32_t> gathered;
+    column.GatherInto(sel, &gathered);
+    ASSERT_EQ(gathered.size(), sel.size());
+    for (size_t i = 0; i < sel.size(); ++i) {
+      ASSERT_EQ(gathered[i], values[sel[i]]) << SchemeName(scheme);
+    }
+  }
+}
+
+// --- EncodedColumnStore ------------------------------------------------------
+
+TEST(EncodedColumnStore, CompressesSsbColumnsAndPricesScans) {
+  auto db = ssb::Generate({.scale_factor = 0.01, .seed = 12});
+  ASSERT_TRUE(db.ok());
+  ssb::ColumnStore columns(db->lineorder);
+  ssb::EncodedColumnStore encoded(columns);
+  ASSERT_EQ(encoded.size(), columns.size());
+
+  // Every value survives the chosen scheme.
+  const encoding::EncodedColumn& quantity =
+      encoded.column(ssb::LineorderColumn::kQuantity);
+  for (uint64_t i = 0; i < columns.size(); i += 997) {
+    ASSERT_EQ(quantity.Get(i), columns.quantity()[i]);
+  }
+
+  // The nine SSB columns compress well overall (small domains, dense
+  // keys) — the whole premise of the encoded pricing.
+  EXPECT_LT(encoded.TotalEncodedBytes(), encoded.TotalRawBytes() / 2);
+
+  // Scan pricing: full-table scan of a column set costs its summed
+  // encoded bytes; half the tuples cost half (±rounding).
+  const std::vector<ssb::LineorderColumn> cols =
+      ssb::ScanColumnsFor(ssb::QueryId::kQ1_1);
+  uint64_t full = encoded.ScanBytes(cols, encoded.size());
+  uint64_t expect_full = 0;
+  for (ssb::LineorderColumn c : cols) expect_full += encoded.EncodedBytes(c);
+  EXPECT_NEAR(static_cast<double>(full), static_cast<double>(expect_full),
+              static_cast<double>(cols.size()));
+  uint64_t half = encoded.ScanBytes(cols, encoded.size() / 2);
+  EXPECT_NEAR(static_cast<double>(half), static_cast<double>(full) / 2,
+              static_cast<double>(full) / 100.0);
+}
+
+TEST(EncodedColumnStore, ScanColumnSetsMatchColumnarWidths) {
+  // The explicit column sets must agree with the 16/20/24 B columnar
+  // pricing contract: 4 raw bytes per touched column.
+  for (ssb::QueryId query : ssb::AllQueries()) {
+    const size_t columns = ssb::ScanColumnsFor(query).size();
+    size_t expect;
+    switch (ssb::FlightOf(query)) {
+      case 1:
+      case 2:
+      case 3:
+        expect = 4;
+        break;
+      default:
+        expect = query == ssb::QueryId::kQ4_3 ? 5 : 6;
+        break;
+    }
+    EXPECT_EQ(columns, expect) << ssb::QueryName(query);
+  }
+}
+
+TEST(ColumnStoreMoveConstructor, ReleasesRowImage) {
+  auto db = ssb::Generate({.scale_factor = 0.01, .seed = 12});
+  ASSERT_TRUE(db.ok());
+  const ssb::ColumnStore reference(db->lineorder);
+  const size_t rows = db->lineorder.size();
+
+  std::vector<ssb::LineorderRow> moved = db->lineorder;
+  ssb::ColumnStore consumed(std::move(moved));
+  // The source rows are released: no double residency of the 128 B row
+  // image next to the columnar image.
+  EXPECT_TRUE(moved.empty());
+  EXPECT_EQ(moved.capacity(), 0u);
+  ASSERT_EQ(consumed.size(), rows);
+  EXPECT_EQ(consumed.revenue(), reference.revenue());
+  EXPECT_EQ(consumed.orderdate(), reference.orderdate());
+}
+
+}  // namespace
+}  // namespace pmemolap::encoding

@@ -1,0 +1,9 @@
+// Linted as src/encoding/<file>.cc: the encoding tier is pure data
+// transformation pulled by ssb/engine above — it must never reach up
+// into the executors or sideways into the simulator.
+#include "engine/kernels.h"
+#include "sim/timeline.h"
+
+namespace pmemolap::encoding {
+int EncodingMustNotSeeExecutors() { return 1; }
+}  // namespace pmemolap::encoding

@@ -369,6 +369,50 @@ TEST(LintDeterminism, DurabilityIsADeterministicLayer) {
   EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
 }
 
+// --- encoding layering ------------------------------------------------------
+
+TEST(LintLayering, EncodingSitsBelowTheExecutorsBesideSim) {
+  // encoding -> engine/sim reaches up / sideways across tier boundaries.
+  Report upward =
+      LintFixtureAs("encoding_tier_violation.cc", "src/encoding/fixture.cc");
+  ASSERT_EQ(upward.diagnostics.size(), 2u);  // engine/ and sim/ includes
+  EXPECT_EQ(upward.diagnostics[0].rule, "layering");
+  EXPECT_EQ(upward.diagnostics[1].rule, "layering");
+  // encoding -> {common, memsys} reads downward: clean.
+  Report clean =
+      LintFixtureAs("encoding_tier_clean.cc", "src/encoding/fixture.cc");
+  EXPECT_TRUE(clean.clean()) << clean.diagnostics[0].ToString();
+  // ssb and engine pull the encoded formats from above: clean.
+  Report ssb;
+  LintFileContent("src/ssb/fixture.cc",
+                  "#include \"encoding/encoding.h\"\n", &ssb);
+  EXPECT_TRUE(ssb.clean());
+  Report engine;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"encoding/encoding.h\"\n", &engine);
+  EXPECT_TRUE(engine.clean());
+  // memsys -> encoding inverts the DAG: the model must not know what
+  // data formats ride on it. sim -> encoding crosses same-rank strangers.
+  Report memsys;
+  LintFileContent("src/memsys/fixture.cc",
+                  "#include \"encoding/encoding.h\"\n", &memsys);
+  ASSERT_EQ(memsys.diagnostics.size(), 1u);
+  EXPECT_EQ(memsys.diagnostics[0].rule, "layering");
+  Report sim;
+  LintFileContent("src/sim/fixture.cc",
+                  "#include \"encoding/encoding.h\"\n", &sim);
+  ASSERT_EQ(sim.diagnostics.size(), 1u);
+  EXPECT_EQ(sim.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, EncodingIsADeterministicLayer) {
+  // The same column must encode to the same bytes on every run — scheme
+  // choice and frame layout feed modeled scan pricing.
+  Report report = LintFixtureAs("determinism_violation.cc",
+                                "src/encoding/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {

@@ -27,15 +27,18 @@ namespace {
 // durability tier shares the governor's rank: it builds on the fault and
 // model layers (crash schedules, persist pricing) and is pulled by the
 // engine above; durability and governor never include each other — the
-// governor sees ingest only as TrafficRecords the engine forwards.
+// governor sees ingest only as TrafficRecords the engine forwards. The
+// encoding tier (compressed column formats) shares sim's rank: pure data
+// transformation over the model layers below, pulled by ssb/engine above
+// — it must never see the executors, the scheduler, or the simulator.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
       {"common", 0},   {"topo", 1},       {"device", 2}, {"memsys", 3},
-      {"sim", 4},      {"core", 5},       {"fault", 5},  {"governor", 6},
-      {"durability", 6}, {"exec", 7},     {"engine", 7}, {"ssb", 7},
-      {"dash", 7},     {"qos", 7},
+      {"sim", 4},      {"encoding", 4},   {"core", 5},   {"fault", 5},
+      {"governor", 6}, {"durability", 6}, {"exec", 7},   {"engine", 7},
+      {"ssb", 7},      {"dash", 7},       {"qos", 7},
   };
   return kRanks;
 }
@@ -60,7 +63,7 @@ const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
       "common", "topo",  "device", "memsys",   "sim",
       "core",   "fault", "ssb",    "governor", "dash",
-      "durability",
+      "durability", "encoding",
   };
   return kLayers;
 }
@@ -337,7 +340,7 @@ void CheckLayering(const FileContext& ctx) {
       Emit(ctx, static_cast<int>(i), "layering",
            "layer '" + ctx.layer + "' must not include layer '" + dep +
                "' (declared DAG: common <- topo <- device <- memsys <- "
-               "sim <- core/fault <- governor/durability <- "
+               "sim/encoding <- core/fault <- governor/durability <- "
                "exec/engine/ssb/dash)");
     }
   }
