@@ -22,6 +22,11 @@ Result<std::unique_ptr<DurableTable>> DurableTable::Create(
       table->log_,
       PersistentRegion::Create(space, options.log_bytes, options.socket,
                                crash, &table->cost_));
+  if (options.check_order) {
+    table->order_checker_ = std::make_unique<PersistOrderChecker>();
+    table->table_->AttachOrderChecker(table->order_checker_.get(), "table");
+    table->log_->AttachOrderChecker(table->order_checker_.get(), "log");
+  }
   return table;
 }
 
@@ -64,7 +69,11 @@ Result<uint64_t> DurableTable::Append(const std::byte* data, uint64_t bytes) {
   PMEMOLAP_RETURN_NOT_OK(log_->Fence());
 
   // 3+4: the commit marker becomes durable — the epoch's point of no
-  // return. Ordered strictly after the payload by the fence above.
+  // return. Ordered strictly after the payload by the fence above; the
+  // oracle verifies that ordering actually held at runtime.
+  if (order_checker_ != nullptr) {
+    order_checker_->OnCommitRecord(log_.get(), epoch);
+  }
   uint64_t commit_offset = tail + data_record.size();
   if (options_.ntstore_log) {
     PMEMOLAP_RETURN_NOT_OK(log_->NtStore(commit_offset, commit_record.data(),
@@ -92,6 +101,13 @@ Result<uint64_t> DurableTable::Append(const std::byte* data, uint64_t bytes) {
 
 void DurableTable::AdvanceCommitted(uint64_t epoch, uint64_t total_bytes,
                                     uint64_t log_tail) {
+  if (order_checker_ != nullptr) {
+    // Readers see [0, total_bytes) of the table and recovery trusts
+    // [0, log_tail) of the log from here on: both must be fenced.
+    order_checker_->OnPublish(table_.get(), 0, total_bytes,
+                              "AdvanceCommitted");
+    order_checker_->OnPublish(log_.get(), 0, log_tail, "AdvanceCommitted");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   (void)epoch;  // always epoch_bytes_.size() by construction
   epoch_bytes_.push_back(total_bytes);
@@ -100,6 +116,11 @@ void DurableTable::AdvanceCommitted(uint64_t epoch, uint64_t total_bytes,
 
 void DurableTable::RestoreCommitted(std::vector<uint64_t> epoch_bytes,
                                     uint64_t log_tail) {
+  if (order_checker_ != nullptr) {
+    order_checker_->OnPublish(table_.get(), 0, epoch_bytes.back(),
+                              "RestoreCommitted");
+    order_checker_->OnPublish(log_.get(), 0, log_tail, "RestoreCommitted");
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   epoch_bytes_ = std::move(epoch_bytes);
   log_tail_ = log_tail;

@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "core/pmem_space.h"
 #include "core/profile.h"
+#include "durability/persist_order_checker.h"
 #include "durability/persistent_region.h"
 #include "memsys/persist.h"
 
@@ -51,6 +52,12 @@ class DurableTable {
     /// ntstore log appends (the paper's pick for streaming writes);
     /// false uses cached stores + clwb — dearer, exercised by tests.
     bool ntstore_log = true;
+    /// Runs the runtime durability oracle (persist_order_checker.h)
+    /// over both regions: every fence cross-validated against the
+    /// tracker, every commit record and publish checked for pending
+    /// lines. Cheap (O(in-flight lines) per boundary), so it defaults
+    /// on; flip off to measure the protocol without the oracle.
+    bool check_order = true;
     PersistSpec persist;  ///< primitive pricing
   };
 
@@ -99,6 +106,10 @@ class DurableTable {
   PersistentRegion& table_region() { return *table_; }
   PersistentRegion& log_region() { return *log_; }
   const PersistCostModel& cost() const { return cost_; }
+  /// The runtime durability oracle, or nullptr when
+  /// Options::check_order is off. Tests assert `clean()` on it; the
+  /// engine surfaces a non-clean oracle as an internal error.
+  PersistOrderChecker* order_checker() const { return order_checker_.get(); }
 
  private:
   friend class RecoveryManager;
@@ -119,6 +130,7 @@ class DurableTable {
   Options options_;
   CrashInjector* crash_;
   PersistCostModel cost_;
+  std::unique_ptr<PersistOrderChecker> order_checker_;
   std::unique_ptr<PersistentRegion> table_;
   std::unique_ptr<PersistentRegion> log_;
 

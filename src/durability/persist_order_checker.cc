@@ -1,0 +1,257 @@
+#include "durability/persist_order_checker.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+#include "durability/persistent_region.h"
+
+namespace pmemolap {
+
+namespace {
+/// Keep the detail list bounded — a broken protocol inside a crash
+/// sweep would otherwise record one violation per boundary. The total
+/// counter still counts everything.
+constexpr uint64_t kMaxRecordedViolations = 64;
+
+uint64_t LineBegin(uint64_t offset) { return offset / kCacheLineBytes; }
+uint64_t LineEnd(uint64_t offset, uint64_t size) {
+  return size == 0 ? LineBegin(offset)
+                   : (offset + size - 1) / kCacheLineBytes + 1;
+}
+}  // namespace
+
+void PersistOrderChecker::AttachRegion(const PersistentRegion* region,
+                                       std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror& mirror = mirrors_[region];
+  mirror.name = std::move(name);
+  mirror.states.assign(LineEnd(0, region->size()), LineState::kClean);
+  mirror.touched.clear();
+}
+
+PersistOrderChecker::Mirror* PersistOrderChecker::Find(
+    const PersistentRegion* region) {
+  auto it = mirrors_.find(region);
+  return it == mirrors_.end() ? nullptr : &it->second;
+}
+
+const char* PersistOrderChecker::StateName(LineState state) {
+  switch (state) {
+    case LineState::kClean:
+      return "clean";
+    case LineState::kDirtyCached:
+      return "dirty-cached";
+    case LineState::kAcceptedNt:
+      return "accepted-ntstore";
+    case LineState::kAcceptedCached:
+      return "accepted-cached";
+  }
+  return "?";
+}
+
+void PersistOrderChecker::Record(const std::string& rule,
+                                 const Mirror& mirror, uint64_t line,
+                                 std::string detail) {
+  ++total_violations_;
+  if (violations_.size() < kMaxRecordedViolations) {
+    violations_.push_back(
+        Violation{rule, mirror.name, line, std::move(detail)});
+  }
+}
+
+void PersistOrderChecker::OnStore(const PersistentRegion* region,
+                                  uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  for (uint64_t line = LineBegin(offset); line < LineEnd(offset, size);
+       ++line) {
+    if (mirror->states[line] == LineState::kAcceptedNt) {
+      Record("persist-mixed-store", *mirror, line,
+             "cached Store over line " + std::to_string(line) +
+                 " whose NtStore is still un-fenced");
+    }
+    // A cached store re-dirties the line: an earlier write-back no
+    // longer covers it (mirrors PersistenceTracker::MarkDirty).
+    mirror->states[line] = LineState::kDirtyCached;
+    mirror->touched.insert(line);
+  }
+}
+
+void PersistOrderChecker::OnNtStore(const PersistentRegion* region,
+                                    uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  for (uint64_t line = LineBegin(offset); line < LineEnd(offset, size);
+       ++line) {
+    if (mirror->states[line] == LineState::kDirtyCached) {
+      Record("persist-mixed-store", *mirror, line,
+             "NtStore over line " + std::to_string(line) +
+                 " still dirty from a cached Store");
+    }
+    mirror->states[line] = LineState::kAcceptedNt;
+    mirror->touched.insert(line);
+  }
+}
+
+void PersistOrderChecker::OnFlush(const PersistentRegion* region,
+                                  uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  for (uint64_t line = LineBegin(offset); line < LineEnd(offset, size);
+       ++line) {
+    switch (mirror->states[line]) {
+      case LineState::kDirtyCached:
+        mirror->states[line] = LineState::kAcceptedCached;
+        break;
+      case LineState::kAcceptedNt:
+      case LineState::kAcceptedCached:
+        // Re-flushing an in-flight line: wasted clwb (the runtime
+        // analog of the static persist-double-flush diagnostic).
+        ++redundant_flush_lines_;
+        break;
+      case LineState::kClean:
+        break;  // wide flushes legitimately cover clean lines
+    }
+  }
+}
+
+void PersistOrderChecker::OnFence(const PersistentRegion* region,
+                                  uint64_t drained_lines) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  ++fences_checked_;
+  uint64_t mirror_drained = 0;
+  const PersistenceTracker& tracker = region->tracker();
+  for (auto it = mirror->touched.begin(); it != mirror->touched.end();) {
+    uint64_t line = *it;
+    LineState state = mirror->states[line];
+    if (state == LineState::kAcceptedNt ||
+        state == LineState::kAcceptedCached) {
+      ++mirror_drained;
+      mirror->states[line] = LineState::kClean;
+      it = mirror->touched.erase(it);
+      continue;
+    }
+    // Dirty lines ride out the fence — the tracker must agree, or the
+    // two models have diverged.
+    if (tracker.state(line) != PersistLineState::kDirtyCache) {
+      Record("oracle-drift", *mirror, line,
+             "after Fence() the mirror holds line " +
+                 std::to_string(line) + " as " + StateName(state) +
+                 " but the tracker reports state " +
+                 std::to_string(static_cast<int>(tracker.state(line))) +
+                 " — a write path bypassed the primitives or the "
+                 "lattice changed");
+    }
+    ++it;
+  }
+  if (mirror_drained != drained_lines) {
+    Record("oracle-drift", *mirror, 0,
+           "Fence() drained " + std::to_string(drained_lines) +
+               " line(s) per the tracker but " +
+               std::to_string(mirror_drained) +
+               " per the mirror — in-flight state the checker never "
+               "saw (late attach, or a primitive bypass)");
+  }
+}
+
+void PersistOrderChecker::OnTruncate(const PersistentRegion* region,
+                                     uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  // TruncateTo zeroes both images past `offset` without touching the
+  // tracker: any still-in-flight line there keeps its tracker state, so
+  // the mirror keeps it too (the drift check stays honest). Nothing to
+  // do — the hook exists so the boundary is visible in traces.
+  (void)offset;
+}
+
+void PersistOrderChecker::OnCrash(const PersistentRegion* region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  // volatile := persisted and tracker.Reset(): all in-flight state is
+  // resolved (lost or survived); the mirror starts clean like a restart.
+  for (uint64_t line : mirror->touched) {
+    mirror->states[line] = LineState::kClean;
+  }
+  mirror->touched.clear();
+}
+
+void PersistOrderChecker::OnCommitRecord(const PersistentRegion* region,
+                                         uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  ++commit_records_checked_;
+  for (uint64_t line : mirror->touched) {
+    Record("persist-order", *mirror, line,
+           "commit record of epoch " + std::to_string(epoch) +
+               " written while line " + std::to_string(line) + " is " +
+               StateName(mirror->states[line]) +
+               " — the payload must be fully fenced before the marker");
+    break;  // one violation per marker
+  }
+}
+
+void PersistOrderChecker::OnPublish(const PersistentRegion* region,
+                                    uint64_t begin, uint64_t end,
+                                    const std::string& what) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Mirror* mirror = Find(region);
+  if (mirror == nullptr) return;
+  ++publishes_checked_;
+  uint64_t first = LineBegin(begin);
+  uint64_t past = LineEnd(begin, end - begin);
+  auto it = mirror->touched.lower_bound(first);
+  for (; it != mirror->touched.end() && *it < past; ++it) {
+    Record("persist-order", *mirror, *it,
+           what + " publishes while line " + std::to_string(*it) +
+               " is " + StateName(mirror->states[*it]) +
+               " — a crash now exposes bytes the publish promised were "
+               "durable");
+  }
+}
+
+bool PersistOrderChecker::clean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_violations_ == 0;
+}
+
+std::vector<PersistOrderChecker::Violation>
+PersistOrderChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return violations_;
+}
+
+uint64_t PersistOrderChecker::total_violations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_violations_;
+}
+
+uint64_t PersistOrderChecker::fences_checked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fences_checked_;
+}
+
+uint64_t PersistOrderChecker::publishes_checked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return publishes_checked_;
+}
+
+uint64_t PersistOrderChecker::commit_records_checked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commit_records_checked_;
+}
+
+uint64_t PersistOrderChecker::redundant_flush_lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return redundant_flush_lines_;
+}
+
+}  // namespace pmemolap

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "durability/crash_injector.h"
+#include "durability/persist_order_checker.h"
 
 namespace pmemolap {
 
@@ -97,6 +98,7 @@ Status PersistentRegion::Store(uint64_t offset, const void* src,
   }
   std::memcpy(allocation_.data() + offset, src, size);
   tracker_.MarkDirty(offset, size);
+  if (order_ != nullptr) order_->OnStore(this, offset, size);
   uint64_t lines = PersistCostModel::LinesCovering(offset, size);
   store_lines_ += lines;
   modeled_seconds_ += cost_->StoreSeconds(lines);
@@ -112,6 +114,7 @@ Status PersistentRegion::NtStore(uint64_t offset, const void* src,
   }
   std::memcpy(allocation_.data() + offset, src, size);
   tracker_.MarkAccepted(offset, size);
+  if (order_ != nullptr) order_->OnNtStore(this, offset, size);
   uint64_t lines = PersistCostModel::LinesCovering(offset, size);
   store_lines_ += lines;
   modeled_seconds_ += cost_->NtStoreSeconds(lines);
@@ -131,6 +134,7 @@ Status PersistentRegion::FlushRange(uint64_t offset, uint64_t size) {
     return CrashNow();
   }
   uint64_t moved = tracker_.AcceptDirtyRange(offset, size);
+  if (order_ != nullptr) order_->OnFlush(this, offset, size);
   flush_lines_ += moved;
   modeled_seconds_ += cost_->FlushSeconds(moved);
   return Status::OK();
@@ -149,6 +153,7 @@ Status PersistentRegion::TruncateTo(uint64_t offset) {
   modeled_seconds_ += cost_->StoreSeconds(1) + cost_->FlushSeconds(1) +
                       cost_->FenceSeconds(1);
   ++fences_;
+  if (order_ != nullptr) order_->OnTruncate(this, offset);
   return Status::OK();
 }
 
@@ -167,6 +172,7 @@ Status PersistentRegion::Fence() {
   }
   ++fences_;
   modeled_seconds_ += cost_->FenceSeconds(pending);
+  if (order_ != nullptr) order_->OnFence(this, pending);
   return Status::OK();
 }
 
@@ -203,6 +209,7 @@ void PersistentRegion::ApplyCrash(Rng* survival, double survival_p,
   // Restart: the volatile image IS the persisted image.
   std::memcpy(allocation_.data(), persisted_.data(), allocation_.size());
   tracker_.Reset();
+  if (order_ != nullptr) order_->OnCrash(this);
   if (report != nullptr) {
     report->dirty_lines_lost += dirty_lost;
     report->accepted_lines_lost += accepted_lost;
@@ -219,6 +226,12 @@ void PersistentRegion::ApplyCrash(Rng* survival, double survival_p,
                           std::back_inserter(torn));
     report->torn_xplines += torn.size();
   }
+}
+
+void PersistentRegion::AttachOrderChecker(PersistOrderChecker* checker,
+                                          std::string name) {
+  order_ = checker;
+  if (order_ != nullptr) order_->AttachRegion(this, std::move(name));
 }
 
 }  // namespace pmemolap

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -38,6 +39,7 @@ namespace pmemolap {
 
 class CrashInjector;
 struct CrashReport;
+class PersistOrderChecker;
 
 class PersistentRegion {
  public:
@@ -82,6 +84,13 @@ class PersistentRegion {
   /// `report` if non-null.
   void ApplyCrash(Rng* survival, double survival_p, CrashReport* report);
 
+  /// Mirrors every subsequent primitive into the runtime durability
+  /// oracle (persist_order_checker.h) under `name`. Attach before the
+  /// first primitive or the oracle's drift check will (correctly) fire.
+  /// `checker` may be nullptr to detach; it must outlive the region's
+  /// primitive calls.
+  void AttachOrderChecker(PersistOrderChecker* checker, std::string name);
+
  private:
   PersistentRegion(PmemSpace* space, Allocation allocation,
                    CrashInjector* crash, const PersistCostModel* cost);
@@ -103,6 +112,7 @@ class PersistentRegion {
   PersistenceTracker tracker_;
   CrashInjector* crash_;
   const PersistCostModel* cost_;
+  PersistOrderChecker* order_ = nullptr;
   double modeled_seconds_ = 0.0;
   uint64_t store_lines_ = 0;
   uint64_t flush_lines_ = 0;

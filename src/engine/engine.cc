@@ -756,9 +756,12 @@ Result<uint64_t> SsbEngine::Ingest(const ssb::LineorderRow* rows,
         "Ingest requires a durable table (EngineConfig::durable)");
   }
   if (count == 0) return Status::InvalidArgument("empty ingest batch");
-  return config_.durable->Append(
-      reinterpret_cast<const std::byte*>(rows),
-      count * sizeof(ssb::LineorderRow));
+  PMEMOLAP_ASSIGN_OR_RETURN(
+      uint64_t epoch,
+      config_.durable->Append(reinterpret_cast<const std::byte*>(rows),
+                              count * sizeof(ssb::LineorderRow)));
+  PMEMOLAP_RETURN_NOT_OK(CheckDurabilityOracle());
+  return epoch;
 }
 
 Result<RecoveryStats> SsbEngine::Recover() {
@@ -772,7 +775,22 @@ Result<RecoveryStats> SsbEngine::Recover() {
   if (config_.admission != nullptr) {
     config_.admission->ResumeAfterRecovery();
   }
+  if (stats.ok()) PMEMOLAP_RETURN_NOT_OK(CheckDurabilityOracle());
   return stats;
+}
+
+Status SsbEngine::CheckDurabilityOracle() const {
+  PersistOrderChecker* oracle = config_.durable->order_checker();
+  if (oracle == nullptr || oracle->clean()) return Status::OK();
+  const std::vector<PersistOrderChecker::Violation> violations =
+      oracle->violations();
+  const PersistOrderChecker::Violation& first = violations.front();
+  return Status::Internal(
+      "durability oracle recorded " +
+      std::to_string(oracle->total_violations()) +
+      " persist-ordering violation(s); first: [" + first.rule + "] " +
+      first.region + " line " + std::to_string(first.line) + ": " +
+      first.detail);
 }
 
 Result<SsbEngine::QueryRun> SsbEngine::Execute(ssb::QueryId query) const {

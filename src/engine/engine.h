@@ -209,6 +209,12 @@ class SsbEngine {
   double ActualScaleFactor() const;
 
  private:
+  /// Surfaces a non-clean runtime durability oracle
+  /// (DurableTable::order_checker) as Internal — called after every
+  /// Ingest/Recover so a protocol regression fails the operation that
+  /// exposed it instead of silently recording violations.
+  Status CheckDurabilityOracle() const;
+
   struct ProbeCounters {
     uint64_t date = 0;
     uint64_t customer = 0;

@@ -203,6 +203,11 @@ Result<bool> GuardedTable::ScrubChunkLocked(int stripe, uint64_t chunk) {
     injector_->CountCorruptLines(corrupt_lines);
     return Status::Corruption("chunk CRC mismatch and no repair source");
   }
+  // lint:allow(persist-raw-write): scrub repair rewrites the fault
+  // layer's media image from the replication source; this sits below
+  // the persistence model — the bytes were already persisted once, and
+  // FaultRegion has no Store/NtStore ladder to route the rewrite
+  // through.
   std::memcpy(region.data() + begin, source_ + StripeBase(stripe) + begin,
               len);
   for (uint64_t line : lines) region.ScrubLine(line);

@@ -1,0 +1,32 @@
+// An intentionally broken ingest step, used to prove the two durability
+// analyzers agree: `BrokenPublish` stores a record and publishes it with
+// no FlushRange/Fence in between — the textbook unpersisted-publish bug.
+//
+//   - Static: lint_test.cc lints THIS file's content as if it lived at
+//     src/durability/broken_write_path.h and asserts the flow-sensitive
+//     persist-order pass flags the publish line.
+//   - Dynamic: persist_order_checker_test.cc executes it against a real
+//     region and asserts the runtime oracle records the same
+//     persist-order violation.
+//
+// It lives under tests/ precisely so the real tree walk never flags it:
+// the static pass only checks src/ paths (tests break the protocol on
+// purpose; the runtime oracle covers them).
+#pragma once
+
+#include "common/status.h"
+#include "durability/persist_order_checker.h"
+#include "durability/persistent_region.h"
+
+namespace pmemolap {
+
+inline Status BrokenPublish(PersistentRegion* region,
+                            PersistOrderChecker* checker,
+                            const std::byte* src, uint64_t bytes) {
+  PMEMOLAP_RETURN_NOT_OK(region->Store(0, src, bytes));
+  // Missing: region->FlushRange(0, bytes); region->Fence();
+  checker->OnPublish(region, 0, bytes, "BrokenPublish");
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -132,6 +132,18 @@ void SweepEveryBoundary(bool ntstore_log) {
     for (uint64_t e = 1; e <= kEpochs; ++e) {
       ExpectEpochIntact(**table, e, static_cast<int64_t>(b));
     }
+
+    // The runtime durability oracle watched every primitive of the
+    // crashed ingest, the recovery replay and the resumed ingest: the
+    // protocol must be violation-free at every boundary, not just
+    // readable afterwards.
+    const PersistOrderChecker* oracle = (*table)->order_checker();
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_TRUE(oracle->clean())
+        << "boundary " << b << ": [" << oracle->violations()[0].rule << "] "
+        << oracle->violations()[0].region << " line "
+        << oracle->violations()[0].line << ": "
+        << oracle->violations()[0].detail;
   }
 }
 

@@ -48,6 +48,16 @@ uint64_t IngestEpochs(DurableTable* table, int n, uint64_t size) {
   return acked;
 }
 
+void ExpectOracleClean(const DurableTable& table) {
+  const PersistOrderChecker* oracle = table.order_checker();
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_TRUE(oracle->clean())
+      << "[" << oracle->violations()[0].rule << "] "
+      << oracle->violations()[0].region << " line "
+      << oracle->violations()[0].line << ": "
+      << oracle->violations()[0].detail;
+}
+
 void ExpectEpochBytes(const DurableTable& table, uint64_t epoch,
                       uint64_t size) {
   std::vector<std::byte> expected = Pattern(size, static_cast<int>(epoch));
@@ -79,6 +89,7 @@ TEST_F(RecoveryTest, HealthyRecoverIsAnIdempotentReplay) {
   ASSERT_TRUE((*table)->Recover().ok());
   EXPECT_EQ((*table)->committed_epoch(), 3u);
   for (uint64_t e = 1; e <= 3; ++e) ExpectEpochBytes(**table, e, 500);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, CrashBeforeCommitDropsOnlyTheInFlightEpoch) {
@@ -109,6 +120,7 @@ TEST_F(RecoveryTest, CrashBeforeCommitDropsOnlyTheInFlightEpoch) {
   ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
   EXPECT_EQ(*epoch, 2u);
   ExpectEpochBytes(**table, 2, 400);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, CrashAfterCommitFenceIsReplayedNotLost) {
@@ -128,6 +140,7 @@ TEST_F(RecoveryTest, CrashAfterCommitFenceIsReplayedNotLost) {
   EXPECT_EQ((*table)->committed_epoch(), 2u);
   ExpectEpochBytes(**table, 1, 400);
   ExpectEpochBytes(**table, 2, 400);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, CrashDuringRecoveryConvergesOnRerun) {
@@ -159,6 +172,7 @@ TEST_F(RecoveryTest, CrashDuringRecoveryConvergesOnRerun) {
   EXPECT_EQ((*table)->committed_epoch(), 2u);
   ExpectEpochBytes(**table, 1, 400);
   ExpectEpochBytes(**table, 2, 400);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, DuplicateCommitMarkerIsToleratedAndTruncated) {
@@ -188,6 +202,7 @@ TEST_F(RecoveryTest, DuplicateCommitMarkerIsToleratedAndTruncated) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->duplicate_commits, 0u);
   EXPECT_EQ(again->truncated_bytes, 0u);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, TruncatedTailRecordIsDetectedAndDropped) {
@@ -226,6 +241,7 @@ TEST_F(RecoveryTest, TruncatedTailRecordIsDetectedAndDropped) {
   ASSERT_TRUE(after.ok());
   EXPECT_FALSE(after->torn_tail);
   EXPECT_EQ(after->committed_epoch, 3u);
+  ExpectOracleClean(**table);
 }
 
 TEST_F(RecoveryTest, RecoveryCostScalesWithLogLength) {
@@ -239,6 +255,8 @@ TEST_F(RecoveryTest, RecoveryCostScalesWithLogLength) {
   ASSERT_TRUE(short_stats.ok() && long_stats.ok());
   EXPECT_GT(long_stats->modeled_seconds, short_stats->modeled_seconds)
       << "a longer committed log must cost more to scan and replay";
+  ExpectOracleClean(**short_table);
+  ExpectOracleClean(**long_table);
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Fixture: persist-double-flush clean case. Linted as
+// src/durability/fixture.cc — the range is re-dirtied between the two
+// flushes, so both clwbs do real work.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushAfterEachStore(PersistentRegion* log) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 32));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,16 @@
+// Fixture: persist-double-flush. Linted as src/durability/fixture.cc —
+// the second FlushRange re-flushes a range that was never re-dirtied,
+// paying a clwb for nothing (a perf diagnostic, not a safety one).
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushTwiceWithoutRedirty(PersistentRegion* log) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

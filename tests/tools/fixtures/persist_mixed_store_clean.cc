@@ -1,0 +1,25 @@
+// Fixture: persist-mixed-store clean cases. Linted as
+// src/durability/fixture.cc — a fence between the two write kinds
+// makes the interleave safe, and different ranges never conflict.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FenceBetweenKinds(PersistentRegion* log) {
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+Status DifferentRangesDontConflict(PersistentRegion* log, uint64_t tail) {
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(tail, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,23 @@
+// Fixture: persist-mixed-store. Linted as src/durability/fixture.cc —
+// cached and non-temporal writes interleave on the same range without
+// a fence between them, in both orders.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status CachedOverNonTemporal(PersistentRegion* log) {
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+Status NonTemporalOverCached(PersistentRegion* log) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

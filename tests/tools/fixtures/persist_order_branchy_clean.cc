@@ -1,0 +1,21 @@
+// Fixture: persist-order, branchy flush done right. Linted as
+// src/durability/fixture.cc — every arm flushes before the shared
+// fence, so no path reaches the publish with a dirty store.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushOnBothArms(PersistentRegion* log, DurableTable* table,
+                       bool wide) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  if (wide) {
+    PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 128));
+  } else {
+    PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  }
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  table->AdvanceCommitted(1, 64, 96);
+  return Status::OK();
+}
+
+}  // namespace pmemolap

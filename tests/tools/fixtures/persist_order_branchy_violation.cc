@@ -1,0 +1,19 @@
+// Fixture: persist-order, branchy flush. Linted as
+// src/durability/fixture.cc — the flush happens on only one arm of the
+// branch, so the publish is reachable with the store still dirty.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushOnlyOnTheFastPath(PersistentRegion* log, DurableTable* table,
+                              bool fast) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  if (fast) {
+    PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  }
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  table->AdvanceCommitted(1, 64, 96);
+  return Status::OK();
+}
+
+}  // namespace pmemolap

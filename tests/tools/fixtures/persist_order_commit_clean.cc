@@ -1,0 +1,18 @@
+// Fixture: persist-order, commit marker done right. Linted as
+// src/durability/fixture.cc — the payload's fence dominates the
+// marker write, and the marker gets its own fence before any publish
+// (the DurableTable::Append shape).
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status CommitMarkerAfterFence(PersistentRegion* log, uint64_t commit_at) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(commit_at, nullptr, 32));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

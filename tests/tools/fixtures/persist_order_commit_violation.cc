@@ -1,0 +1,17 @@
+// Fixture: persist-order, commit marker without a dominating fence.
+// Linted as src/durability/fixture.cc — the marker is written while
+// the payload is still un-fenced, so recovery can see a committed
+// epoch whose payload bytes never drained.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status CommitMarkerRacesPayload(PersistentRegion* log, uint64_t commit_at) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->NtStore(commit_at, nullptr, 32));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,19 @@
+// Fixture: persist-order, early exits done right. Linted as
+// src/durability/fixture.cc — PMEMOLAP_RETURN_NOT_OK error exits are
+// exempt (a failed primitive aborts the epoch; recovery truncates it),
+// and the explicit early return happens only after the fence.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status ErrorExitsAreNotEscapes(PersistentRegion* log, bool fast) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  if (fast) {
+    return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace pmemolap

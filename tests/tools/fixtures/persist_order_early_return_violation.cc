@@ -1,0 +1,19 @@
+// Fixture: persist-order, early-return escape. Linted as
+// src/durability/fixture.cc — a success return between the flush and
+// the fence leaves the write-back sitting in the WPQ with nothing
+// ordering its drain.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status DeferredFenceEscapes(PersistentRegion* log, bool defer_fence) {
+  PMEMOLAP_RETURN_NOT_OK(log->Store(0, nullptr, 64));
+  PMEMOLAP_RETURN_NOT_OK(log->FlushRange(0, 64));
+  if (defer_fence) {
+    return Status::OK();
+  }
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,20 @@
+// Fixture: persist-order, loop-carried store done right. Linted as
+// src/durability/fixture.cc — every iteration completes its own
+// store -> flush, the single fence drains them all, and only then does
+// the publish run. The zero-iteration path is clean by construction.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushEveryIteration(PersistentRegion* log, DurableTable* table,
+                           int records) {
+  for (int i = 0; i < records; ++i) {
+    PMEMOLAP_RETURN_NOT_OK(log->Store(RecordOffset(i), nullptr, 64));
+    PMEMOLAP_RETURN_NOT_OK(log->FlushRange(RecordOffset(i), 64));
+  }
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  table->AdvanceCommitted(1, 64, 96);
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,23 @@
+// Fixture: persist-order, loop-carried store. Linted as
+// src/durability/fixture.cc — the flush is conditional inside the
+// loop, so a store from some iteration can survive to the publish
+// still dirty (the loop fixpoint has to carry the state around the
+// back edge to see it).
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status FlushEveryOtherIteration(PersistentRegion* log, DurableTable* table,
+                                int records) {
+  for (int i = 0; i < records; ++i) {
+    PMEMOLAP_RETURN_NOT_OK(log->Store(RecordOffset(i), nullptr, 64));
+    if (i % 2 == 0) {
+      PMEMOLAP_RETURN_NOT_OK(log->FlushRange(RecordOffset(i), 64));
+    }
+  }
+  PMEMOLAP_RETURN_NOT_OK(log->Fence());
+  table->AdvanceCommitted(1, 64, 96);
+  return Status::OK();
+}
+
+}  // namespace pmemolap

@@ -1,0 +1,17 @@
+// Fixture: persist-raw-write clean cases. Linted as
+// src/engine/fixture.cc — staging into volatile scratch and routing
+// the persistent mutation through Store is the sanctioned shape.
+#include "common/status.h"
+
+namespace pmemolap {
+
+Status StageThenStore(PersistentRegion* region, const std::byte* src,
+                      uint64_t len) {
+  std::vector<std::byte> scratch(len);
+  std::memcpy(scratch.data(), src, len);
+  PMEMOLAP_RETURN_NOT_OK(region->Store(0, scratch.data(), len));
+  PMEMOLAP_RETURN_NOT_OK(region->FlushRange(0, len));
+  return region->Fence();
+}
+
+}  // namespace pmemolap

@@ -301,11 +301,20 @@ TEST(LintDeterminism, GovernorIsADeterministicLayer) {
 TEST(LintPersistDiscipline, FlagsPublishWithPendingStores) {
   Report report = LintFixtureAs("persist_discipline_violation.cc",
                                 "src/durability/fixture.cc");
-  EXPECT_EQ(RulesHit(report), std::set<std::string>{"persist-discipline"});
-  ASSERT_EQ(report.diagnostics.size(), 2u);  // dirty-cache + unfenced WPQ
-  EXPECT_NE(report.diagnostics[0].message.find("dirty in the modeled cache"),
+  // The legacy linear rule and the flow-sensitive pass agree on this
+  // fixture: both flavors of unpersisted publish are caught.
+  EXPECT_EQ(RulesHit(report),
+            (std::set<std::string>{"persist-discipline", "persist-order"}));
+  std::set<std::string> messages;
+  for (const auto& diagnostic : report.diagnostics) {
+    if (diagnostic.rule == "persist-discipline") {
+      messages.insert(diagnostic.message);
+    }
+  }
+  ASSERT_EQ(messages.size(), 2u);  // dirty-cache + unfenced WPQ
+  EXPECT_NE(messages.begin()->find("dirty in the modeled cache"),
             std::string::npos);
-  EXPECT_NE(report.diagnostics[1].message.find("pending in the WPQ"),
+  EXPECT_NE(messages.rbegin()->find("pending in the WPQ"),
             std::string::npos);
 }
 
@@ -324,6 +333,164 @@ TEST(LintPersistDiscipline, OnlyTheDurabilityLayerIsChecked) {
   Report tests = LintFixtureAs("persist_discipline_violation.cc",
                                "tests/durability/fixture.cc");
   EXPECT_FALSE(RulesHit(tests).count("persist-discipline"));
+}
+
+// --- persist-order (flow-sensitive) ----------------------------------------
+
+TEST(LintPersistOrder, FlagsFlushMissingOnOneBranchArm) {
+  Report report = LintFixtureAs("persist_order_branchy_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-order");
+  EXPECT_EQ(report.diagnostics[0].line, 15);  // the publish, not the store
+}
+
+TEST(LintPersistOrder, BothArmsFlushedIsClean) {
+  Report report = LintFixtureAs("persist_order_branchy_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistOrder, FlagsLoopCarriedUnflushedStore) {
+  Report report = LintFixtureAs("persist_order_loop_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-order");
+  EXPECT_EQ(report.diagnostics[0].line, 19);
+  // The diagnostic names the loop-varying range, proving the fixpoint
+  // carried the store's key across iterations.
+  EXPECT_NE(report.diagnostics[0].message.find("RecordOffset(i)"),
+            std::string::npos);
+}
+
+TEST(LintPersistOrder, FlushEveryIterationIsClean) {
+  Report report = LintFixtureAs("persist_order_loop_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistOrder, FlagsEarlyReturnEscapingTheFence) {
+  Report report = LintFixtureAs("persist_order_early_return_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-order");
+  EXPECT_EQ(report.diagnostics[0].line, 13);  // the return, not the flush
+}
+
+TEST(LintPersistOrder, EarlyReturnBeforeAnyStoreIsClean) {
+  Report report = LintFixtureAs("persist_order_early_return_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistOrder, FlagsCommitMarkerBeforeDominatingFence) {
+  Report report = LintFixtureAs("persist_order_commit_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-order");
+  EXPECT_EQ(report.diagnostics[0].line, 12);  // the commit-hinted write
+}
+
+TEST(LintPersistOrder, FencedPayloadBeforeCommitIsClean) {
+  Report report = LintFixtureAs("persist_order_commit_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistOrder, AllowAnnotationSilencesTheFlowPass) {
+  Report report = LintFixtureAs("persist_order_allow.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+  EXPECT_EQ(report.allowed, 2);  // persist-order + persist-discipline
+}
+
+TEST(LintPersistOrder, BrokenWritePathIsCaughtStatically) {
+  // The static half of the tests/durability/broken_write_path.h pact:
+  // the SAME file the runtime oracle catches in
+  // persist_order_checker_test.cc must be flagged by the flow pass when
+  // it reads as durability-layer source. Lint the real header, not a
+  // copy, so the two layers can never drift apart.
+  Report report = LintFixtureAs("../../durability/broken_write_path.h",
+                                "src/durability/broken_write_path.h");
+  ASSERT_FALSE(report.clean());
+  std::set<std::string> rules = RulesHit(report);
+  EXPECT_TRUE(rules.count("persist-order")) << "publish-while-dirty";
+  for (const auto& diagnostic : report.diagnostics) {
+    if (diagnostic.rule == "persist-order") {
+      EXPECT_EQ(diagnostic.line, 28);  // the OnPublish call
+    }
+  }
+}
+
+TEST(LintPersistOrder, TestsTreeIsExemptFromTheFlowPass) {
+  // Durability tests violate the protocol on purpose (crash fixtures);
+  // the runtime oracle covers them instead.
+  Report report = LintFixtureAs("persist_order_branchy_violation.cc",
+                                "tests/durability/fixture.cc");
+  EXPECT_TRUE(report.clean());
+}
+
+// --- persist-double-flush ---------------------------------------------------
+
+TEST(LintPersistDoubleFlush, FlagsBackToBackFlushOfTheSameRange) {
+  Report report = LintFixtureAs("persist_double_flush_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-double-flush");
+  EXPECT_EQ(report.diagnostics[0].line, 11);  // the second flush
+}
+
+TEST(LintPersistDoubleFlush, RedirtyBetweenFlushesIsClean) {
+  Report report = LintFixtureAs("persist_double_flush_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+// --- persist-mixed-store ----------------------------------------------------
+
+TEST(LintPersistMixedStore, FlagsBothInterleavingsWithoutAFence) {
+  Report report = LintFixtureAs("persist_mixed_store_violation.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-mixed-store");
+  EXPECT_EQ(report.diagnostics[0].line, 10);  // NtStore after cached Store
+  EXPECT_EQ(report.diagnostics[1].rule, "persist-mixed-store");
+  EXPECT_EQ(report.diagnostics[1].line, 18);  // cached Store after NtStore
+}
+
+TEST(LintPersistMixedStore, FenceBetweenStoreKindsIsClean) {
+  Report report = LintFixtureAs("persist_mixed_store_clean.cc",
+                                "src/durability/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+// --- persist-raw-write ------------------------------------------------------
+
+TEST(LintPersistRawWrite, FlagsMemcpyAndMemsetIntoRegionBacking) {
+  Report report = LintFixtureAs("persist_raw_write_violation.cc",
+                                "src/engine/fixture.cc");
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].rule, "persist-raw-write");
+  EXPECT_EQ(report.diagnostics[0].line, 11);  // memcpy into region.data()
+  EXPECT_EQ(report.diagnostics[1].rule, "persist-raw-write");
+  EXPECT_EQ(report.diagnostics[1].line, 15);  // memset into persisted()
+}
+
+TEST(LintPersistRawWrite, StagingThroughThePrimitiveLadderIsClean) {
+  Report report = LintFixtureAs("persist_raw_write_clean.cc",
+                                "src/engine/fixture.cc");
+  EXPECT_TRUE(report.clean()) << report.diagnostics[0].ToString();
+}
+
+TEST(LintPersistRawWrite, DurabilityLayerAndTestsAreExempt) {
+  // src/durability/ owns the backing memory (the primitives themselves
+  // memcpy into it); tests assemble crash images by hand.
+  Report durability = LintFixtureAs("persist_raw_write_violation.cc",
+                                    "src/durability/fixture.cc");
+  EXPECT_FALSE(RulesHit(durability).count("persist-raw-write"));
+  Report tests = LintFixtureAs("persist_raw_write_violation.cc",
+                               "tests/engine/fixture.cc");
+  EXPECT_FALSE(RulesHit(tests).count("persist-raw-write"));
 }
 
 // --- durability layering ---------------------------------------------------
@@ -444,6 +611,38 @@ TEST(LintCli, ExitCodesMatchContract) {
   EXPECT_EQ(RunBinary("--list-rules"), 0);
 }
 
+TEST(LintCli, JsonAndGithubModesPreserveExitCodes) {
+  std::string fixtures(PMEMOLAP_LINT_FIXTURES);
+  EXPECT_EQ(RunBinary("--json --root " + fixtures + "/tree_clean"), 0);
+  EXPECT_EQ(RunBinary("--json --root " + fixtures + "/tree_bad"), 1);
+  EXPECT_EQ(RunBinary("--github --root " + fixtures + "/tree_bad"), 1);
+}
+
+TEST(LintCli, ListAllowsAuditsReasons) {
+  // Every in-tree allow carries a reason, so the audit passes on the
+  // real tree (the blocking CI step depends on this staying true).
+  std::string repo_root = std::string(PMEMOLAP_LINT_FIXTURES) + "/../../..";
+  EXPECT_EQ(RunBinary("--list-allows --root " + repo_root), 0);
+}
+
+TEST(LintAllowlist, AllowNotesAreInventoriedForTheAudit) {
+  Report report = LintFixtureAs("persist_order_allow.cc",
+                                "src/durability/fixture.cc");
+  ASSERT_EQ(report.allow_audits.size(), 2u);
+  EXPECT_EQ(report.allow_audits[0].rule, "persist-order");
+  EXPECT_FALSE(report.allow_audits[0].reason.empty());
+  EXPECT_EQ(report.allow_audits[0].file, "src/durability/fixture.cc");
+}
+
+TEST(LintAllowlist, DocProseMentioningTheSyntaxIsNotAnAllow) {
+  Report report;
+  LintFileContent("src/core/fixture.cc",
+                  "// Use `// lint:allow(raw-thread): <reason>` to opt "
+                  "out.\n",
+                  &report);
+  EXPECT_TRUE(report.allow_audits.empty());
+}
+
 TEST(LintCli, FixtureDirectoriesAreExcludedFromTreeWalks) {
   // tree_clean seeds a violation under tests/tools/fixtures/; a clean
   // exit proves the walker skipped it.
@@ -463,8 +662,8 @@ TEST(LintReport, DiagnosticFormatIsFileLineRule) {
 }
 
 TEST(LintReport, RuleNamesAreStable) {
-  EXPECT_EQ(RuleNames().size(), 9u);
-  EXPECT_EQ(RuleNames().back(), "persist-discipline");
+  EXPECT_EQ(RuleNames().size(), 13u);
+  EXPECT_EQ(RuleNames().back(), "persist-mixed-store");
 }
 
 }  // namespace

@@ -8,6 +8,9 @@
 #include <set>
 #include <sstream>
 
+#include "persist_check.h"
+#include "scanner.h"
+
 namespace pmemolap::lint {
 namespace {
 
@@ -68,214 +71,8 @@ const std::set<std::string>& DeterministicLayers() {
   return kLayers;
 }
 
-// ---------------------------------------------------------------------------
-// Lexical scanning: split a translation unit into per-line code text with
-// comments and literal contents blanked out, plus per-line lint:allow
-// annotations harvested from the comments.
-// ---------------------------------------------------------------------------
-
-struct ScannedFile {
-  /// Line i (0-based) with comment bodies and string/char literal
-  /// contents replaced by spaces; preprocessor and code tokens survive.
-  std::vector<std::string> code;
-  /// Rules allowed on line i (annotations apply to their own line and,
-  /// for comment-only lines, to the line below; we conservatively apply
-  /// every annotation to both).
-  std::vector<std::set<std::string>> allows;
-};
-
-void ParseAllowAnnotations(const std::string& comment, int line,
-                           ScannedFile* out) {
-  size_t pos = 0;
-  while ((pos = comment.find("lint:allow(", pos)) != std::string::npos) {
-    pos += 11;  // strlen("lint:allow(")
-    size_t close = comment.find(')', pos);
-    if (close == std::string::npos) break;
-    std::string rules = comment.substr(pos, close - pos);
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      rule.erase(0, rule.find_first_not_of(" \t"));
-      rule.erase(rule.find_last_not_of(" \t") + 1);
-      if (rule.empty()) continue;
-      out->allows[static_cast<size_t>(line)].insert(rule);
-    }
-    pos = close;
-  }
-}
-
-ScannedFile ScanFile(const std::string& content) {
-  ScannedFile out;
-  // Pre-split into physical lines so annotations can index them.
-  size_t num_lines = 1 + static_cast<size_t>(std::count(
-                             content.begin(), content.end(), '\n'));
-  out.code.assign(num_lines, std::string());
-  out.allows.assign(num_lines, {});
-
-  enum class State {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString,
-  };
-  State state = State::kCode;
-  int line = 0;
-  std::string comment_text;   // accumulates the current comment
-  std::string raw_delimiter;  // delimiter of the current raw string
-
-  const size_t n = content.size();
-  for (size_t i = 0; i < n; ++i) {
-    char c = content[i];
-    char next = i + 1 < n ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) {
-        ParseAllowAnnotations(comment_text, line, &out);
-        comment_text.clear();
-        state = State::kCode;
-      } else if (state == State::kBlockComment) {
-        ParseAllowAnnotations(comment_text, line, &out);
-        comment_text.clear();
-      }
-      ++line;
-      continue;
-    }
-    std::string& code_line = out.code[static_cast<size_t>(line)];
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal: R"delim( ... )delim"
-          if (i > 0 && content[i - 1] == 'R' &&
-              (i < 2 || !(std::isalnum(static_cast<unsigned char>(
-                              content[i - 2])) ||
-                          content[i - 2] == '_'))) {
-            size_t open = content.find('(', i);
-            if (open != std::string::npos) {
-              raw_delimiter =
-                  ")" + content.substr(i + 1, open - i - 1) + "\"";
-              state = State::kRawString;
-              code_line += '"';
-              i = open;  // skip delimiter; contents blanked from here
-              break;
-            }
-          }
-          state = State::kString;
-          code_line += '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += '\'';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_text += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          ParseAllowAnnotations(comment_text, line, &out);
-          comment_text.clear();
-          state = State::kCode;
-          ++i;
-        } else {
-          comment_text += c;
-        }
-        break;
-      case State::kString: {
-        // Keep the literal's contents on preprocessor lines so the
-        // layering rule can read #include paths; blank it elsewhere.
-        size_t hash = code_line.find_first_not_of(" \t");
-        bool preprocessor =
-            hash != std::string::npos && code_line[hash] == '#';
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          code_line += '"';
-          state = State::kCode;
-        } else if (preprocessor) {
-          code_line += c;
-        }
-        break;
-      }
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          code_line += '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (content.compare(i, raw_delimiter.size(), raw_delimiter) == 0) {
-          i += raw_delimiter.size() - 1;
-          code_line += '"';
-          state = State::kCode;
-        }
-        break;
-    }
-  }
-  if (state == State::kLineComment || state == State::kBlockComment) {
-    ParseAllowAnnotations(comment_text, line, &out);
-  }
-  // An annotation on a comment-only (or blank) line covers the next code
-  // line, however many comment lines the justification takes; cascading
-  // forward merges each such line's allows into its successor.
-  for (size_t i = 0; i + 1 < out.code.size(); ++i) {
-    if (out.allows[i].empty()) continue;
-    if (out.code[i].find_first_not_of(" \t") != std::string::npos) continue;
-    out.allows[i + 1].insert(out.allows[i].begin(), out.allows[i].end());
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Small token matchers (cheaper and more predictable than std::regex).
-// ---------------------------------------------------------------------------
-
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Position of `word` in `code` with identifier boundaries on both
-/// sides, starting at `from`; npos if absent.
-size_t FindWord(const std::string& code, const std::string& word,
-                size_t from = 0) {
-  size_t pos = from;
-  while ((pos = code.find(word, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsWordChar(code[pos - 1]);
-    size_t end = pos + word.size();
-    bool right_ok = end >= code.size() || !IsWordChar(code[end]);
-    if (left_ok && right_ok) return pos;
-    pos += 1;
-  }
-  return std::string::npos;
-}
-
-bool HasWord(const std::string& code, const std::string& word) {
-  return FindWord(code, word) != std::string::npos;
-}
-
-/// True if `word` appears as an identifier immediately invoked: `word (`.
-bool CallsFunction(const std::string& code, const std::string& word) {
-  size_t pos = 0;
-  while ((pos = FindWord(code, word, pos)) != std::string::npos) {
-    size_t after = pos + word.size();
-    while (after < code.size() &&
-           std::isspace(static_cast<unsigned char>(code[after]))) {
-      ++after;
-    }
-    if (after < code.size() && code[after] == '(') return true;
-    pos += word.size();
-  }
-  return false;
-}
+// Lexical scanning and token matchers live in scanner.{h,cc}, shared
+// with the flow-sensitive persist-ordering pass (persist_check.cc).
 
 std::string PathLayer(const std::string& path) {
   if (path.rfind("src/", 0) != 0) return "";
@@ -303,13 +100,8 @@ struct FileContext {
 
 void Emit(const FileContext& ctx, int line_index, const std::string& rule,
           const std::string& message) {
-  const auto& allows = ctx.scan->allows[static_cast<size_t>(line_index)];
-  if (allows.count(rule) || allows.count("*")) {
-    ++ctx.report->allowed;
-    return;
-  }
-  ctx.report->diagnostics.push_back(
-      Diagnostic{ctx.path, line_index + 1, rule, message});
+  EmitDiagnostic(ctx.path, *ctx.scan, line_index, rule, message,
+                 ctx.report);
 }
 
 // --- Rule: layering --------------------------------------------------------
@@ -652,6 +444,62 @@ void CheckPersistDiscipline(const FileContext& ctx) {
   }
 }
 
+// --- Rule: persist-raw-write -----------------------------------------------
+
+/// Only `Store`/`NtStore` may mutate persisted state: they are crash
+/// boundaries, they price the write, and they keep the persistence
+/// tracker's per-line lattice honest. A raw memcpy/memset into a
+/// PersistentRegion's backing memory bypasses all three, so outside
+/// src/durability/ (which owns the primitives and recovery's image
+/// rebuild) it is banned. Detection is lexical: the destination (first
+/// argument) of memcpy/memmove/memset referencing a region's exposed
+/// buffer — `<something>region*.data()` or `persisted()`.
+void CheckPersistRawWrite(const FileContext& ctx) {
+  if (ctx.in_tests) return;  // tests stage torn bytes on purpose
+  if (ctx.path.rfind("src/durability/", 0) == 0) return;
+  if (ctx.path.rfind("src/", 0) != 0) return;
+  static const char* kWriters[] = {"memcpy", "memmove", "memset"};
+  for (size_t i = 0; i < ctx.scan->code.size(); ++i) {
+    const std::string& code = ctx.scan->code[i];
+    for (const char* writer : kWriters) {
+      size_t pos = FindWord(code, writer);
+      if (pos == std::string::npos) continue;
+      size_t open = code.find('(', pos);
+      if (open == std::string::npos) continue;
+      // Destination = first argument, up to a top-level comma. A long
+      // destination expression spilling to the next physical line is
+      // out of reach for a line matcher; in-tree style keeps the
+      // destination on the call line.
+      std::string dest;
+      int depth = 0;
+      for (size_t j = open + 1; j < code.size(); ++j) {
+        char c = code[j];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (c == ',' && depth == 0) break;
+        dest += c;
+      }
+      std::string lowered = dest;
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      bool region_data = lowered.find("region") != std::string::npos &&
+                         dest.find("data()") != std::string::npos;
+      bool persisted_image = dest.find("persisted()") != std::string::npos;
+      if (region_data || persisted_image) {
+        Emit(ctx, static_cast<int>(i), "persist-raw-write",
+             std::string(writer) +
+                 " into PersistentRegion backing memory — raw writes "
+                 "bypass the crash boundary, the persist cost model and "
+                 "the per-line persistence tracker; mutate persisted "
+                 "state through Store/NtStore only");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string Diagnostic::ToString() const {
@@ -660,9 +508,13 @@ std::string Diagnostic::ToString() const {
 }
 
 std::vector<std::string> RuleNames() {
-  return {"layering",      "determinism",      "raw-thread",
-          "volatile-sync", "header-static",    "discarded-status",
-          "unseeded-rng",  "pool-deadline",    "persist-discipline"};
+  return {"layering",           "determinism",
+          "raw-thread",         "volatile-sync",
+          "header-static",      "discarded-status",
+          "unseeded-rng",       "pool-deadline",
+          "persist-discipline", "persist-raw-write",
+          "persist-order",      "persist-double-flush",
+          "persist-mixed-store"};
 }
 
 void LintFileContent(const std::string& path, const std::string& content,
@@ -683,6 +535,12 @@ void LintFileContent(const std::string& path, const std::string& content,
   CheckUnseededRng(ctx);
   CheckPoolDeadline(ctx);
   CheckPersistDiscipline(ctx);
+  CheckPersistRawWrite(ctx);
+  CheckPersistOrder(path, scan, report);
+  for (const AllowNote& note : scan.allow_notes) {
+    report->allow_audits.push_back(
+        AllowAudit{path, note.line, note.rule, note.reason});
+  }
   ++report->files_scanned;
 }
 

@@ -6,24 +6,35 @@
 // nondeterministic machinery (threads, clocks, ambient RNG) out of them.
 // This tool machine-checks those invariants as CI-failing diagnostics:
 //
-//   layering          include edges must follow the declared layer DAG
-//   determinism       no ambient clocks / unseeded RNG in model layers
-//   raw-thread        std::thread construction only inside src/exec/
-//   volatile-sync     volatile is not a synchronization primitive
-//   header-static     no mutable static storage in headers (ODR + races)
-//   discarded-status  (void)-discarding a Status needs an audited comment
-//   unseeded-rng      std:: RNG engines must be constructed with a seed
+//   layering             include edges must follow the declared layer DAG
+//   determinism          no ambient clocks / unseeded RNG in model layers
+//   raw-thread           std::thread construction only inside src/exec/
+//   volatile-sync        volatile is not a synchronization primitive
+//   header-static        no mutable static storage in headers (ODR+races)
+//   discarded-status     (void)-discarding a Status needs an audit note
+//   unseeded-rng         std:: RNG engines must be constructed seeded
+//   pool-deadline        bare pool.Run() outside tests is uncancellable
+//   persist-discipline   per-line publish-order check (legacy, coarse)
+//   persist-raw-write    memcpy/memset into PersistentRegion memory is
+//                        banned outside src/durability/
+//   persist-order        flow-sensitive store->flush->fence->publish
+//   persist-double-flush redundant FlushRange of an already-flushed
+//                        range (perf diagnostic)    } persist_check.h
+//   persist-mixed-store  NtStore/Store interleaved  }
 //
 // Audited exceptions are annotated in the source:
 //
 //   code;  // lint:allow(rule-name): why this is safe
 //
 // on the offending line, or in a comment block directly above it (the
-// annotation carries across the comment's remaining lines). The
-// analyzer is intentionally lexical (no real C++ parse): it strips
-// comments and string literals with a small scanner and then pattern
-// matches, which is exact enough for the project's house style and keeps
-// the tool dependency-free and fast.
+// annotation carries across the comment's remaining lines); the reason
+// text is mandatory and inventoried (`pmemolap_lint --list-allows`).
+// The analyzer is intentionally lexical (no real C++ parse): it strips
+// comments and string literals with a small scanner (scanner.h) and
+// then pattern matches — the persist-order family adds a statement-
+// level flow analysis on top (persist_check.h) — which is exact enough
+// for the project's house style and keeps the tool dependency-free and
+// fast.
 #pragma once
 
 #include <cstdint>
@@ -42,12 +53,25 @@ struct Diagnostic {
   std::string ToString() const;
 };
 
+/// One in-tree `// lint:allow(rule): reason` annotation — the audited-
+/// exception inventory that `--list-allows` prints and CI verifies
+/// (every allow must carry a non-empty reason).
+struct AllowAudit {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string reason;
+};
+
 struct Report {
   std::vector<Diagnostic> diagnostics;
   int files_scanned = 0;
   /// Violations silenced by a `lint:allow` annotation (counted so a run
   /// can report how many audited exceptions it honored).
   int allowed = 0;
+  /// Every allow annotation encountered, whether or not it silenced
+  /// anything (stale allows show up here too).
+  std::vector<AllowAudit> allow_audits;
 
   bool clean() const { return diagnostics.empty(); }
 };

@@ -1,0 +1,65 @@
+// Lexical scanning shared by the pmemolap_lint rule passes.
+//
+// The analyzer is intentionally lexical (no real C++ parse): a small
+// state machine strips comments and the contents of string/char
+// literals, leaving per-line code text that the rule matchers and the
+// flow-sensitive persist-ordering pass (persist_check.h) both consume.
+// The scanner also harvests `lint:allow(rule): reason` annotations from
+// the comments it strips, so every pass honors the same audited-
+// exception mechanism.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pmemolap::lint {
+
+struct Report;
+
+/// One audited `// lint:allow(rule): reason` annotation, as written in
+/// the source — collected for the --list-allows inventory whether or
+/// not it ended up silencing a diagnostic.
+struct AllowNote {
+  int line = 0;  ///< 1-based line the annotation appears on
+  std::string rule;
+  /// Justification text after the closing paren (and optional colon),
+  /// trimmed. Empty means the annotation is missing its reason — an
+  /// audit failure for --list-allows.
+  std::string reason;
+};
+
+struct ScannedFile {
+  /// Line i (0-based) with comment bodies and string/char literal
+  /// contents replaced by spaces; preprocessor and code tokens survive.
+  std::vector<std::string> code;
+  /// Rules allowed on line i (annotations apply to their own line and,
+  /// for comment-only lines, to the line below; we conservatively apply
+  /// every annotation to both).
+  std::vector<std::set<std::string>> allows;
+  /// Every annotation encountered, in file order (audit inventory).
+  std::vector<AllowNote> allow_notes;
+};
+
+/// Scans one translation unit's raw text.
+ScannedFile ScanFile(const std::string& content);
+
+bool IsWordChar(char c);
+
+/// Position of `word` in `code` with identifier boundaries on both
+/// sides, starting at `from`; npos if absent.
+size_t FindWord(const std::string& code, const std::string& word,
+                size_t from = 0);
+
+bool HasWord(const std::string& code, const std::string& word);
+
+/// True if `word` appears as an identifier immediately invoked: `word (`.
+bool CallsFunction(const std::string& code, const std::string& word);
+
+/// Appends a diagnostic to `report` unless an allow annotation on
+/// `line_index` (0-based) silences `rule` (then the allow is counted).
+void EmitDiagnostic(const std::string& path, const ScannedFile& scan,
+                    int line_index, const std::string& rule,
+                    const std::string& message, Report* report);
+
+}  // namespace pmemolap::lint
