@@ -304,8 +304,8 @@ Status SsbEngine::Prepare() {
 Status SsbEngine::ExecuteRange(QueryId query, int socket,
                                const TupleRange& range,
                                uint64_t snapshot_epoch, ssb::QueryOutput* out,
-                               ProbeCounters* probes,
-                               uint64_t* qualifying) const {
+                               ProbeCounters* probes, uint64_t* qualifying,
+                               const CancelCheck& cancel) const {
   const bool guarded = guarded_fact_ != nullptr;
   const bool durable = config_.durable != nullptr;
   // Probe lambdas stay infallible for the 13-query switch below; a fault
@@ -349,7 +349,7 @@ Status SsbEngine::ExecuteRange(QueryId query, int socket,
       // repaired as needed — not out of the in-DRAM source vector.
       PMEMOLAP_RETURN_NOT_OK(guarded_fact_->Read(
           i * sizeof(ssb::LineorderRow), sizeof(ssb::LineorderRow),
-          reinterpret_cast<std::byte*>(&scratch)));
+          reinterpret_cast<std::byte*>(&scratch), cancel));
     } else if (durable) {
       // Durable mode: the row is served from the pinned committed
       // snapshot — ranges were clamped to it, so the read cannot run
@@ -693,7 +693,8 @@ Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
                                    const TupleRange& range, bool vectorized,
                                    uint64_t snapshot_epoch,
                                    const governor::GovernorDecision* decision,
-                                   WorkerState* state) const {
+                                   WorkerState* state,
+                                   const CancelCheck& cancel) const {
   if (state->probes.size() < partitions_.size()) {
     state->probes.resize(partitions_.size());
     state->qualifying.resize(partitions_.size(), 0);
@@ -702,7 +703,7 @@ Status SsbEngine::ExecuteRangeInto(ssb::QueryId query, size_t slot,
   if (!vectorized) {
     return ExecuteRange(query, partition.socket, range, snapshot_epoch,
                         &state->output, &state->probes[slot],
-                        &state->qualifying[slot]);
+                        &state->qualifying[slot], cancel);
   }
   // Staged dimensions probe the DRAM replica; the payloads are identical
   // copies, so eviction (falling back to the base map) cannot change any
@@ -904,6 +905,10 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
                                     ? config_.executor
                                     : ExecutorKind::kSerial;
   const size_t slots = partitions_.size();
+  // The same token the executors poll between morsels also cuts guarded
+  // retry storms short: FaultAwareReader checks it between attempts, so a
+  // fired deadline stops charging backoff mid-read.
+  const CancelCheck cancel_check = [&token] { return token.Check(); };
   std::vector<WorkerState> states;
   // Bytes re-read because morsel boundaries tear 256 B XPLines (only ever
   // non-zero when governed with shaping off — the ablation's "before").
@@ -979,7 +984,8 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
           return ExecuteRangeInto(
               query, slot_of_socket[static_cast<size_t>(morsel.socket)],
               {morsel.begin, morsel.end}, vectorized, snapshot_epoch,
-              decision_ptr, &states[static_cast<size_t>(worker)]);
+              decision_ptr, &states[static_cast<size_t>(worker)],
+              cancel_check);
         },
         control);
     progress.units_executed = stats.executed;
@@ -1001,7 +1007,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
         PMEMOLAP_RETURN_NOT_OK(
             ExecuteRangeInto(query, slot, clamp_range(partition.tuples),
                              vectorized, snapshot_epoch, decision_ptr,
-                             &states.back()));
+                             &states.back(), cancel_check));
         ++progress.units_executed;
         continue;
       }
@@ -1017,7 +1023,8 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
         threads.emplace_back([&, slot, w, base] {
           statuses[w] = ExecuteRangeInto(
               query, slot, clamp_range(partitions_[slot].worker_ranges[w]),
-              vectorized, snapshot_epoch, decision_ptr, &states[base + w]);
+              vectorized, snapshot_epoch, decision_ptr, &states[base + w],
+              cancel_check);
         });
       }
       // lint:allow(raw-thread): join of the baseline executor above.
@@ -1036,7 +1043,7 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
       PMEMOLAP_RETURN_NOT_OK(
           ExecuteRangeInto(query, slot, clamp_range(partitions_[slot].tuples),
                            vectorized, snapshot_epoch, decision_ptr,
-                           &states[0]));
+                           &states[0], cancel_check));
       ++progress.units_executed;
     }
   }

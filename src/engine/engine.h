@@ -232,7 +232,8 @@ class SsbEngine {
   Status ExecuteRange(ssb::QueryId query, int socket,
                       const TupleRange& range, uint64_t snapshot_epoch,
                       ssb::QueryOutput* out, ProbeCounters* probes,
-                      uint64_t* qualifying) const;
+                      uint64_t* qualifying,
+                      const CancelCheck& cancel = CancelCheck()) const;
 
   /// Accumulator of one host worker. A worker may execute morsels of
   /// several sockets (stealing), so probe/qualifying counts are kept per
@@ -256,7 +257,8 @@ class SsbEngine {
                           const TupleRange& range, bool vectorized,
                           uint64_t snapshot_epoch,
                           const governor::GovernorDecision* decision,
-                          WorkerState* state) const;
+                          WorkerState* state,
+                          const CancelCheck& cancel = CancelCheck()) const;
 
   /// The partial QueryOutput a worker contributed (merges the flat agg
   /// table into the ordered map for the vectorized path).

@@ -97,17 +97,18 @@ uint64_t GuardedTable::ChunksInStripe(int stripe) const {
   return (StripeLen(stripe) + options_.chunk_bytes - 1) / options_.chunk_bytes;
 }
 
-Status GuardedTable::Read(uint64_t offset, uint64_t size, std::byte* dst) {
+Status GuardedTable::Read(uint64_t offset, uint64_t size, std::byte* dst,
+                          const CancelCheck& cancel) {
   if (offset + size > bytes_) {
     return Status::OutOfRange("read past end of guarded table");
   }
   if (size == 0) return Status::OK();
   std::lock_guard<std::mutex> lock(mutex_);
-  return ReadLocked(offset, size, dst);
+  return ReadLocked(offset, size, dst, cancel);
 }
 
 Status GuardedTable::ReadLocked(uint64_t offset, uint64_t size,
-                                std::byte* dst) {
+                                std::byte* dst, const CancelCheck& cancel) {
   FaultAwareReader reader(injector_, options_.retry);
   uint64_t done = 0;
   while (done < size) {
@@ -132,9 +133,9 @@ Status GuardedTable::ReadLocked(uint64_t offset, uint64_t size,
           if (!scrub.ok()) return scrub.status();
         }
       }
-      status = reader.Read(&stripe, local, len, dst + done);
+      status = reader.Read(&stripe, local, len, dst + done, cancel);
     } else {
-      status = reader.Read(&stripe, local, len, dst + done);
+      status = reader.Read(&stripe, local, len, dst + done, cancel);
       const bool first_read_clean = status.ok();
       if (status.code() == StatusCode::kDataLoss) {
         // Retry exhausted (permanent poison, or a transient budget larger
@@ -145,7 +146,7 @@ Status GuardedTable::ReadLocked(uint64_t offset, uint64_t size,
           Result<bool> scrub = ScrubChunkLocked(s, c);
           if (!scrub.ok()) return scrub.status();
         }
-        status = reader.Read(&stripe, local, len, dst + done);
+        status = reader.Read(&stripe, local, len, dst + done, cancel);
       }
       if (decision == BreakerDecision::kProbe && breakers_ != nullptr) {
         breakers_->RecordProbe(s, first_read_clean);

@@ -56,8 +56,12 @@ class GuardedTable {
   /// Copies [offset, offset + size) into `dst`: bounded retry, then
   /// scrub-and-repair of the affected chunks, then a final read. Fails
   /// with kDataLoss only when corrupt data cannot be repaired (source
-  /// dropped). Thread-safe.
-  Status Read(uint64_t offset, uint64_t size, std::byte* dst);
+  /// dropped). A non-OK `cancel` aborts the retry loop between attempts
+  /// with that status (the engine binds its query's CancelToken here, so
+  /// a deadline cuts a retry storm short instead of charging backoff past
+  /// it). Thread-safe.
+  Status Read(uint64_t offset, uint64_t size, std::byte* dst,
+              const CancelCheck& cancel = CancelCheck());
 
   /// CRC32 check of one chunk of one stripe against its stored checksum.
   bool VerifyChunk(int stripe, uint64_t chunk) const;
@@ -91,7 +95,8 @@ class GuardedTable {
   /// data, rewrites from source when the CRC fails. Returns whether the
   /// chunk was repaired from the source.
   Result<bool> ScrubChunkLocked(int stripe, uint64_t chunk);
-  Status ReadLocked(uint64_t offset, uint64_t size, std::byte* dst);
+  Status ReadLocked(uint64_t offset, uint64_t size, std::byte* dst,
+                    const CancelCheck& cancel);
 
   PmemSpace* space_ = nullptr;
   FaultInjector* injector_ = nullptr;

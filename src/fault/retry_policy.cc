@@ -10,7 +10,8 @@
 namespace pmemolap {
 
 Status FaultAwareReader::Read(Allocation* region, uint64_t offset,
-                              uint64_t size, std::byte* dst) {
+                              uint64_t size, std::byte* dst,
+                              const CancelCheck& cancel) {
   if (offset + size > region->size()) {
     return Status::OutOfRange("read past end of region");
   }
@@ -34,6 +35,13 @@ Status FaultAwareReader::Read(Allocation* region, uint64_t offset,
       return Status::DataLoss("poison survived " +
                               std::to_string(policy_.max_attempts) +
                               " read attempts");
+    }
+    if (cancel) {
+      // Deadline precedence over backoff: an expired token aborts here,
+      // before this retry's backoff is charged — the model never "sleeps"
+      // past a deadline that has already fired.
+      Status cancelled = cancel();
+      if (!cancelled.ok()) return cancelled;
     }
     double charged_us = std::min(backoff_us, policy_.max_backoff_us);
     if (policy_.jitter_seed != 0 && fraction > 0.0) {

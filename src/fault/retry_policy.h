@@ -10,12 +10,18 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "common/status.h"
 #include "core/pmem_space.h"
 #include "fault/fault_injector.h"
 
 namespace pmemolap {
+
+/// Cancellation probe threaded into retry loops: non-OK aborts the loop
+/// with that status. Kept as a plain function so the fault layer stays
+/// below qos in the DAG — the engine binds it to CancelToken::Check.
+using CancelCheck = std::function<Status()>;
 
 struct RetryPolicy {
   /// Read attempts before giving up (the first read plus retries).
@@ -54,9 +60,12 @@ class FaultAwareReader {
 
   /// Copies [offset, offset + size) of `region` into `dst`. Retries
   /// poisoned lines per the policy (transient poisons clear); fails with
-  /// kDataLoss when poison survives every attempt.
+  /// kDataLoss when poison survives every attempt. A non-OK `cancel`
+  /// between attempts aborts the loop with that status *before* the next
+  /// backoff is charged — a deadline that has already fired never pays
+  /// for more modeled waiting.
   Status Read(Allocation* region, uint64_t offset, uint64_t size,
-              std::byte* dst);
+              std::byte* dst, const CancelCheck& cancel = CancelCheck());
 
  private:
   FaultInjector* injector_;

@@ -53,9 +53,31 @@ int AdmissionController::EffectiveQueueLimit(QueryPriority priority) const {
   return EffectiveQueueLimitLocked(priority);
 }
 
+int AdmissionController::StarvedClassLocked() const {
+  if (limits_.aging_grants <= 0) return -1;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (waiting_[p] > 0 && bypass_grants_[p] >= limits_.aging_grants) {
+      return p;
+    }
+  }
+  return -1;
+}
+
+void AdmissionController::NoteGrantLocked(int priority) {
+  bypass_grants_[priority] = 0;
+  for (int p = priority + 1; p < kNumPriorities; ++p) {
+    if (waiting_[p] > 0) ++bypass_grants_[p];
+  }
+}
+
 bool AdmissionController::CanRunLocked(int priority) const {
   if (recovery_paused_) return false;
   if (running_ >= std::max(1, limits_.max_concurrent)) return false;
+  // An aged class holds the reservation for this slot: only it may run,
+  // even past higher-priority waiters — this is what bounds every
+  // waiter's delay under sustained high-priority traffic.
+  const int starved = StarvedClassLocked();
+  if (starved >= 0) return priority == starved;
   for (int p = 0; p < priority; ++p) {
     if (waiting_[p] > 0) return false;  // higher-priority waiter first
   }
@@ -76,6 +98,7 @@ Result<AdmissionTicket> AdmissionController::TryAdmit(
         std::string("admission refused (no free slot, priority ") +
         QueryPriorityName(priority) + ")");
   }
+  NoteGrantLocked(p);
   ++running_;
   counters_.peak_running =
       std::max<uint64_t>(counters_.peak_running,
@@ -88,6 +111,17 @@ Result<AdmissionTicket> AdmissionController::Admit(QueryPriority priority,
                                                    CancelToken* token) {
   std::unique_lock<std::mutex> lock(mutex_);
   const int p = static_cast<int>(priority);
+  // Deadline precedence: a token that has already expired never admits
+  // and never sheds — the deadline, not the queue, is what failed, so the
+  // caller gets the token's terminal status (kDeadlineExceeded) even when
+  // the class queue is also full.
+  if (token != nullptr) {
+    Status expired = token->Check();
+    if (!expired.ok()) {
+      ++counters_.expired_waiting;
+      return expired;
+    }
+  }
   if (!CanRunLocked(p)) {
     if (waiting_[p] >= EffectiveQueueLimitLocked(priority)) {
       ++counters_.shed;
@@ -107,6 +141,9 @@ Result<AdmissionTicket> AdmissionController::Admit(QueryPriority priority,
         Status expired = token->Check();
         if (!expired.ok()) {
           --waiting_[p];
+          // A class with no waiters holds no reservation: a future
+          // waiter must age on its own, not inherit this one's credit.
+          if (waiting_[p] == 0) bypass_grants_[p] = 0;
           ++counters_.expired_waiting;
           cv_.notify_all();  // a higher-priority hole may have opened
           return expired;
@@ -117,7 +154,12 @@ Result<AdmissionTicket> AdmissionController::Admit(QueryPriority priority,
       cv_.wait_for(lock, std::chrono::milliseconds(1));
     }
     --waiting_[p];
+    if (limits_.aging_grants > 0 &&
+        bypass_grants_[p] >= limits_.aging_grants) {
+      ++counters_.aged_grants;  // this grant consumed an aging reservation
+    }
   }
+  NoteGrantLocked(p);
   ++running_;
   counters_.peak_running = std::max<uint64_t>(
       counters_.peak_running, static_cast<uint64_t>(running_));

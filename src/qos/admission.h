@@ -37,6 +37,14 @@ struct AdmissionLimits {
   double shed_batch_below = 0.75;
   /// Below this, normal priority is shed too; only high may still queue.
   double shed_normal_below = 0.40;
+  /// Priority aging: once this many execution slots have been granted to
+  /// strictly-higher-priority submissions while a class had a waiter
+  /// queued, that class holds a *reservation* — the next free slot goes
+  /// to its head waiter even though higher-priority waiters remain, and
+  /// the class's bypass count resets. Bounds the wait of any queued
+  /// submission to aging_grants slot grants per priority level above it;
+  /// 0 disables aging (strict priority, the pre-aging behavior).
+  int aging_grants = 16;
 };
 
 /// Live backpressure inputs, refreshed by the engine before each admit.
@@ -52,8 +60,10 @@ struct LoadSignal {
 struct AdmissionCounters {
   uint64_t admitted = 0;         ///< tickets granted
   uint64_t shed = 0;             ///< refused with kResourceExhausted
-  uint64_t expired_waiting = 0;  ///< deadline fired while queued
+  uint64_t expired_waiting = 0;  ///< deadline fired while queued (or at
+                                 ///< the gate, before ever running)
   uint64_t completed = 0;        ///< tickets released
+  uint64_t aged_grants = 0;      ///< slots granted via an aging reservation
   uint64_t peak_running = 0;
   uint64_t peak_waiting = 0;
 };
@@ -110,7 +120,12 @@ class AdmissionController {
   /// queues up to its class's (backpressure-shrunk) bound and waits for a
   /// release. Over-bound submissions shed fast with kResourceExhausted;
   /// a waiter whose `token` expires leaves with that terminal status
-  /// (kDeadlineExceeded) instead of ever running.
+  /// (kDeadlineExceeded) instead of ever running. An already-expired
+  /// token never admits and never sheds: the deadline, not the queue, is
+  /// what failed, so the call reports the token's terminal status even
+  /// when the class queue is also full. Queued low-priority waiters age
+  /// (AdmissionLimits::aging_grants), so sustained high-priority traffic
+  /// cannot starve them indefinitely.
   Result<AdmissionTicket> Admit(QueryPriority priority,
                                 CancelToken* token = nullptr);
 
@@ -139,8 +154,16 @@ class AdmissionController {
   void Release();
 
   int EffectiveQueueLimitLocked(QueryPriority priority) const;
-  /// A slot is free and no strictly-higher-priority waiter is queued.
+  /// A slot is free, no strictly-higher-priority waiter is queued (unless
+  /// this class's aging reservation overrides them), and no other class
+  /// holds an aging reservation.
   bool CanRunLocked(int priority) const;
+  /// The highest-priority class whose queued waiter has aged past
+  /// aging_grants (holds the next-slot reservation); -1 when none.
+  int StarvedClassLocked() const;
+  /// Bookkeeping for one granted slot at `priority`: bumps the bypass
+  /// count of every lower class with waiters, resets this class's.
+  void NoteGrantLocked(int priority);
 
   const AdmissionLimits limits_;
   mutable std::mutex mutex_;
@@ -149,6 +172,9 @@ class AdmissionController {
   bool recovery_paused_ = false;
   int running_ = 0;
   int waiting_[kNumPriorities] = {0, 0, 0};
+  /// Slots granted to strictly-higher classes while class p had waiters
+  /// queued; reset when class p is granted a slot.
+  int bypass_grants_[kNumPriorities] = {0, 0, 0};
   AdmissionCounters counters_;
 };
 

@@ -1,0 +1,61 @@
+#include "service/degradation.h"
+
+#include <cstdio>
+
+namespace pmemolap::service {
+
+const char* DegradationTierName(DegradationTier tier) {
+  switch (tier) {
+    case DegradationTier::kNormal:
+      return "normal";
+    case DegradationTier::kShedLowPriority:
+      return "shed-low-priority";
+    case DegradationTier::kBrownOut:
+      return "brown-out";
+    case DegradationTier::kPauseAndDrain:
+      return "pause-and-drain";
+  }
+  return "unknown";
+}
+
+DegradationPolicy::DegradationPolicy(DegradationPolicyConfig config)
+    : config_(config) {}
+
+DegradationTier DegradationPolicy::TargetTier(double estimate) const {
+  if (estimate < config_.pause_below) return DegradationTier::kPauseAndDrain;
+  if (estimate < config_.brownout_below) return DegradationTier::kBrownOut;
+  if (estimate < config_.shed_below) return DegradationTier::kShedLowPriority;
+  return DegradationTier::kNormal;
+}
+
+DegradationTier DegradationPolicy::Observe(double now_seconds,
+                                           double estimate) {
+  const DegradationTier target = TargetTier(estimate);
+  if (target == tier_) {
+    pending_ = tier_;
+    streak_ = 0;
+    return tier_;
+  }
+  if (target == pending_) {
+    ++streak_;
+  } else {
+    pending_ = target;
+    streak_ = 1;
+  }
+  // Pause is the exception to hysteresis: a dead platform (crash window,
+  // estimate ~0) must stop grants *now*, not two ticks from now.
+  const bool immediate = target == DegradationTier::kPauseAndDrain;
+  if (immediate || streak_ >= config_.hysteresis_ticks) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "t=%.6f %s -> %s estimate=%.6f",
+                  now_seconds, DegradationTierName(tier_),
+                  DegradationTierName(target), estimate);
+    transitions_.emplace_back(line);
+    tier_ = target;
+    pending_ = target;
+    streak_ = 0;
+  }
+  return tier_;
+}
+
+}  // namespace pmemolap::service

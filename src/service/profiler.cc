@@ -1,0 +1,41 @@
+#include "service/profiler.h"
+
+#include <cstdio>
+
+namespace pmemolap::service {
+
+std::string ContinuousProfiler::CsvHeader() {
+  return "tick,seconds,tier,estimate,in_flight,waiting,submitted,admitted,"
+         "shed,expired,completed,retried,tick_completions,crashes,recoveries,"
+         "breaker_trips,governor_quantum,write_threads,staged_bytes,"
+         "committed_epoch";
+}
+
+std::string ContinuousProfiler::ToCsv() const {
+  std::string out = CsvHeader();
+  out += '\n';
+  char line[512];
+  for (const ProfileTick& t : ticks_) {
+    std::snprintf(
+        line, sizeof(line),
+        "%d,%.3f,%d,%.6f,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu,%llu,%d,%d,%llu,%llu\n",
+        t.tick, t.seconds, t.tier, t.estimate, t.in_flight, t.waiting,
+        static_cast<unsigned long long>(t.submitted),
+        static_cast<unsigned long long>(t.admitted),
+        static_cast<unsigned long long>(t.shed),
+        static_cast<unsigned long long>(t.expired),
+        static_cast<unsigned long long>(t.completed),
+        static_cast<unsigned long long>(t.retried),
+        static_cast<unsigned long long>(t.tick_completions),
+        static_cast<unsigned long long>(t.crashes),
+        static_cast<unsigned long long>(t.recoveries),
+        static_cast<unsigned long long>(t.breaker_trips), t.governor_quantum,
+        t.write_threads, static_cast<unsigned long long>(t.staged_bytes),
+        static_cast<unsigned long long>(t.committed_epoch));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace pmemolap::service

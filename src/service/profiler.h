@@ -1,0 +1,66 @@
+// ContinuousProfiler — per-modeled-second counter export for the
+// QueryService, after ScaleStore's always-on ProfilingThread.
+//
+// ScaleStore runs a dedicated thread that wakes every second and dumps
+// worker/buffer-manager counters to CSV so a live system is observable
+// for free. Our service is a deterministic discrete-event simulation, so
+// the analog is event-driven: the service schedules a tick event every
+// modeled second, snapshots the engine/admission/governor/degradation
+// counters into a ProfileTick, and the profiler renders the sequence as
+// stable CSV. No thread, no wall clock — two runs with the same seed
+// emit byte-identical CSV, which the bench's determinism check hashes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmemolap::service {
+
+/// One modeled-second snapshot of the running service.
+struct ProfileTick {
+  int tick = 0;
+  double seconds = 0.0;
+  /// Committed degradation tier (0..3) and the raw health estimate.
+  int tier = 0;
+  double estimate = 1.0;
+  /// Service-side load: grants currently executing, waiters queued.
+  int in_flight = 0;
+  int waiting = 0;
+  /// Cumulative admission outcomes (service edge + gate).
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t expired = 0;
+  uint64_t completed = 0;
+  uint64_t retried = 0;
+  /// Completions inside this tick (the per-second throughput signal).
+  uint64_t tick_completions = 0;
+  /// Fault-campaign state.
+  uint64_t crashes = 0;
+  uint64_t recoveries = 0;
+  uint64_t breaker_trips = 0;
+  /// Governor actuators in force.
+  int governor_quantum = 0;
+  int write_threads = 0;
+  uint64_t staged_bytes = 0;
+  /// Durable-table watermark (0 when the campaign has no durable table).
+  uint64_t committed_epoch = 0;
+};
+
+class ContinuousProfiler {
+ public:
+  void Record(const ProfileTick& tick) { ticks_.push_back(tick); }
+
+  const std::vector<ProfileTick>& ticks() const { return ticks_; }
+
+  static std::string CsvHeader();
+  /// Header + one line per tick; printf-fixed formatting so equal tick
+  /// sequences render byte-identically across platforms.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<ProfileTick> ticks_;
+};
+
+}  // namespace pmemolap::service

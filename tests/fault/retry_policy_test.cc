@@ -88,6 +88,97 @@ TEST_F(RetryPolicyTest, JitterStaysInsideItsBand) {
   EXPECT_LE(charged, static_cast<uint64_t>(exact * 1.25));
 }
 
+TEST_F(RetryPolicyTest, CancelCheckAbortsBeforeTheNextBackoffCharge) {
+  // A cancel hook that fires after the second attempt: the loop must
+  // return the hook's status immediately — two backoffs charged, never a
+  // third, and no kDataLoss masking the deadline.
+  FaultInjector injector(FaultSpec::Healthy());
+  PmemSpace space(topo_);
+  Result<Allocation> region = space.Allocate(4 * kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(region.ok());
+  std::memset(region->data(), 0x5A, region->size());
+  region->PoisonLine(0);  // permanent: survives every retry
+
+  RetryPolicy policy;
+  policy.max_attempts = 16;  // far more budget than the deadline allows
+  int checks = 0;
+  CancelCheck cancel = [&checks]() -> Status {
+    if (++checks > 2) return Status::DeadlineExceeded("query deadline");
+    return Status::OK();
+  };
+  FaultAwareReader reader(&injector, policy);
+  std::byte dst[64];
+  Status status = reader.Read(&region.value(), 0, sizeof(dst), dst, cancel);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // Checked before each backoff: two OK checks charged two backoffs
+  // (2 + 4 us), the third check aborted before charging 8 us.
+  EXPECT_EQ(injector.counters().retries, 2u);
+  EXPECT_EQ(injector.counters().backoff_us, 6u);
+}
+
+TEST_F(RetryPolicyTest, ExpiredCancelChargesNoBackoffAtAll) {
+  // Already-expired deadline: the first read still happens (the data may
+  // be clean), but a poisoned line aborts before any backoff is charged.
+  FaultInjector injector(FaultSpec::Healthy());
+  PmemSpace space(topo_);
+  Result<Allocation> region = space.Allocate(4 * kKiB, {Media::kPmem, 0});
+  ASSERT_TRUE(region.ok());
+  std::memset(region->data(), 0x5A, region->size());
+
+  CancelCheck expired = [] {
+    return Status::DeadlineExceeded("already expired");
+  };
+  FaultAwareReader reader(&injector, RetryPolicy{});
+  std::byte dst[64];
+  // Clean region: the read succeeds without ever consulting the hook.
+  EXPECT_TRUE(reader.Read(&region.value(), 0, sizeof(dst), dst, expired).ok());
+
+  region->PoisonLine(0);
+  Status status = reader.Read(&region.value(), 0, sizeof(dst), dst, expired);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(injector.counters().retries, 0u);
+  EXPECT_EQ(injector.counters().backoff_us, 0u);
+}
+
+TEST_F(RetryPolicyTest, CancelledJitterStreamStaysDeterministic) {
+  // Seeded jitter + cancellation: a run cut short by its deadline charges
+  // a byte-identical prefix of the uncancelled run's charges — the jitter
+  // stream depends only on the seed, never on how far the loop got.
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.jitter_seed = 42;
+  policy.jitter_fraction = 0.5;
+  const uint64_t full = ChargedBackoff(policy);
+
+  auto charged_with_budget = [&](int allowed_checks) {
+    FaultInjector injector(FaultSpec::Healthy());
+    PmemSpace space(topo_);
+    Result<Allocation> region = space.Allocate(4 * kKiB, {Media::kPmem, 0});
+    EXPECT_TRUE(region.ok());
+    std::memset(region->data(), 0x5A, region->size());
+    region->PoisonLine(0);
+    int checks = 0;
+    CancelCheck cancel = [&checks, allowed_checks]() -> Status {
+      if (++checks > allowed_checks) {
+        return Status::DeadlineExceeded("budget spent");
+      }
+      return Status::OK();
+    };
+    FaultAwareReader reader(&injector, policy);
+    std::byte dst[64];
+    Status status =
+        reader.Read(&region.value(), 0, sizeof(dst), dst, cancel);
+    EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+    return injector.counters().backoff_us;
+  };
+  const uint64_t cut_three = charged_with_budget(3);
+  EXPECT_EQ(cut_three, charged_with_budget(3))
+      << "same seed, same cut point: identical charges";
+  EXPECT_LT(cut_three, full);
+  EXPECT_LT(charged_with_budget(1), cut_three)
+      << "an earlier deadline charges a strict prefix";
+}
+
 TEST_F(RetryPolicyTest, JitterFractionIsClampedToOne) {
   // A fraction > 1 would allow negative backoff; the clamp keeps every
   // charge non-negative, so the total is bounded by 2x the exact curve.

@@ -141,6 +141,136 @@ TEST(AdmissionTest, ExpiredTokenLeavesTheQueueWithItsStatus) {
   EXPECT_EQ(gate.waiting(), 0);
 }
 
+TEST(AdmissionTest, ExpiredTokenBeatsAFullQueue) {
+  AdmissionController gate(SmallLimits());  // 1 slot, normal queue 1
+  Result<AdmissionTicket> holder = gate.TryAdmit(QueryPriority::kNormal);
+  ASSERT_TRUE(holder.ok());
+
+  // Fill the normal queue with one live waiter.
+  Status waiter_status = Status::Internal("never set");
+  std::thread waiter([&] {
+    Result<AdmissionTicket> ticket = gate.Admit(QueryPriority::kNormal);
+    waiter_status = ticket.status();
+  });
+  ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 1; }));
+
+  // A live submission over the bound sheds with kResourceExhausted...
+  Result<AdmissionTicket> shed = gate.Admit(QueryPriority::kNormal);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+
+  // ...but an already-expired token reports the *deadline* even though
+  // the queue is just as full: the deadline, not the queue, failed first.
+  CancelToken token;
+  token.ArmWall(0.0);
+  Result<AdmissionTicket> expired = gate.Admit(QueryPriority::kNormal, &token);
+  ASSERT_FALSE(expired.ok());
+  EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(gate.counters().expired_waiting, 1u);
+  EXPECT_EQ(gate.counters().shed, 1u);
+
+  holder->Release();
+  waiter.join();
+  EXPECT_TRUE(waiter_status.ok()) << waiter_status.ToString();
+}
+
+TEST(AdmissionTest, AgingBoundsBatchWaiterDelayUnderHighTraffic) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 1;
+  limits.high_queue = 8;
+  limits.batch_queue = 1;
+  limits.aging_grants = 2;
+  AdmissionController gate(limits);
+
+  Result<AdmissionTicket> holder = gate.TryAdmit(QueryPriority::kHigh);
+  ASSERT_TRUE(holder.ok());
+
+  std::mutex order_mutex;
+  std::vector<QueryPriority> order;
+  std::thread batch([&] {
+    Result<AdmissionTicket> ticket = gate.Admit(QueryPriority::kBatch);
+    ASSERT_TRUE(ticket.ok());
+    std::lock_guard<std::mutex> lock(order_mutex);
+    order.push_back(QueryPriority::kBatch);
+  });
+  ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 1; }));
+
+  // Sustained high-priority traffic: each cycle queues a high waiter and
+  // hands it the slot. While a high waiter is queued the batch waiter can
+  // never slip in, so each grant deterministically bumps its bypass
+  // count. aging_grants = 2 bounds the starvation at two bypasses.
+  auto cycle_high = [&](bool expect_high_wins) {
+    Result<AdmissionTicket> next = Status::Internal("unset");
+    std::thread high([&] {
+      next = gate.Admit(QueryPriority::kHigh);
+      ASSERT_TRUE(next.ok());
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(QueryPriority::kHigh);
+    });
+    ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 2; }));
+    holder->Release();
+    if (expect_high_wins) {
+      high.join();
+      holder = std::move(next);
+    } else {
+      // The batch reservation outranks the queued high waiter: batch
+      // runs first, the high waiter only admits once batch releases.
+      ASSERT_TRUE(WaitFor([&] { return gate.counters().aged_grants == 1; }));
+      high.join();
+      holder = std::move(next);
+    }
+  };
+  cycle_high(/*expect_high_wins=*/true);   // bypass(batch) -> 1
+  cycle_high(/*expect_high_wins=*/true);   // bypass(batch) -> 2 == aging
+  cycle_high(/*expect_high_wins=*/false);  // reservation admits batch
+
+  batch.join();
+  holder->Release();
+
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], QueryPriority::kHigh);
+  EXPECT_EQ(order[1], QueryPriority::kHigh);
+  // The aged batch waiter beat the third high waiter to the slot.
+  EXPECT_EQ(order[2], QueryPriority::kBatch);
+  EXPECT_EQ(order[3], QueryPriority::kHigh);
+  AdmissionCounters counters = gate.counters();
+  EXPECT_EQ(counters.aged_grants, 1u);
+  EXPECT_EQ(counters.admitted, 5u);  // initial + 3 high + 1 batch
+}
+
+TEST(AdmissionTest, AgingDisabledKeepsStrictPriority) {
+  AdmissionLimits limits;
+  limits.max_concurrent = 1;
+  limits.batch_queue = 1;
+  limits.aging_grants = 0;  // strict priority, pre-aging behavior
+  AdmissionController gate(limits);
+  Result<AdmissionTicket> holder = gate.TryAdmit(QueryPriority::kHigh);
+  ASSERT_TRUE(holder.ok());
+
+  std::thread batch([&] {
+    Result<AdmissionTicket> ticket = gate.Admit(QueryPriority::kBatch);
+    ASSERT_TRUE(ticket.ok());
+  });
+  ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 1; }));
+
+  // Any number of release/re-admit cycles keeps going to high traffic:
+  // no reservation ever forms.
+  for (int i = 0; i < 8; ++i) {
+    // While a high waiter is queued, release the slot: high must win.
+    Result<AdmissionTicket> next = Status::Internal("unset");
+    std::thread high([&] { next = gate.Admit(QueryPriority::kHigh); });
+    ASSERT_TRUE(WaitFor([&] { return gate.waiting() == 2; }));
+    holder->Release();
+    high.join();
+    ASSERT_TRUE(next.ok());
+    holder = std::move(next);
+  }
+  EXPECT_EQ(gate.counters().aged_grants, 0u);
+
+  holder->Release();
+  batch.join();
+}
+
 TEST(AdmissionTest, DegradationZeroesBatchThenNormalQueues) {
   AdmissionController gate;  // defaults: shed batch < 0.75, normal < 0.40
   EXPECT_GT(gate.EffectiveQueueLimit(QueryPriority::kBatch), 0);

@@ -1,0 +1,78 @@
+// ContinuousProfiler: stable CSV rendering of the per-second snapshots.
+#include "service/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace pmemolap::service {
+namespace {
+
+ProfileTick MakeTick(int n) {
+  ProfileTick tick;
+  tick.tick = n;
+  tick.seconds = static_cast<double>(n);
+  tick.tier = n % 4;
+  tick.estimate = 1.0 - 0.1 * n;
+  tick.in_flight = n;
+  tick.waiting = 2 * n;
+  tick.submitted = 100 + n;
+  tick.admitted = 90 + n;
+  tick.shed = 5;
+  tick.expired = 1;
+  tick.completed = 80 + n;
+  tick.retried = 3;
+  tick.tick_completions = 7;
+  tick.crashes = n > 2 ? 1 : 0;
+  tick.recoveries = n > 3 ? 1 : 0;
+  tick.breaker_trips = 2;
+  tick.governor_quantum = 4;
+  tick.write_threads = 2;
+  tick.staged_bytes = 1 << 20;
+  tick.committed_epoch = 5;
+  return tick;
+}
+
+TEST(ContinuousProfilerTest, CsvHasHeaderAndOneLinePerTick) {
+  ContinuousProfiler profiler;
+  for (int i = 0; i < 5; ++i) profiler.Record(MakeTick(i));
+  const std::string csv = profiler.ToCsv();
+
+  std::istringstream lines(csv);
+  std::string line;
+  int count = 0;
+  size_t columns = 0;
+  while (std::getline(lines, line)) {
+    if (count == 0) {
+      EXPECT_EQ(line, ContinuousProfiler::CsvHeader());
+      columns = static_cast<size_t>(
+          std::count(line.begin(), line.end(), ',') + 1);
+    } else {
+      EXPECT_EQ(static_cast<size_t>(
+                    std::count(line.begin(), line.end(), ',') + 1),
+                columns)
+          << "row " << count << ": " << line;
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 6);  // header + 5 ticks
+}
+
+TEST(ContinuousProfilerTest, RenderingIsByteIdentical) {
+  ContinuousProfiler a;
+  ContinuousProfiler b;
+  for (int i = 0; i < 8; ++i) {
+    a.Record(MakeTick(i));
+    b.Record(MakeTick(i));
+  }
+  EXPECT_EQ(a.ToCsv(), b.ToCsv());
+}
+
+TEST(ContinuousProfilerTest, EmptyProfilerIsJustTheHeader) {
+  ContinuousProfiler profiler;
+  EXPECT_EQ(profiler.ToCsv(), ContinuousProfiler::CsvHeader() + "\n");
+}
+
+}  // namespace
+}  // namespace pmemolap::service

@@ -1,0 +1,115 @@
+// Workload: deterministic tenant populations and traffic streams.
+#include "service/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace pmemolap::service {
+namespace {
+
+TEST(WorkloadTest, SameSeedSameStreams) {
+  WorkloadConfig config;
+  config.num_clients = 64;
+  Workload a(config);
+  Workload b(config);
+  for (uint64_t client = 0; client < config.num_clients; ++client) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(a.NextQuery(client), b.NextQuery(client));
+      EXPECT_DOUBLE_EQ(a.NextThink(client), b.NextThink(client));
+      EXPECT_DOUBLE_EQ(a.NextBackoff(client), b.NextBackoff(client));
+    }
+  }
+}
+
+TEST(WorkloadTest, StreamsIndependentOfInterleaving) {
+  WorkloadConfig config;
+  config.num_clients = 4;
+  Workload ordered(config);
+  Workload shuffled(config);
+  // Draw client 0 then 1 in one instance; 1 then 0 in the other. Per-
+  // client streams must not observe the other client's draws.
+  std::vector<ssb::QueryId> a0, a1, b0, b1;
+  for (int i = 0; i < 16; ++i) a0.push_back(ordered.NextQuery(0));
+  for (int i = 0; i < 16; ++i) a1.push_back(ordered.NextQuery(1));
+  for (int i = 0; i < 16; ++i) b1.push_back(shuffled.NextQuery(1));
+  for (int i = 0; i < 16; ++i) b0.push_back(shuffled.NextQuery(0));
+  EXPECT_EQ(a0, b0);
+  EXPECT_EQ(a1, b1);
+}
+
+TEST(WorkloadTest, ProfilesAreFixedAndMixedPerConfig) {
+  WorkloadConfig config;
+  config.num_clients = 2000;
+  config.high_fraction = 0.2;
+  config.batch_fraction = 0.2;
+  Workload workload(config);
+  std::map<qos::QueryPriority, int> census;
+  for (uint64_t client = 0; client < config.num_clients; ++client) {
+    ClientProfile first = workload.ProfileOf(client);
+    ClientProfile again = workload.ProfileOf(client);
+    EXPECT_EQ(first.priority, again.priority);
+    EXPECT_DOUBLE_EQ(first.deadline_seconds, again.deadline_seconds);
+    ++census[first.priority];
+  }
+  // All three classes are represented, roughly at the configured mix.
+  EXPECT_GT(census[qos::QueryPriority::kHigh], 200);
+  EXPECT_GT(census[qos::QueryPriority::kNormal], 800);
+  EXPECT_GT(census[qos::QueryPriority::kBatch], 200);
+}
+
+TEST(WorkloadTest, ZipfMixIsSkewed) {
+  WorkloadConfig config;
+  config.num_clients = 1;
+  config.query_zipf_s = 1.2;
+  Workload workload(config);
+  std::map<ssb::QueryId, int> histogram;
+  for (int i = 0; i < 4000; ++i) ++histogram[workload.NextQuery(0)];
+  int hottest = 0;
+  for (const auto& [query, count] : histogram) {
+    hottest = std::max(hottest, count);
+  }
+  // Uniform would put ~308 on each of the 13 kernels; Zipf s=1.2
+  // concentrates far more than that on the hot one.
+  EXPECT_GT(hottest, 800);
+  EXPECT_GT(histogram.size(), 3u);  // ...but the tail still appears.
+}
+
+TEST(WorkloadTest, OpenLoopArrivalsAreFiniteAndRoundRobin) {
+  WorkloadConfig config;
+  config.num_clients = 3;
+  config.arrival = ArrivalModel::kOpenLoop;
+  config.arrival_rate_qps = 10.0;
+  Workload workload(config);
+  double total = 0.0;
+  std::set<uint64_t> owners;
+  for (int i = 0; i < 300; ++i) {
+    double gap = workload.NextInterarrival();
+    ASSERT_GT(gap, 0.0);
+    ASSERT_LT(gap, 1e6);
+    total += gap;
+    owners.insert(workload.NextArrivalClient());
+  }
+  // 300 arrivals at 10 q/s should span ~30 modeled seconds.
+  EXPECT_GT(total, 10.0);
+  EXPECT_LT(total, 90.0);
+  EXPECT_EQ(owners.size(), 3u);
+}
+
+TEST(WorkloadTest, DifferentSeedsDifferentHotQuery) {
+  WorkloadConfig a_config;
+  a_config.num_clients = 1;
+  WorkloadConfig b_config = a_config;
+  b_config.seed = a_config.seed + 1;
+  Workload a(a_config);
+  Workload b(b_config);
+  bool diverged = false;
+  for (int i = 0; i < 64 && !diverged; ++i) {
+    diverged = a.NextQuery(0) != b.NextQuery(0);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace pmemolap::service

@@ -1,0 +1,16 @@
+// Linted as src/service/<file>.cc: the service tier composes the whole
+// stack below it — engine, governor, qos admission, the fault and
+// durability machinery, the SSB reference — plus its own layer.
+#include <cstdint>
+
+#include "durability/crash_injector.h"
+#include "engine/engine.h"
+#include "fault/circuit_breaker.h"
+#include "governor/governor.h"
+#include "qos/admission.h"
+#include "service/chaos.h"
+#include "ssb/reference.h"
+
+namespace pmemolap::service {
+int ServiceComposesTheStack() { return 0; }
+}  // namespace pmemolap::service

@@ -1,0 +1,8 @@
+// Linted as src/engine/<file>.cc: nothing below the service tier may
+// include it — the service is a consumer of the stack, never a
+// dependency of it.
+#include "service/service.h"
+
+namespace pmemolap {
+int EngineMustNotSeeTheService() { return 1; }
+}  // namespace pmemolap

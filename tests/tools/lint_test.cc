@@ -296,6 +296,43 @@ TEST(LintDeterminism, GovernorIsADeterministicLayer) {
   EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
 }
 
+// --- service layering ------------------------------------------------------
+
+TEST(LintLayering, ServiceSitsAboveEverything) {
+  // The service composes engine/governor/qos/fault/durability: clean.
+  Report clean =
+      LintFixtureAs("service_tier_clean.cc", "src/service/fixture.cc");
+  EXPECT_TRUE(clean.clean()) << clean.diagnostics[0].ToString();
+  // Nothing may include the service: it is a consumer of the stack,
+  // never a dependency of it.
+  Report engine =
+      LintFixtureAs("service_tier_violation.cc", "src/engine/fixture.cc");
+  ASSERT_EQ(engine.diagnostics.size(), 1u);
+  EXPECT_EQ(engine.diagnostics[0].rule, "layering");
+  Report qos;
+  LintFileContent("src/qos/fixture.cc", "#include \"service/chaos.h\"\n",
+                  &qos);
+  ASSERT_EQ(qos.diagnostics.size(), 1u);
+  EXPECT_EQ(qos.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, ServiceIsADeterministicLayer) {
+  // Campaigns replay on modeled time: same seed, byte-identical chaos
+  // schedules and scorecards. Host clocks and entropy are banned even
+  // though the service sits above the (host-timing-exempt) executors.
+  Report report =
+      LintFixtureAs("determinism_violation.cc", "src/service/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+}
+
+TEST(LintRawThread, ServiceMayNotSpawnThreads) {
+  // The discrete-event loop is single-threaded by design; parallelism
+  // belongs to the engine's executor underneath.
+  Report report =
+      LintFixtureAs("raw_thread_violation.cc", "src/service/fixture.cc");
+  EXPECT_TRUE(RulesHit(report).count("raw-thread"));
+}
+
 // --- persist-discipline ----------------------------------------------------
 
 TEST(LintPersistDiscipline, FlagsPublishWithPendingStores) {

@@ -18,7 +18,7 @@ namespace {
 // The declared layer DAG.
 //
 //   common <- topo <- device <- memsys <- sim <- core/fault
-//          <- governor/durability <- exec/engine/ssb/dash/qos
+//          <- governor/durability <- exec/engine/ssb/dash/qos <- service
 //
 // A layer may include itself and any layer of strictly lower rank. Layers
 // sharing a rank are independent unless an explicit intra-tier edge is
@@ -34,6 +34,14 @@ namespace {
 // encoding tier (compressed column formats) shares sim's rank: pure data
 // transformation over the model layers below, pulled by ssb/engine above
 // — it must never see the executors, the scheduler, or the simulator.
+// The service tier (always-on query serving: workload generation, chaos
+// scheduling, graceful degradation, the discrete-event campaign loop)
+// sits above everything — it composes the engine, governor, qos and
+// fault/durability machinery — and nothing may include it: the service
+// is a consumer of the stack, never a dependency. Despite sitting above
+// the executors it is a *deterministic* layer: campaigns run on modeled
+// time (no clocks, no entropy, no threads of its own), which is what
+// makes chaos schedules and SLO scorecards replayable.
 // ---------------------------------------------------------------------------
 
 const std::map<std::string, int>& LayerRanks() {
@@ -41,7 +49,7 @@ const std::map<std::string, int>& LayerRanks() {
       {"common", 0},   {"topo", 1},       {"device", 2}, {"memsys", 3},
       {"sim", 4},      {"encoding", 4},   {"core", 5},   {"fault", 5},
       {"governor", 6}, {"durability", 6}, {"exec", 7},   {"engine", 7},
-      {"ssb", 7},      {"dash", 7},       {"qos", 7},
+      {"ssb", 7},      {"dash", 7},       {"qos", 7},    {"service", 8},
   };
   return kRanks;
 }
@@ -66,7 +74,7 @@ const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
       "common", "topo",  "device", "memsys",   "sim",
       "core",   "fault", "ssb",    "governor", "dash",
-      "durability", "encoding",
+      "durability", "encoding", "service",
   };
   return kLayers;
 }
@@ -133,7 +141,7 @@ void CheckLayering(const FileContext& ctx) {
            "layer '" + ctx.layer + "' must not include layer '" + dep +
                "' (declared DAG: common <- topo <- device <- memsys <- "
                "sim/encoding <- core/fault <- governor/durability <- "
-               "exec/engine/ssb/dash)");
+               "exec/engine/ssb/dash <- service)");
     }
   }
 }
