@@ -13,7 +13,12 @@
 //      SLO by construction-checkable margin, and two runs of the same
 //      seed produce byte-identical campaign digests (schedules, tier
 //      transitions, per-second counters, latency summaries).
-//   2. Fault storm — per-socket DIMM throttle storms + standing media
+//   2. Offered-load sweep — open-loop arrivals (load never self-throttles)
+//      stepped across an offered-rate x-axis: the latency-vs-offered-load
+//      curve per priority tier. Uncongested rungs complete what arrives
+//      at low latency; past the knee p99 grows and completed throughput
+//      saturates while correctness holds at every rung.
+//   3. Fault storm — per-socket DIMM throttle storms + standing media
 //      poison + UPI degradation over live traffic: the breaker
 //      trip/quarantine cycle and the shed -> brown-out tier ladder fire,
 //      results stay bit-identical, the error budget (non-completed
@@ -185,7 +190,91 @@ void RunScaleLadder(const ssb::Database& db, const MemSystemModel& model,
 }
 
 // ---------------------------------------------------------------------
-// Campaign 2: fault storm over live traffic.
+// Campaign 2: latency vs offered load (open-loop arrivals).
+// ---------------------------------------------------------------------
+
+void RunOfferedLoadSweep(const ssb::Database& db,
+                         const MemSystemModel& model,
+                         const std::vector<double>& offered_qps,
+                         double horizon, std::ofstream& json) {
+  std::printf("\n-- Offered-load sweep: open-loop arrivals, latency per "
+              "priority tier --\n");
+  static const char* kTierNames[qos::kNumPriorities] = {"high", "normal",
+                                                        "batch"};
+  TablePrinter table({"Offered [q/s]", "Completed [q/s]", "Shed", "Expired",
+                      "high p50/p99", "normal p50/p99", "batch p50/p99"});
+  json << "  \"offered_load\": [\n";
+  std::vector<double> completed_qps;
+  std::vector<double> overall_p99;
+  uint64_t top_rung_shed = 0;
+  bool correct = true;
+  bool served = true;
+  for (size_t i = 0; i < offered_qps.size(); ++i) {
+    ServiceConfig config = BaseServiceConfig(1000, horizon);
+    config.workload.arrival = ArrivalModel::kOpenLoop;
+    config.workload.arrival_rate_qps = offered_qps[i];
+    QueryService svc(&db, &model, config);
+    Result<ServiceReport> report = svc.Run();
+    if (!report.ok()) {
+      Claim(false, "offered-load@" + std::to_string(offered_qps[i]) +
+                       ": campaign ran (" + report.status().ToString() +
+                       ")");
+      json << "    {\"offered_qps\": " << offered_qps[i]
+           << ", \"error\": true}"
+           << (i + 1 == offered_qps.size() ? "\n" : ",\n");
+      continue;
+    }
+    const ServiceCounters& c = report->counters;
+    correct &= c.incorrect_results == 0 && c.failed_executions == 0;
+    served &= c.completed > 0;
+    completed_qps.push_back(static_cast<double>(c.completed) / horizon);
+    overall_p99.push_back(report->latency.p99);
+    top_rung_shed = c.edge_shed + c.queue_shed;
+    std::string row_cells[qos::kNumPriorities];
+    for (int p = 0; p < qos::kNumPriorities; ++p) {
+      const LatencySummary& tier = report->latency_by_priority[p];
+      char cell[48];
+      std::snprintf(cell, sizeof(cell), "%.2f/%.2f", tier.p50, tier.p99);
+      row_cells[p] = cell;
+    }
+    table.AddRow({TablePrinter::Cell(offered_qps[i], 0),
+                  TablePrinter::Cell(completed_qps.back(), 1),
+                  U64(c.edge_shed + c.queue_shed),
+                  U64(c.expired_queued + c.expired_running), row_cells[0],
+                  row_cells[1], row_cells[2]});
+    json << "    {\"offered_qps\": " << offered_qps[i]
+         << ", \"completed_qps\": " << completed_qps.back()
+         << ", \"shed\": " << (c.edge_shed + c.queue_shed)
+         << ", \"expired\": " << (c.expired_queued + c.expired_running);
+    for (int p = 0; p < qos::kNumPriorities; ++p) {
+      const LatencySummary& tier = report->latency_by_priority[p];
+      json << ", \"" << kTierNames[p] << "_p50\": " << tier.p50 << ", \""
+           << kTierNames[p] << "_p99\": " << tier.p99;
+    }
+    json << "}" << (i + 1 == offered_qps.size() ? "\n" : ",\n");
+  }
+  json << "  ],\n";
+  table.Print();
+
+  if (completed_qps.size() != offered_qps.size()) return;
+  Claim(correct && served,
+        "offered-load: zero incorrect/failed executions and completed "
+        "traffic at every rung");
+  Claim(completed_qps.front() >= 0.8 * offered_qps.front(),
+        "offered-load: the uncongested rung completes what arrives "
+        "(>= 80% of " + std::to_string(offered_qps.front()) + " q/s)");
+  Claim(overall_p99.back() >= overall_p99.front(),
+        "offered-load: p99 latency grows past the knee (curve is a valid "
+        "latency-vs-load shape)");
+  Claim(completed_qps.back() <= 0.6 * offered_qps.back() &&
+            top_rung_shed > 0,
+        "offered-load: the top rung is past the knee — completed "
+        "throughput falls well short of offered and overpressure is shed "
+        "instead of queued without bound");
+}
+
+// ---------------------------------------------------------------------
+// Campaign 3: fault storm over live traffic.
 // ---------------------------------------------------------------------
 
 void RunFaultStorm(const ssb::Database& db, const MemSystemModel& model,
@@ -386,7 +475,11 @@ int main(int argc, char** argv) {
   std::ofstream json("BENCH_service.json");
   json << "{\n  \"bench\": \"service\",\n  \"smoke\": "
        << (smoke ? "true" : "false") << ",\n";
+  const std::vector<double> offered_qps =
+      smoke ? std::vector<double>{50.0, 200.0, 800.0}
+            : std::vector<double>{50.0, 100.0, 200.0, 400.0, 800.0};
   RunScaleLadder(db.value(), model, rungs, horizon, json);
+  RunOfferedLoadSweep(db.value(), model, offered_qps, horizon, json);
   RunFaultStorm(db.value(), model, chaos_clients, horizon, json);
   RunCrashCampaign(db.value(), model, chaos_clients, horizon, json);
   RunWriteKnee(db.value(), model, chaos_clients, horizon, json);

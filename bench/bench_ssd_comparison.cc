@@ -1,7 +1,13 @@
 // §6.2 "traditional OLAP" comparison: Q2.1 with the table scan on an NVMe
 // SSD (hash indexes and intermediates in DRAM) vs the PMEM-only setup.
+//
+// The SSD deployment is expressed through the tiering layer: a static
+// TierManager with zero DRAM/PMEM budgets places every fact extent on
+// the modeled NVMe tier, so the engine itself prices the cold scan —
+// no hand-rewritten traffic records.
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "tiering/tier_manager.h"
 
 using namespace pmemolap;
 using namespace pmemolap::bench;
@@ -27,27 +33,32 @@ int main() {
   if (!pmem.Prepare().ok()) return 1;
   double pmem_s = pmem.Execute(QueryId::kQ2_1)->seconds;
 
-  // SSD setup: run with DRAM indexes/intermediates, then redirect the
-  // table-scan traffic to the SSD device model.
-  EngineConfig ssd_config = pmem_config;
-  ssd_config.media = Media::kDram;
-  SsbEngine dram(&db.value(), &model, ssd_config);
+  // DRAM-only baseline.
+  EngineConfig dram_config = pmem_config;
+  dram_config.media = Media::kDram;
+  SsbEngine dram(&db.value(), &model, dram_config);
   if (!dram.Prepare().ok()) return 1;
-  auto run = dram.Execute(QueryId::kQ2_1);
-  if (!run.ok()) return 1;
-  double dram_s = run->seconds;
+  auto dram_run = dram.Execute(QueryId::kQ2_1);
+  if (!dram_run.ok()) return 1;
+  double dram_s = dram_run->seconds;
 
-  ExecutionProfile ssd_profile;
-  for (TrafficRecord record : run->profile.records()) {
-    if (record.label == "scan") record.media = Media::kSsd;
-    ssd_profile.Record(record);
-  }
-  double factor = 100.0 / 0.02;
-  QueryTimer timer(&model);
-  double ssd_s =
-      timer.EstimateSeconds(ssd_profile.Scaled(factor),
-                            run->cpu.Scaled(factor), 36,
-                            PinningPolicy::kCores);
+  // SSD setup: every fact extent on the NVMe tier (static manager, zero
+  // fast-tier budgets), indexes and intermediates in DRAM.
+  tiering::TieringConfig tier_config;
+  tier_config.policy = tiering::TierPolicy::kStatic;
+  tier_config.extent_tuples = 1024;
+  tier_config.dram_budget_bytes = 0;
+  tier_config.pmem_budget_bytes = 0;
+  tiering::TierManager all_ssd(&model, tier_config);
+  EngineConfig ssd_config = pmem_config;
+  ssd_config.index_media = Media::kDram;
+  ssd_config.intermediate_media = Media::kDram;
+  ssd_config.tiering = &all_ssd;
+  SsbEngine ssd(&db.value(), &model, ssd_config);
+  if (!ssd.Prepare().ok()) return 1;
+  auto ssd_run = ssd.Execute(QueryId::kQ2_1);
+  if (!ssd_run.ok()) return 1;
+  double ssd_s = ssd_run->seconds;
 
   TablePrinter table({"Setup", "Q2.1 [s]", "paper", "Bottleneck"});
   table.AddRow({"NVMe SSD scan + DRAM indexes", TablePrinter::Cell(ssd_s),

@@ -79,6 +79,27 @@ Status SsbEngine::Prepare() {
     return Status::InvalidArgument(
         "durable table capacity below the database's lineorder bytes");
   }
+  if (config_.tiering != nullptr) {
+    if (config_.fault != nullptr || config_.durable != nullptr) {
+      // Guarded reads repair into db_'s image and durable reads come out
+      // of snapshot epochs — both pin the fact bytes to one owner, which
+      // extent migration would contradict. Keep the modes orthogonal.
+      return Status::InvalidArgument(
+          "tiering is incompatible with fault/durable modes");
+    }
+    if (!config_.numa_aware_placement) {
+      // The unmatched-worker scan split halves bytes across sockets
+      // before any extent attribution; tiered pricing needs the scan
+      // bytes attributable to concrete extents.
+      return Status::InvalidArgument(
+          "tiering requires NUMA-aware placement");
+    }
+    // Extents cover the fact table's row image: the table occupies its
+    // full 128 B-per-row footprint on whichever tier holds it, whichever
+    // columns a query reads.
+    PMEMOLAP_RETURN_NOT_OK(config_.tiering->Attach(
+        db_->lineorder.size(), sizeof(ssb::LineorderRow)));
+  }
   IndexKind kind = config_.mode == EngineMode::kPmemAware
                        ? IndexKind::kDash
                        : IndexKind::kChained;
@@ -538,10 +559,12 @@ uint64_t SsbEngine::ScanBytesForTuples(ssb::QueryId query,
 }
 
 void SsbEngine::RecordSocketTraffic(
-    ssb::QueryId query, int socket, uint64_t tuples,
+    ssb::QueryId query, int socket, const TupleRange& scanned,
     const ProbeCounters& probes, uint64_t qualifying, int threads_per_socket,
     const governor::GovernorDecision* decision,
+    const tiering::TieringSnapshot* tiers,
     ExecutionProfile* profile) const {
+  const uint64_t tuples = scanned.size();
   const bool aware = config_.mode == EngineMode::kPmemAware;
   const Media media = config_.media;
   const Media index_media = config_.index_media.value_or(media);
@@ -579,17 +602,50 @@ void SsbEngine::RecordSocketTraffic(
     profile->Record(std::move(near_scan));
     profile->Record(std::move(far_scan));
   } else {
+    // Tiered placement splits the scan bytes across the tiers the
+    // scanned extents occupy, proportional to resident tuples; the PMEM
+    // remainder keeps the plain "scan" identity so an all-PMEM placement
+    // is byte-identical to tiering off. Cold extents charge modeled SSD
+    // sequential reads; hot promoted extents read at DRAM rates.
+    uint64_t dram_bytes = 0;
+    uint64_t ssd_bytes = 0;
+    if (tiers != nullptr && !tiers->empty() && tuples > 0) {
+      tiering::TieringSnapshot::TupleShare share =
+          tiers->SplitTuples(scanned.begin, scanned.end);
+      dram_bytes = static_cast<uint64_t>(
+          static_cast<double>(scan_bytes) *
+          (static_cast<double>(share.dram) / static_cast<double>(tuples)));
+      ssd_bytes = static_cast<uint64_t>(
+          static_cast<double>(scan_bytes) *
+          (static_cast<double>(share.ssd) / static_cast<double>(tuples)));
+    }
     TrafficRecord scan;
     scan.op = OpType::kRead;
     scan.pattern = Pattern::kSequentialIndividual;
     scan.media = media;
     scan.data_socket = socket;
     scan.worker_socket = socket;
-    scan.bytes = scan_bytes;
+    scan.bytes = scan_bytes - dram_bytes - ssd_bytes;
     scan.access_size = 4 * kKiB;
-    scan.region_bytes = scan_bytes;
+    scan.region_bytes = scan.bytes;
     scan.threads = threads_per_socket;
     scan.label = "scan";
+    if (dram_bytes > 0) {
+      TrafficRecord dram_scan = scan;
+      dram_scan.media = Media::kDram;
+      dram_scan.bytes = dram_bytes;
+      dram_scan.region_bytes = dram_bytes;
+      dram_scan.label = "scan-dram";
+      profile->Record(std::move(dram_scan));
+    }
+    if (ssd_bytes > 0) {
+      TrafficRecord ssd_scan = scan;
+      ssd_scan.media = Media::kSsd;
+      ssd_scan.bytes = ssd_bytes;
+      ssd_scan.region_bytes = ssd_bytes;
+      ssd_scan.label = "scan-ssd";
+      profile->Record(std::move(ssd_scan));
+    }
     profile->Record(std::move(scan));
   }
 
@@ -834,6 +890,15 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
   const governor::GovernorDecision* decision_ptr =
       governed ? &decision : nullptr;
 
+  // Snapshot the tier placement once per Execute for the same reason:
+  // scan pricing and the per-tier byte split act on one quantum's
+  // placement even while a concurrent Advance() commits the next.
+  const bool tiered = config_.tiering != nullptr;
+  tiering::TieringSnapshot tier_snapshot;
+  if (tiered) tier_snapshot = config_.tiering->snapshot();
+  const tiering::TieringSnapshot* tiers_ptr =
+      tiered && !tier_snapshot.empty() ? &tier_snapshot : nullptr;
+
   // Arm the lifecycle token: wall/modeled deadlines from the options
   // (modeled time defaults to the fault domain's platform clock), plus
   // the fault-layer retry budget.
@@ -896,9 +961,15 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
                               config_.durable->SnapshotBytes(snapshot_epoch));
     snapshot_rows = snapshot_bytes / sizeof(ssb::LineorderRow);
   }
-  auto clamp_range = [snapshot_rows](const TupleRange& range) {
-    return TupleRange{std::min(range.begin, snapshot_rows),
-                      std::min(range.end, snapshot_rows)};
+  // The scan window (QueryOptions::scan_begin/scan_end) and the durable
+  // snapshot compose into one clamp interval: a query reads the tuples
+  // inside its window that its snapshot has committed. Default options
+  // leave [0, snapshot_rows) — today's behavior exactly.
+  const uint64_t window_begin = std::min(options.scan_begin, snapshot_rows);
+  const uint64_t window_end = std::min(options.scan_end, snapshot_rows);
+  auto clamp_range = [window_begin, window_end](const TupleRange& range) {
+    return TupleRange{std::clamp(range.begin, window_begin, window_end),
+                      std::clamp(range.end, window_begin, window_end)};
   };
   const bool vectorized = config_.vectorized && !guarded && !durable;
   const ExecutorKind executor = config_.parallel_execution
@@ -919,13 +990,14 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     // queues, idle workers steal across sockets, first failure cancels.
     MorselPlan plan =
         Partitioner::ToMorsels(partitions_, config_.morsel_tuples);
-    if (durable && snapshot_rows < db_->lineorder.size()) {
-      // Clamp the work list to the snapshot before shaping/reassignment:
-      // uncommitted rows don't exist for this query.
+    if (window_begin > 0 || window_end < db_->lineorder.size()) {
+      // Clamp the work list to the window/snapshot before
+      // shaping/reassignment: tuples outside it (uncommitted rows, or
+      // outside the query's scan window) don't exist for this query.
       for (std::vector<Morsel>& queue : plan.queues) {
         for (Morsel& morsel : queue) {
-          morsel.begin = std::min(morsel.begin, snapshot_rows);
-          morsel.end = std::min(morsel.end, snapshot_rows);
+          morsel.begin = std::clamp(morsel.begin, window_begin, window_end);
+          morsel.end = std::clamp(morsel.end, window_begin, window_end);
         }
         queue.erase(std::remove_if(
                         queue.begin(), queue.end(),
@@ -981,6 +1053,11 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     Status pool_status = pool_->RunWithControl(
         plan,
         [&](const Morsel& morsel, int worker) {
+          if (tiered) {
+            // Per-morsel heat feed: commutative accumulation, so any
+            // steal schedule folds to the same quantum heat.
+            config_.tiering->Touch(morsel.begin, morsel.end);
+          }
           return ExecuteRangeInto(
               query, slot_of_socket[static_cast<size_t>(morsel.socket)],
               {morsel.begin, morsel.end}, vectorized, snapshot_epoch,
@@ -1001,6 +1078,10 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     for (size_t slot = 0; slot < slots; ++slot) {
       PMEMOLAP_RETURN_NOT_OK(token.Check());
       const SocketPartition& partition = partitions_[slot];
+      if (tiered) {
+        const TupleRange touched = clamp_range(partition.tuples);
+        config_.tiering->Touch(touched.begin, touched.end);
+      }
       const size_t workers = partition.worker_ranges.size();
       if (workers <= 1) {
         states.emplace_back();
@@ -1040,10 +1121,11 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     states.emplace_back();
     for (size_t slot = 0; slot < slots; ++slot) {
       PMEMOLAP_RETURN_NOT_OK(token.Check());
+      const TupleRange range = clamp_range(partitions_[slot].tuples);
+      if (tiered) config_.tiering->Touch(range.begin, range.end);
       PMEMOLAP_RETURN_NOT_OK(
-          ExecuteRangeInto(query, slot, clamp_range(partitions_[slot].tuples),
-                           vectorized, snapshot_epoch, decision_ptr,
-                           &states[0], cancel_check));
+          ExecuteRangeInto(query, slot, range, vectorized, snapshot_epoch,
+                           decision_ptr, &states[0], cancel_check));
       ++progress.units_executed;
     }
   }
@@ -1068,11 +1150,11 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
 
   for (size_t slot = 0; slot < slots; ++slot) {
     const SocketPartition& partition = partitions_[slot];
-    const uint64_t scanned_tuples = clamp_range(partition.tuples).size();
-    RecordSocketTraffic(query, partition.socket, scanned_tuples,
-                        slot_probes[slot], slot_qualifying[slot],
-                        threads_per_socket, decision_ptr, &run.profile);
-    run.cpu.tuples_scanned += scanned_tuples;
+    const TupleRange scanned = clamp_range(partition.tuples);
+    RecordSocketTraffic(query, partition.socket, scanned, slot_probes[slot],
+                        slot_qualifying[slot], threads_per_socket,
+                        decision_ptr, tiers_ptr, &run.profile);
+    run.cpu.tuples_scanned += scanned.size();
     run.cpu.probes += slot_probes[slot].total();
     run.cpu.agg_updates += slot_qualifying[slot];
   }
@@ -1156,6 +1238,19 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
                       std::make_move_iterator(ingest.begin()),
                       std::make_move_iterator(ingest.end()));
   }
+  if (tiered) {
+    // The tier manager's migration traffic rides along the same way.
+    // Unlike an external ingest source it copies table extents, which
+    // scale with the lineorder count — so it projects by the same factor
+    // as the query's own records.
+    for (TrafficRecord record : config_.tiering->standing_traffic()) {
+      record.bytes = static_cast<uint64_t>(
+          std::llround(static_cast<double>(record.bytes) * factor));
+      record.region_bytes = static_cast<uint64_t>(std::llround(
+          static_cast<double>(record.region_bytes) * factor));
+      background.push_back(std::move(record));
+    }
+  }
   if (governed && decision.write_threads > 0) {
     for (TrafficRecord& record : background) {
       if (record.op == OpType::kWrite && record.media == Media::kPmem) {
@@ -1175,6 +1270,13 @@ Result<SsbEngine::QueryRun> SsbEngine::Execute(
     governor::TelemetrySample sample = governor::BuildTelemetry(
         *model_, projected.records(), background, config_.pinning, injector);
     config_.governor->Observe(sample);
+  }
+  if (tiered) {
+    // One Execute = one placement quantum: fold this run's touches into
+    // the decayed heat and let the loop commit whatever migrations have
+    // passed hysteresis. Next quantum's queries see the new placement
+    // and carry its migration traffic as background load.
+    config_.tiering->Advance();
   }
 
   run.progress = progress;

@@ -41,6 +41,7 @@
 #include "ssb/dbgen.h"
 #include "ssb/encoded_column_store.h"
 #include "ssb/queries.h"
+#include "tiering/tier_manager.h"
 
 namespace pmemolap {
 
@@ -151,6 +152,17 @@ struct EngineConfig {
   /// to a reader. Mutually exclusive with `fault` guarded mode; forces
   /// the scalar path. Must outlive the engine.
   DurableTable* durable = nullptr;
+  /// Non-null enables three-tier DRAM↔PMEM↔SSD placement of the fact
+  /// table (larger-than-memory mode): Prepare attaches the manager's
+  /// extent map over lineorder, every Execute prices its fact scan
+  /// against one placement snapshot (cold extents charge SSD reads),
+  /// feeds per-morsel touches into the heat tracker, carries the
+  /// manager's migration traffic as standing background load, and ticks
+  /// one placement quantum. Null = today's single-tier pricing,
+  /// bit-identical results and modeled seconds. Mutually exclusive with
+  /// fault/durable modes; requires NUMA-aware placement. Must outlive
+  /// the engine.
+  tiering::TierManager* tiering = nullptr;
   TimerConfig timer;
 };
 
@@ -264,14 +276,19 @@ class SsbEngine {
   /// table into the ordered map for the vectorized path).
   static ssb::QueryOutput DrainWorkerOutput(WorkerState* state);
 
-  /// Emits the traffic records for one socket's share of the work. A
-  /// non-null `decision` applies the governor's actuations: staged
-  /// structures record DRAM traffic and write records clamp to the
-  /// decision's writer-thread count.
-  void RecordSocketTraffic(ssb::QueryId query, int socket, uint64_t tuples,
+  /// Emits the traffic records for one socket's share of the work —
+  /// `scanned` is the (window/snapshot-clamped) tuple range the socket's
+  /// fact scan covered. A non-null `decision` applies the governor's
+  /// actuations: staged structures record DRAM traffic and write records
+  /// clamp to the decision's writer-thread count. A non-null `tiers`
+  /// placement snapshot splits the fact-scan bytes across the tiers the
+  /// scanned extents occupy (DRAM/PMEM/SSD media records).
+  void RecordSocketTraffic(ssb::QueryId query, int socket,
+                           const TupleRange& scanned,
                            const ProbeCounters& probes, uint64_t qualifying,
                            int threads_per_socket,
                            const governor::GovernorDecision* decision,
+                           const tiering::TieringSnapshot* tiers,
                            ExecutionProfile* profile) const;
 
   /// Bytes of fact data one tuple contributes to the scan: the padded row

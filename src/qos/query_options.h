@@ -72,6 +72,9 @@ struct QueryProgress {
 /// Sentinel for "read at the newest committed ingest epoch".
 inline constexpr uint64_t kLatestSnapshot = ~uint64_t{0};
 
+/// Sentinel for "scan through the end of the fact table".
+inline constexpr uint64_t kScanToEnd = ~uint64_t{0};
+
 /// Per-query lifecycle options accepted by SsbEngine::Execute and
 /// ExecutePlanParallel. Default-constructed options change nothing: no
 /// deadline, normal priority, unlimited retries.
@@ -94,6 +97,14 @@ struct QueryOptions {
   /// a query's view never advances mid-run while ingest keeps committing.
   /// Ignored outside durable mode.
   uint64_t snapshot_epoch = kLatestSnapshot;
+  /// Fact-scan window: the query scans only lineorder tuples in
+  /// [scan_begin, scan_end) — the vehicle for skewed (Zipf-segmented)
+  /// larger-than-memory workloads, where each query hits one segment of
+  /// the table and the tiering layer learns which segments are hot.
+  /// Defaults scan everything; windows compose with durable snapshots
+  /// (both clamp the same ranges).
+  uint64_t scan_begin = 0;
+  uint64_t scan_end = kScanToEnd;
 };
 
 }  // namespace pmemolap::qos

@@ -1,0 +1,10 @@
+// Linted as src/tiering/<file>.cc: the tiering loop publishes snapshots
+// and standing traffic that the engine PULLS and the governor observes —
+// it must never reach up into the engine tier or sideways into the
+// service above it.
+#include "engine/engine.h"
+#include "service/service.h"
+
+namespace pmemolap::tiering {
+int TieringMustNotSeeTheEngine() { return 1; }
+}  // namespace pmemolap::tiering

@@ -617,6 +617,55 @@ TEST(LintDeterminism, EncodingIsADeterministicLayer) {
   EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
 }
 
+// --- tiering layering ------------------------------------------------------
+
+TEST(LintLayering, TieringSharesTheGovernorTier) {
+  // tiering -> engine/service reaches up across tier boundaries.
+  Report upward =
+      LintFixtureAs("tiering_tier_violation.cc", "src/tiering/fixture.cc");
+  ASSERT_EQ(upward.diagnostics.size(), 2u);  // engine/ and service/
+  EXPECT_EQ(upward.diagnostics[0].rule, "layering");
+  EXPECT_EQ(upward.diagnostics[1].rule, "layering");
+  // tiering -> {device, memsys, core, encoding} reads downward: clean.
+  Report clean =
+      LintFixtureAs("tiering_tier_clean.cc", "src/tiering/fixture.cc");
+  EXPECT_TRUE(clean.clean()) << clean.diagnostics[0].ToString();
+  // The engine pushes touches / pulls snapshots from above: clean.
+  Report engine;
+  LintFileContent("src/engine/fixture.cc",
+                  "#include \"tiering/tier_manager.h\"\n", &engine);
+  EXPECT_TRUE(engine.clean());
+  // governor -> tiering is the audited same-rank edge (the governor
+  // observes standing migration traffic): clean.
+  Report governor;
+  LintFileContent("src/governor/fixture.cc",
+                  "#include \"tiering/tier_manager.h\"\n", &governor);
+  EXPECT_TRUE(governor.clean());
+  // tiering -> governor is NOT audited: the loop exports traffic, it
+  // never reads the governor's decisions.
+  Report to_governor;
+  LintFileContent("src/tiering/fixture.cc",
+                  "#include \"governor/governor.h\"\n", &to_governor);
+  ASSERT_EQ(to_governor.diagnostics.size(), 1u);
+  EXPECT_EQ(to_governor.diagnostics[0].rule, "layering");
+  // device -> tiering inverts the DAG: the SSD model must not know who
+  // places extents on it.
+  Report device;
+  LintFileContent("src/device/fixture.cc",
+                  "#include \"tiering/tier_manager.h\"\n", &device);
+  ASSERT_EQ(device.diagnostics.size(), 1u);
+  EXPECT_EQ(device.diagnostics[0].rule, "layering");
+}
+
+TEST(LintDeterminism, TieringIsADeterministicLayer) {
+  // Same touch sequence, byte-identical actuator log — the placement
+  // loop feeds modeled scan pricing, so host clocks and entropy are
+  // banned.
+  Report report = LintFixtureAs("determinism_violation.cc",
+                                "src/tiering/fixture.cc");
+  EXPECT_EQ(RulesHit(report), std::set<std::string>{"determinism"});
+}
+
 // --- allowlist -------------------------------------------------------------
 
 TEST(LintAllowlist, SameLineAndCommentBlockFormsAreHonored) {

@@ -57,6 +57,11 @@ METRICS = {
     # service asserts its SLOs absolutely (and determinism by digest);
     # the gate only re-checks that no claim failed.
     "service": [],
+    "tiering": [
+        ("skew.geomean_vs_static", "higher", MODELED),
+        ("skew.geomean_vs_lru", "higher", MODELED),
+        ("sf100.geomean_vs_static", "higher", MODELED),
+    ],
 }
 
 

@@ -18,7 +18,8 @@ namespace {
 // The declared layer DAG.
 //
 //   common <- topo <- device <- memsys <- sim <- core/fault
-//          <- governor/durability <- exec/engine/ssb/dash/qos <- service
+//          <- governor/durability/tiering <- exec/engine/ssb/dash/qos
+//          <- service
 //
 // A layer may include itself and any layer of strictly lower rank. Layers
 // sharing a rank are independent unless an explicit intra-tier edge is
@@ -34,6 +35,14 @@ namespace {
 // encoding tier (compressed column formats) shares sim's rank: pure data
 // transformation over the model layers below, pulled by ssb/engine above
 // — it must never see the executors, the scheduler, or the simulator.
+// The tiering tier (the extent-granular DRAM/PMEM/SSD placement loop)
+// shares the governor's rank and the same pull discipline: it reads the
+// device and model layers (SSD rates, tier bandwidths) and the core
+// placement structures, the engine pushes touches and pulls snapshots
+// from above, and the governor may observe tiering's standing migration
+// traffic (governor -> tiering is the one audited same-rank edge in that
+// tier) — but tiering must never include the governor, the executors, or
+// the engine.
 // The service tier (always-on query serving: workload generation, chaos
 // scheduling, graceful degradation, the discrete-event campaign loop)
 // sits above everything — it composes the engine, governor, qos and
@@ -48,8 +57,9 @@ const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
       {"common", 0},   {"topo", 1},       {"device", 2}, {"memsys", 3},
       {"sim", 4},      {"encoding", 4},   {"core", 5},   {"fault", 5},
-      {"governor", 6}, {"durability", 6}, {"exec", 7},   {"engine", 7},
-      {"ssb", 7},      {"dash", 7},       {"qos", 7},    {"service", 8},
+      {"governor", 6}, {"durability", 6}, {"tiering", 6}, {"exec", 7},
+      {"engine", 7},   {"ssb", 7},        {"dash", 7},    {"qos", 7},
+      {"service", 8},
   };
   return kRanks;
 }
@@ -58,6 +68,7 @@ const std::map<std::string, int>& LayerRanks() {
 const std::set<std::pair<std::string, std::string>>& IntraTierEdges() {
   static const std::set<std::pair<std::string, std::string>> kEdges = {
       {"fault", "core"},
+      {"governor", "tiering"},
       {"engine", "exec"},
       {"engine", "ssb"},
       {"engine", "dash"},
@@ -74,7 +85,7 @@ const std::set<std::string>& DeterministicLayers() {
   static const std::set<std::string> kLayers = {
       "common", "topo",  "device", "memsys",   "sim",
       "core",   "fault", "ssb",    "governor", "dash",
-      "durability", "encoding", "service",
+      "durability", "encoding", "service", "tiering",
   };
   return kLayers;
 }
@@ -140,8 +151,8 @@ void CheckLayering(const FileContext& ctx) {
       Emit(ctx, static_cast<int>(i), "layering",
            "layer '" + ctx.layer + "' must not include layer '" + dep +
                "' (declared DAG: common <- topo <- device <- memsys <- "
-               "sim/encoding <- core/fault <- governor/durability <- "
-               "exec/engine/ssb/dash <- service)");
+               "sim/encoding <- core/fault <- governor/durability/tiering "
+               "<- exec/engine/ssb/dash <- service)");
     }
   }
 }
